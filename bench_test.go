@@ -1,0 +1,189 @@
+// Benchmark harness: one testing.B per table and figure of the paper's
+// evaluation, plus the DESIGN.md ablations. The benches run the real
+// regeneration code paths on the ~1/16-scale mini benchmarks so that
+// `go test -bench=.` terminates in minutes; `go run ./cmd/experiments -all`
+// runs the identical harness at full Table-I scale (the numbers recorded in
+// EXPERIMENTS.md come from that command).
+package dsplacer
+
+import (
+	"io"
+	"testing"
+
+	"dsplacer/internal/experiments"
+	"dsplacer/internal/gen"
+)
+
+func benchSuite() *experiments.Suite {
+	return experiments.NewSuite(experiments.MiniSpecs()[:3])
+}
+
+func benchCfg() experiments.TableIIConfig {
+	return experiments.TableIIConfig{MCFIterations: 8, Rounds: 1, Lambda: 100, Seed: 1}
+}
+
+// BenchmarkTableI regenerates the benchmark-statistics table (Table I).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.MiniSpecs())
+		if err := s.TableI(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII_Vivado measures the Vivado-like baseline flow column.
+func BenchmarkTableII_Vivado(b *testing.B) {
+	benchFlowRow(b, func(s *experiments.Suite, spec gen.Spec) error {
+		row, err := s.RunTableIIRow(spec, benchCfg())
+		if err == nil && row.Vivado.HPWL <= 0 {
+			b.Fatal("empty vivado metrics")
+		}
+		return err
+	})
+}
+
+// BenchmarkTableII regenerates one full Table-II row (all three flows).
+func BenchmarkTableII(b *testing.B) {
+	benchFlowRow(b, func(s *experiments.Suite, spec gen.Spec) error {
+		_, err := s.RunTableIIRow(spec, benchCfg())
+		return err
+	})
+}
+
+func benchFlowRow(b *testing.B, f func(*experiments.Suite, gen.Spec) error) {
+	b.Helper()
+	s := benchSuite()
+	spec := s.Specs[0]
+	if _, err := s.Netlist(spec); err != nil { // generation outside the loop
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f(s, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7a regenerates the GCN-vs-SVM leave-one-out comparison.
+func BenchmarkFig7a(b *testing.B) {
+	s := benchSuite()
+	for _, spec := range s.Specs {
+		if _, err := s.Netlist(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig7a(io.Discard, experiments.Fig7Config{Epochs: 15, Seed: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7b regenerates the train/test accuracy curve.
+func BenchmarkFig7b(b *testing.B) {
+	s := benchSuite()
+	for _, spec := range s.Specs {
+		if _, err := s.Netlist(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig7b(io.Discard, experiments.Fig7Config{Epochs: 15, Seed: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the runtime-breakdown profile.
+func BenchmarkFig8(b *testing.B) {
+	s := benchSuite()
+	for _, spec := range s.Specs[:2] {
+		if _, err := s.Netlist(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Fig8(io.Discard, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the three-flow layout visualization.
+func BenchmarkFig9(b *testing.B) {
+	s := benchSuite()
+	if _, err := s.Netlist(s.Specs[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Fig9(io.Discard, "", benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLambda sweeps the datapath penalty.
+func BenchmarkAblationLambda(b *testing.B) {
+	s := benchSuite()
+	spec := s.Specs[1]
+	if _, err := s.Netlist(spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.AblationLambda(io.Discard, spec, []float64{0, 100}, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMCFIterations sweeps the assignment iteration budget.
+func BenchmarkAblationMCFIterations(b *testing.B) {
+	s := benchSuite()
+	spec := s.Specs[1]
+	if _, err := s.Netlist(spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.AblationMCFIterations(io.Discard, spec, []int{1, 8}, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationIdentifier compares oracle filtering vs placing all DSPs.
+func BenchmarkAblationIdentifier(b *testing.B) {
+	s := benchSuite()
+	spec := s.Specs[1]
+	if _, err := s.Netlist(spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.AblationIdentifier(io.Discard, spec, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLegalization measures MCF + cascade legalization alone.
+func BenchmarkAblationLegalization(b *testing.B) {
+	s := benchSuite()
+	spec := s.Specs[1]
+	if _, err := s.Netlist(spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.AblationLegalization(io.Discard, spec, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command genbench emits the Table-I benchmark netlists (or the miniature
+// variants) as JSON files ready for cmd/dsplacer.
+//
+// Usage:
+//
+//	genbench [-out DIR] [-mini] [-only NAME]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"dsplacer/internal/experiments"
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/gen"
+	"dsplacer/internal/verilog"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	mini := flag.Bool("mini", false, "emit the ~1/16-scale mini variants")
+	only := flag.String("only", "", "emit only the named benchmark")
+	emitVerilog := flag.Bool("verilog", false, "also emit structural Verilog next to each JSON netlist")
+	flag.Parse()
+
+	specs := gen.TableI()
+	if *mini {
+		specs = experiments.MiniSpecs()
+	}
+	dev := fpga.NewZCU104()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	emitted := 0
+	for _, spec := range specs {
+		if *only != "" && spec.Name != *only {
+			continue
+		}
+		nl, err := gen.Generate(spec, dev)
+		if err != nil {
+			log.Fatalf("%s: %v", spec.Name, err)
+		}
+		path := filepath.Join(*out, spec.Name+".json")
+		if err := nl.SaveFile(path); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		st := nl.Stats()
+		fmt.Printf("%-16s → %s (%d cells, %d nets, %d DSP, %d macros, %.1f MHz)\n",
+			spec.Name, path, nl.NumCells(), st.Nets, st.DSP, st.Macros, spec.FreqMHz)
+		if *emitVerilog {
+			vpath := filepath.Join(*out, spec.Name+".v")
+			if err := verilog.SaveFile(vpath, nl); err != nil {
+				log.Fatalf("%s: %v", vpath, err)
+			}
+			fmt.Printf("%-16s → %s\n", "", vpath)
+		}
+		emitted++
+	}
+	if emitted == 0 {
+		log.Fatalf("no benchmark matched -only=%q", *only)
+	}
+}

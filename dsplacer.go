@@ -1,0 +1,89 @@
+// Package dsplacer is a pure-Go reproduction of "DSPlacer: DSP Placement
+// for FPGA-based CNN Accelerator" (DAC 2025): a datapath-driven DSP
+// placement framework for FPGA CNN accelerators, together with every
+// substrate it needs — a column-heterogeneous UltraScale+ device model, an
+// analytical global placer, a congestion-aware router, a static timing
+// analyzer, a GCN datapath classifier, a min-cost-flow assignment engine
+// and ILP cascade legalization.
+//
+// The quickest path through the API:
+//
+//	dev := dsplacer.NewZCU104()
+//	nl, _ := dsplacer.Generate(dsplacer.SmallSpec(), dev)
+//	res, _ := dsplacer.Run(dev, nl, dsplacer.Config{ClockMHz: 200})
+//	fmt.Printf("WNS %.3f ns, HPWL %.0f\n", res.WNS, res.HPWL)
+//
+// Run executes the full DSPlacer flow of the paper (prototype placement →
+// datapath DSP extraction → iterative MCF placement + ILP legalization →
+// incremental re-placement → routing → timing). RunBaseline provides the
+// Vivado-like and AMF-like comparison flows of Table II.
+package dsplacer
+
+import (
+	"dsplacer/internal/core"
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/gen"
+	"dsplacer/internal/netlist"
+	"dsplacer/internal/placer"
+)
+
+// Re-exported core types: see package core for the full documentation.
+type (
+	// Config tunes a DSPlacer run (λ, η, MCF iterations, rounds, clock).
+	Config = core.Config
+	// Result reports WNS/TNS/HPWL/routed wirelength and the Fig. 8 profile.
+	Result = core.Result
+	// Profile decomposes runtime by flow stage.
+	Profile = core.Profile
+	// Identifier selects datapath DSPs (GCN or oracle).
+	Identifier = core.Identifier
+	// OracleIdentifier uses generator ground-truth labels.
+	OracleIdentifier = core.OracleIdentifier
+	// GCNIdentifier classifies DSPs with a trained GCN model.
+	GCNIdentifier = core.GCNIdentifier
+
+	// Device models a column-heterogeneous FPGA fabric.
+	Device = fpga.Device
+	// DeviceConfig parameterizes NewDevice.
+	DeviceConfig = fpga.Config
+	// Netlist is a pre-implementation design.
+	Netlist = netlist.Netlist
+	// Spec describes a benchmark for the generator.
+	Spec = gen.Spec
+	// Mode selects a baseline placer personality.
+	Mode = placer.Mode
+)
+
+// Baseline placer modes for RunBaseline.
+const (
+	ModeVivado = placer.ModeVivado
+	ModeAMF    = placer.ModeAMF
+)
+
+// Run executes the complete DSPlacer flow on nl. See core.Run.
+func Run(dev *Device, nl *Netlist, cfg Config) (*Result, error) {
+	return core.Run(dev, nl, cfg)
+}
+
+// RunBaseline executes a Vivado-like or AMF-like comparison flow.
+func RunBaseline(dev *Device, nl *Netlist, mode Mode, cfg Config) (*Result, error) {
+	return core.RunBaseline(dev, nl, mode, cfg)
+}
+
+// NewZCU104 builds the ZCU104-like evaluation device (1728 DSP sites).
+func NewZCU104() *Device { return fpga.NewZCU104() }
+
+// NewDevice builds a custom device from a column pattern.
+func NewDevice(cfg DeviceConfig) (*Device, error) { return fpga.NewDevice(cfg) }
+
+// Generate synthesizes a CNN-accelerator benchmark netlist.
+func Generate(spec Spec, dev *Device) (*Netlist, error) { return gen.Generate(spec, dev) }
+
+// TableISpecs returns the paper's five benchmark specifications.
+func TableISpecs() []Spec { return gen.TableI() }
+
+// SmallSpec returns a miniature benchmark for quick starts and tests.
+func SmallSpec() Spec { return gen.Small() }
+
+// LoadNetlist reads a JSON netlist from disk.
+func LoadNetlist(path string) (*Netlist, error) { return netlist.LoadFile(path) }

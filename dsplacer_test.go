@@ -1,0 +1,57 @@
+package dsplacer
+
+import "testing"
+
+// TestPublicAPIEndToEnd exercises the re-exported surface exactly as the
+// README quickstart does.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	dev := NewZCU104()
+	nl, err := Generate(SmallSpec(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{ClockMHz: 200, MCFIterations: 6, Rounds: 1, Seed: 1}
+	res, err := Run(dev, nl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != "dsplacer" || res.HPWL <= 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	base, err := RunBaseline(dev, nl, ModeVivado, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Flow != "vivado" {
+		t.Fatalf("flow=%q", base.Flow)
+	}
+}
+
+func TestTableISpecsComplete(t *testing.T) {
+	specs := TableISpecs()
+	if len(specs) != 5 {
+		t.Fatalf("specs=%d", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		names[s.Name] = true
+		if s.DSP <= 0 || s.FreqMHz <= 0 {
+			t.Fatalf("bad spec %+v", s)
+		}
+	}
+	for _, want := range []string{"iSmartDNN", "SkyNet", "SkrSkr-1", "SkrSkr-2", "SkrSkr-3"} {
+		if !names[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestCustomDevice(t *testing.T) {
+	dev, err := NewDevice(DeviceConfig{Name: "tiny", Pattern: "CCDB", Repeats: 2, RegionRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.NumDSPSites() != 48 {
+		t.Fatalf("sites=%d", dev.NumDSPSites())
+	}
+}

@@ -1,0 +1,40 @@
+// Quickstart: generate a miniature CNN accelerator, run the full DSPlacer
+// flow against the Vivado-like baseline, and print the timing comparison.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsplacer"
+)
+
+func main() {
+	dev := dsplacer.NewZCU104()
+	nl, err := dsplacer.Generate(dsplacer.SmallSpec(), dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := nl.Stats()
+	fmt.Printf("design %q: %d LUT, %d FF, %d DSP (%d cascade macros), %d BRAM\n",
+		nl.Name, st.LUT, st.FF, st.DSP, st.Macros, st.BRAM)
+
+	cfg := dsplacer.Config{ClockMHz: 200, MCFIterations: 10, Rounds: 1, Seed: 1}
+
+	base, err := dsplacer.RunBaseline(dev, nl, dsplacer.ModeVivado, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dsplacer.Run(dev, nl, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-10s %10s %10s %12s\n", "flow", "WNS(ns)", "TNS(ns)", "HPWL")
+	fmt.Printf("%-10s %+10.3f %+10.3f %12.0f\n", base.Flow, base.WNS, base.TNS, base.HPWL)
+	fmt.Printf("%-10s %+10.3f %+10.3f %12.0f\n", res.Flow, res.WNS, res.TNS, res.HPWL)
+	fmt.Printf("\nDSPlacer placed %d datapath DSPs in %.2fs total (DSP placement %.2fs).\n",
+		len(res.DatapathDSPs), res.Profile.Total.Seconds(), res.Profile.DSPPlace.Seconds())
+}

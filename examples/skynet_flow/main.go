@@ -1,0 +1,67 @@
+// SkyNet flow: run the three Table-II flows (Vivado-like, AMF-like,
+// DSPlacer) on the mini-SkyNet benchmark and render each DSP layout, the
+// Fig. 9 comparison in miniature.
+//
+//	go run ./examples/skynet_flow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsplacer"
+	"dsplacer/internal/core"
+	"dsplacer/internal/experiments"
+	"dsplacer/internal/placer"
+	"dsplacer/internal/viz"
+)
+
+func main() {
+	dev := dsplacer.NewZCU104()
+	spec := experiments.MiniSpecs()[1] // mini-SkyNet
+	nl, err := dsplacer.Generate(spec, dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchmark %s @ %.0f MHz: %d cells, %d DSPs\n",
+		spec.Name, spec.FreqMHz, nl.NumCells(), nl.Stats().DSP)
+
+	cfg := dsplacer.Config{ClockMHz: spec.FreqMHz, MCFIterations: 10, Rounds: 1, Seed: 2}
+	datapath := map[int]bool{}
+	ids, _ := core.OracleIdentifier{}.Identify(nl)
+	for _, c := range ids {
+		datapath[c] = true
+	}
+
+	type flow struct {
+		name string
+		run  func() (*dsplacer.Result, error)
+	}
+	flows := []flow{
+		{"vivado", func() (*dsplacer.Result, error) {
+			return dsplacer.RunBaseline(dev, nl, placer.ModeVivado, cfg)
+		}},
+		{"amf", func() (*dsplacer.Result, error) {
+			return dsplacer.RunBaseline(dev, nl, placer.ModeAMF, cfg)
+		}},
+		{"dsplacer", func() (*dsplacer.Result, error) {
+			return dsplacer.Run(dev, nl, cfg)
+		}},
+	}
+	fmt.Printf("\n%-10s %10s %12s %12s %10s\n", "flow", "WNS(ns)", "TNS(ns)", "HPWL", "time(s)")
+	var layouts []string
+	for _, f := range flows {
+		res, err := f.run()
+		if err != nil {
+			log.Fatalf("%s: %v", f.name, err)
+		}
+		fmt.Printf("%-10s %+10.3f %+12.3f %12.0f %10.2f\n",
+			f.name, res.WNS, res.TNS, res.HPWL, res.Profile.Total.Seconds())
+		layouts = append(layouts,
+			fmt.Sprintf("--- %s ---\n%s", f.name, viz.ASCII(dev, nl, res.Pos, datapath, 72, 24)))
+	}
+	fmt.Println()
+	for _, l := range layouts {
+		fmt.Println(l)
+	}
+}

@@ -1,0 +1,63 @@
+// Timing report: place a mini benchmark with DSPlacer, then produce a
+// report_timing-style listing of the worst paths and a routing congestion
+// heatmap — the post-route analysis views an FPGA engineer reads first.
+//
+//	go run ./examples/timing_report
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsplacer"
+	"dsplacer/internal/core"
+	"dsplacer/internal/experiments"
+	"dsplacer/internal/route"
+	"dsplacer/internal/sta"
+	"dsplacer/internal/viz"
+)
+
+func main() {
+	dev := dsplacer.NewZCU104()
+	spec := experiments.MiniSpecs()[0]
+	nl, err := dsplacer.Generate(spec, dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Run(dev, nl, core.Config{
+		ClockMHz: spec.FreqMHz, MCFIterations: 10, Rounds: 1, Seed: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rr := route.Route(dev, nl, res.Pos, route.Options{})
+	timing, err := sta.Analyze(nl, res.Pos, sta.Options{
+		ClockPeriodNs: 1000 / spec.FreqMHz,
+		Congestion:    rr.NetCongestion,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s @ %.0f MHz — WNS %+.3f ns, TNS %+.3f ns\n\n",
+		spec.Name, spec.FreqMHz, timing.WNS, timing.TNS)
+	fmt.Println("worst 5 paths (report_timing style):")
+	for i, p := range timing.TopPaths(5) {
+		fmt.Printf("  #%d slack %+.3f ns:", i+1, p.Slack)
+		for k, c := range p.Cells {
+			if k > 0 {
+				fmt.Print(" →")
+			}
+			fmt.Printf(" %s(%v)", nl.Cells[c].Name, nl.Cells[c].Type)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Print(viz.Heatmap(viz.CongestionMap{
+		NX: rr.GridNX, NY: rr.GridNY, H: rr.HUtil, V: rr.VUtil,
+	}, 60, 20))
+	fmt.Printf("\nrouted wirelength %.0f, %d overflowed edges, max utilization %.2f\n",
+		rr.Wirelength, rr.OverflowEdges, rr.MaxUtilization)
+}

@@ -1,0 +1,3 @@
+module dsplacer
+
+go 1.22

@@ -1,0 +1,507 @@
+// Package assign implements the datapath-driven DSP placement of §IV-A:
+// the 0-1 quadratic assignment of datapath DSP cells to DSP sites (Eq. 7)
+// is linearized around the previous iterate (Eq. 9, the TILA-style
+// heuristic) and each iterate is solved exactly as a min-cost bipartite
+// flow, whose total unimodularity guarantees an integral assignment. The
+// soft datapath constraint (Eq. 6) enters as the λ·cos-angle penalty and
+// the cascade constraint (Eq. 5) as the η adjacency reward.
+package assign
+
+import (
+	"fmt"
+	"sort"
+
+	"dsplacer/internal/dspgraph"
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/geom"
+	"dsplacer/internal/mcmf"
+	"dsplacer/internal/netlist"
+)
+
+// Problem bundles the inputs of one datapath DSP placement pass.
+type Problem struct {
+	Device  *fpga.Device
+	Netlist *netlist.Netlist
+	// Graph is the (filtered) datapath DSP graph; its edges carry the
+	// λ-penalty direction information.
+	Graph *dspgraph.Graph
+	// DSPs lists the datapath DSP cell ids to place (the set N of Eq. 4).
+	DSPs []int
+	// Pos holds the current location of every netlist cell; non-datapath
+	// cells act as fixed anchors during this pass (Eq. 7: their assignment
+	// variables are constant).
+	Pos []geom.Point
+
+	// Lambda weighs the datapath cos-angle penalty (paper: 100).
+	Lambda float64
+	// Eta rewards cascade-adjacent site choices (relaxation of Eq. 5).
+	Eta float64
+	// Iterations bounds the linearize-and-solve loop (paper: 50).
+	Iterations int
+	// Candidates is the per-DSP candidate site count; the bipartite graph
+	// is grown automatically if a perfect assignment needs more.
+	Candidates int
+	// Stability weighs a proximal term pulling each DSP toward its
+	// previous-iterate position; it grows linearly with the iteration
+	// number, damping the oscillations the pure linearization can produce.
+	Stability float64
+	// ConvergedFrac stops the iteration once the fraction of DSPs whose
+	// site changed falls to or below this threshold (default 0.01). A few
+	// stragglers trading equivalent sites back and forth do not improve
+	// the objective; stopping early keeps the Fig. 8 runtime profile in
+	// line with the paper's fast C++ MCF.
+	ConvergedFrac float64
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	// SiteOf maps each datapath DSP cell id to an index into
+	// Device.DSPSites().
+	SiteOf map[int]int
+	// Iterations actually executed and whether the fixed point was reached
+	// before the budget.
+	Iterations int
+	Converged  bool
+	// Cost is the final linearized flow cost (diagnostic only).
+	Cost float64
+}
+
+func (p *Problem) withDefaults() *Problem {
+	q := *p
+	if q.Lambda == 0 {
+		q.Lambda = 100
+	}
+	if q.Eta == 0 {
+		q.Eta = 50
+	}
+	if q.Iterations == 0 {
+		q.Iterations = 50
+	}
+	if q.Candidates == 0 {
+		q.Candidates = 24
+	}
+	if q.Stability == 0 {
+		q.Stability = 0.5
+	}
+	if q.ConvergedFrac == 0 {
+		q.ConvergedFrac = 0.01
+	}
+	return &q
+}
+
+// neighbor is one wirelength attraction acting on a DSP.
+type neighbor struct {
+	cell   int
+	weight float64
+}
+
+// Solve runs the iterative linearized assignment.
+func Solve(p *Problem) (*Result, error) {
+	p = p.withDefaults()
+	sites := p.Device.DSPSites()
+	M := len(sites)
+	N := len(p.DSPs)
+	if N == 0 {
+		return &Result{SiteOf: map[int]int{}, Converged: true}, nil
+	}
+	if N > M {
+		return nil, fmt.Errorf("assign: %d DSPs exceed %d device sites", N, M)
+	}
+	if len(p.Pos) != p.Netlist.NumCells() {
+		return nil, fmt.Errorf("assign: Pos has %d entries, want %d", len(p.Pos), p.Netlist.NumCells())
+	}
+
+	locs := make([]geom.Point, M)
+	for j, s := range sites {
+		locs[j] = p.Device.Loc(s)
+	}
+
+	idx := make(map[int]int, N) // cell id → dense dsp index
+	for i, c := range p.DSPs {
+		idx[c] = i
+	}
+
+	// Wirelength neighbors per datapath DSP, from the netlist's driver→sink
+	// edges (the E term of Eq. 7).
+	nbrs := make([][]neighbor, N)
+	addNbr := func(dspCell, other int, w float64) {
+		if i, ok := idx[dspCell]; ok && dspCell != other {
+			nbrs[i] = append(nbrs[i], neighbor{cell: other, weight: w})
+		}
+	}
+	for _, n := range p.Netlist.Nets {
+		for _, s := range n.Sinks {
+			addNbr(n.Driver, s, n.Weight)
+			addNbr(s, n.Driver, n.Weight)
+		}
+	}
+
+	// Datapath-graph roles for the λ penalty: +λ for predecessors,
+	// −λ for successors of each datapath edge (Eq. 6 direction).
+	lambdaCoeff := make([]float64, N)
+	for _, e := range p.Graph.Edges {
+		if i, ok := idx[e.From]; ok {
+			lambdaCoeff[i] += p.Lambda
+		}
+		if i, ok := idx[e.To]; ok {
+			lambdaCoeff[i] -= p.Lambda
+		}
+	}
+	psCorner := p.Device.PSCorner()
+	cosOf := make([]float64, M)
+	for j := range locs {
+		cosOf[j] = locs[j].Sub(psCorner).CosAngle()
+	}
+
+	// Previous-iterate positions start from the global-placement locations.
+	prevPos := make([]geom.Point, N)
+	for i, c := range p.DSPs {
+		prevPos[i] = p.Pos[c]
+	}
+	prevSite := make([]int, N)
+	for i := range prevSite {
+		prevSite[i] = -1
+	}
+
+	// Macro chains wholly inside the datapath set, as dense-index lists in
+	// cascade order. The η penalty pulls each member toward a "ladder"
+	// position derived from the macro centroid, a coherent relaxation of
+	// the pairwise Eq. 5 penalty.
+	var macros [][]int
+	for _, m := range p.Netlist.Macros {
+		chain := make([]int, 0, len(m))
+		for _, cid := range m {
+			if di, ok := idx[cid]; ok {
+				chain = append(chain, di)
+			} else {
+				chain = nil
+				break
+			}
+		}
+		if len(chain) >= 2 {
+			macros = append(macros, chain)
+		}
+	}
+	// cascTarget[i] is recomputed each iteration (nil when i is unconstrained).
+	cascTarget := make([]*geom.Point, N)
+	nominalPitch := 1.0
+	if cols := p.Device.ColumnsOf(fpga.DSPRes); len(cols) > 0 {
+		nominalPitch = p.Device.Columns[cols[0]].YPitch
+	}
+	updateCascTargets := func() {
+		for i := range cascTarget {
+			cascTarget[i] = nil
+		}
+		for _, chain := range macros {
+			var c geom.Point
+			for _, di := range chain {
+				c = c.Add(prevPos[di])
+			}
+			c = c.Scale(1 / float64(len(chain)))
+			mid := float64(len(chain)-1) / 2
+			for rank, di := range chain {
+				t := geom.Point{X: c.X, Y: c.Y + (float64(rank)-mid)*nominalPitch}
+				tt := t
+				cascTarget[di] = &tt
+			}
+		}
+	}
+
+	res := &Result{SiteOf: make(map[int]int, N)}
+	kCand := p.Candidates
+	var prevPrev []int // assignment two iterations ago, for 2-cycle detection
+
+	for iter := 1; iter <= p.Iterations; iter++ {
+		updateCascTargets()
+		assignment, cost, err := solveOnce(p, locs, cosOf,
+			nbrs, lambdaCoeff, prevPos, prevSite, cascTarget, kCand, idx, iter)
+		if err != nil {
+			return nil, err
+		}
+		res.Cost = cost
+		res.Iterations = iter
+		changed := 0
+		cycle := prevPrev != nil
+		for i, j := range assignment {
+			if prevSite[i] != j {
+				changed++
+			}
+			if cycle && prevPrev[i] != j {
+				cycle = false
+			}
+		}
+		prevPrev = append(prevPrev[:0], prevSite...)
+		for i, j := range assignment {
+			prevSite[i] = j
+			prevPos[i] = locs[j]
+		}
+		if float64(changed) <= p.ConvergedFrac*float64(N) || cycle {
+			// Fixed point (within tolerance), or a period-2 oscillation of
+			// the linearization — both mean no useful progress remains.
+			res.Converged = true
+			break
+		}
+	}
+	for i, c := range p.DSPs {
+		res.SiteOf[c] = prevSite[i]
+	}
+	return res, nil
+}
+
+// solveOnce builds and solves one linearized min-cost-flow assignment.
+func solveOnce(p *Problem, locs []geom.Point, cosOf []float64,
+	nbrs [][]neighbor, lambdaCoeff []float64, prevPos []geom.Point,
+	prevSite []int, cascTarget []*geom.Point, kCand int, idx map[int]int, iter int) ([]int, float64, error) {
+
+	N := len(p.DSPs)
+	M := len(locs)
+
+	for ; ; kCand *= 2 {
+		if kCand > M {
+			kCand = M
+		}
+		cands := candidateSites(p, locs, nbrs, prevPos, cascTarget, kCand, idx)
+		// Bipartite flow: 0 = source, 1..N = DSPs, N+1..N+M = sites, N+M+1 = sink.
+		g := mcmf.NewGraph(N + M + 2)
+		src, sink := 0, N+M+1
+		type arc struct {
+			ref  mcmf.EdgeRef
+			dsp  int
+			site int
+		}
+		var arcs []arc
+		usedSite := make(map[int]bool)
+		for i := 0; i < N; i++ {
+			g.AddEdge(src, 1+i, 1, 0)
+			for _, j := range cands[i] {
+				c := edgeCost(p, i, j, locs, cosOf, nbrs, lambdaCoeff,
+					prevPos, cascTarget, idx, iter)
+				ref := g.AddEdge(1+i, 1+N+j, 1, c)
+				arcs = append(arcs, arc{ref: ref, dsp: i, site: j})
+				if !usedSite[j] {
+					usedSite[j] = true
+					g.AddEdge(1+N+j, sink, 1, 0)
+				}
+			}
+		}
+		flow, cost := g.MinCostFlow(src, sink, int64(N))
+		if flow == int64(N) {
+			assignment := make([]int, N)
+			for i := range assignment {
+				assignment[i] = -1
+			}
+			for _, a := range arcs {
+				if g.Flow(a.ref) == 1 {
+					assignment[a.dsp] = a.site
+				}
+			}
+			for i, j := range assignment {
+				if j < 0 {
+					return nil, 0, fmt.Errorf("assign: DSP %d unassigned despite full flow", p.DSPs[i])
+				}
+			}
+			return assignment, cost, nil
+		}
+		if kCand == M {
+			return nil, 0, fmt.Errorf("assign: no perfect assignment with full candidate set (flow %d < %d)", flow, N)
+		}
+	}
+}
+
+// candidateSites selects, per DSP, the k sites nearest to the wirelength
+// centroid of its anchors, merged with sites near its previous position and
+// near its cascade target, so the iterate can both exploit and stay stable.
+func candidateSites(p *Problem, locs []geom.Point, nbrs [][]neighbor,
+	prevPos []geom.Point, cascTarget []*geom.Point, k int, idx map[int]int) [][]int {
+
+	N := len(p.DSPs)
+	M := len(locs)
+	if k > M {
+		k = M
+	}
+	out := make([][]int, N)
+	for i := 0; i < N; i++ {
+		target := centroid(p, i, nbrs, prevPos, idx)
+		sets := [][]int{
+			nearestSites(locs, target, k),
+			nearestSites(locs, prevPos[i], k/2+1),
+		}
+		if ct := cascTarget[i]; ct != nil {
+			sets = append(sets, nearestSites(locs, *ct, k/2+1))
+		}
+		seen := make(map[int]bool, 2*k)
+		for _, set := range sets {
+			for _, j := range set {
+				if !seen[j] {
+					seen[j] = true
+					out[i] = append(out[i], j)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// centroid returns the weighted mean location of a DSP's anchors; datapath
+// DSP neighbors contribute their previous-iterate positions.
+func centroid(p *Problem, i int, nbrs [][]neighbor, prevPos []geom.Point, idx map[int]int) geom.Point {
+	var sum geom.Point
+	var w float64
+	for _, nb := range nbrs[i] {
+		var at geom.Point
+		if di, ok := idx[nb.cell]; ok {
+			at = prevPos[di]
+		} else {
+			at = p.Pos[nb.cell]
+		}
+		sum = sum.Add(at.Scale(nb.weight))
+		w += nb.weight
+	}
+	if w == 0 {
+		return prevPos[i]
+	}
+	return sum.Scale(1 / w)
+}
+
+// nearestSites returns the indices of the k sites closest to target.
+func nearestSites(locs []geom.Point, target geom.Point, k int) []int {
+	if k >= len(locs) {
+		all := make([]int, len(locs))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	type ds struct {
+		j int
+		d float64
+	}
+	arr := make([]ds, len(locs))
+	for j, l := range locs {
+		arr[j] = ds{j: j, d: l.Manhattan(target)}
+	}
+	sort.Slice(arr, func(a, b int) bool {
+		if arr[a].d != arr[b].d {
+			return arr[a].d < arr[b].d
+		}
+		return arr[a].j < arr[b].j
+	})
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = arr[i].j
+	}
+	return out
+}
+
+// edgeCost evaluates the linearized per-assignment cost of putting dense
+// DSP i on site j.
+func edgeCost(p *Problem, i, j int, locs []geom.Point, cosOf []float64,
+	nbrs [][]neighbor, lambdaCoeff []float64, prevPos []geom.Point,
+	cascTarget []*geom.Point, idx map[int]int, iter int) float64 {
+
+	lj := locs[j]
+	cost := 0.0
+	// Quadratic wirelength term, linearized: squared distance to each
+	// anchor (fixed cells at their placement, datapath DSPs at the
+	// previous iterate).
+	for _, nb := range nbrs[i] {
+		var at geom.Point
+		if di, ok := idx[nb.cell]; ok {
+			at = prevPos[di]
+		} else {
+			at = p.Pos[nb.cell]
+		}
+		dx := lj.X - at.X
+		dy := lj.Y - at.Y
+		cost += nb.weight * (dx*dx + dy*dy)
+	}
+	// Datapath angle penalty (Eq. 6): predecessors pay +λ·cosθ, successors
+	// −λ·cosθ, steering the flow from above the PS toward its right.
+	cost += lambdaCoeff[i] * cosOf[j]
+	// Cascade penalty (relaxed Eq. 5): pull toward the macro's centroid
+	// ladder position for this member's cascade rank.
+	if ct := cascTarget[i]; ct != nil {
+		dx := lj.X - ct.X
+		dy := lj.Y - ct.Y
+		cost += p.Eta * (dx*dx + dy*dy)
+	}
+	// Proximal damping: a growing pull toward the previous iterate keeps
+	// the linearization from oscillating between symmetric optima.
+	{
+		d := lj.Manhattan(prevPos[i])
+		cost += p.Stability * float64(iter) * d * d
+	}
+	return cost
+}
+
+// Objective evaluates the true (un-linearized) Eq. 7 objective of an
+// assignment: quadratic wirelength + λ datapath penalty + η cascade
+// violation penalty. Used by tests and the ablation benches.
+func Objective(p *Problem, siteOf map[int]int) float64 {
+	pp := p.withDefaults()
+	sites := pp.Device.DSPSites()
+	locAt := func(cell int) geom.Point {
+		if j, ok := siteOf[cell]; ok {
+			return pp.Device.Loc(sites[j])
+		}
+		return pp.Pos[cell]
+	}
+	inSet := make(map[int]bool, len(pp.DSPs))
+	for _, c := range pp.DSPs {
+		inSet[c] = true
+	}
+	obj := 0.0
+	for _, n := range pp.Netlist.Nets {
+		for _, s := range n.Sinks {
+			if !inSet[n.Driver] && !inSet[s] {
+				continue
+			}
+			a, b := locAt(n.Driver), locAt(s)
+			dx, dy := a.X-b.X, a.Y-b.Y
+			obj += n.Weight * (dx*dx + dy*dy)
+		}
+	}
+	psCorner := pp.Device.PSCorner()
+	for _, e := range pp.Graph.Edges {
+		if !inSet[e.From] || !inSet[e.To] {
+			continue
+		}
+		cp := locAt(e.From).Sub(psCorner).CosAngle()
+		cs := locAt(e.To).Sub(psCorner).CosAngle()
+		obj += pp.Lambda * (cp - cs)
+	}
+	for _, c := range pp.Netlist.CascadePairs() {
+		if !inSet[c[0]] || !inSet[c[1]] {
+			continue
+		}
+		jp, okP := siteOf[c[0]]
+		js, okS := siteOf[c[1]]
+		if !okP || !okS {
+			continue
+		}
+		sp, ss := sites[jp], sites[js]
+		if !(sp.Col == ss.Col && ss.Row == sp.Row+1) {
+			obj += pp.Eta
+		}
+	}
+	return obj
+}
+
+// Violations counts cascade pairs whose sites are not vertically adjacent
+// in one column — the violations the legalizer must repair.
+func Violations(dev *fpga.Device, nl *netlist.Netlist, siteOf map[int]int) int {
+	sites := dev.DSPSites()
+	v := 0
+	for _, c := range nl.CascadePairs() {
+		jp, okP := siteOf[c[0]]
+		js, okS := siteOf[c[1]]
+		if !okP || !okS {
+			continue
+		}
+		sp, ss := sites[jp], sites[js]
+		if !(sp.Col == ss.Col && ss.Row == sp.Row+1) {
+			v++
+		}
+	}
+	return v
+}

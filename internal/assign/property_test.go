@@ -1,0 +1,107 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dsplacer/internal/dspgraph"
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
+)
+
+// TestSolveRandomPerfectMatching: for random problems the result is always
+// a perfect matching of DSPs to distinct valid sites, regardless of λ/η.
+func TestSolveRandomPerfectMatching(t *testing.T) {
+	dev, err := fpga.NewDevice(fpga.Config{Name: "pr", Pattern: "CCD", Repeats: 3, RegionRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := netlist.New("pr")
+		a0 := nl.AddFixedCell("a0", netlist.IO, geom.Point{X: rng.Float64() * dev.Width, Y: rng.Float64() * dev.Height})
+		nDSP := 1 + rng.Intn(dev.NumDSPSites()/2)
+		var ids []int
+		prev := a0.ID
+		for i := 0; i < nDSP; i++ {
+			d := nl.AddCell("d", netlist.DSP)
+			d.DatapathTruth = true
+			nl.AddNet("n", prev, d.ID)
+			prev = d.ID
+			ids = append(ids, d.ID)
+		}
+		// Random macro over a prefix.
+		if nDSP >= 3 && rng.Float64() < 0.5 {
+			nl.AddMacro(ids[:3])
+		}
+		pos := make([]geom.Point, nl.NumCells())
+		for i := range pos {
+			pos[i] = geom.Point{X: rng.Float64() * dev.Width, Y: rng.Float64() * dev.Height}
+		}
+		dg := dspgraph.Build(nl, dspgraph.Config{})
+		res, err := Solve(&Problem{
+			Device: dev, Netlist: nl, Graph: dg, DSPs: ids, Pos: pos,
+			Lambda: rng.Float64() * 200, Eta: rng.Float64() * 100,
+			Iterations: 1 + rng.Intn(6), Candidates: 4 + rng.Intn(10),
+		})
+		if err != nil {
+			return false
+		}
+		if len(res.SiteOf) != nDSP {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, j := range res.SiteOf {
+			if j < 0 || j >= dev.NumDSPSites() || seen[j] {
+				return false
+			}
+			seen[j] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCandidateGrowthFallback forces a tiny candidate budget on a crowded
+// device; the automatic doubling must still find a perfect assignment.
+func TestCandidateGrowthFallback(t *testing.T) {
+	dev, err := fpga.NewDevice(fpga.Config{Name: "cg", Pattern: "CD", Repeats: 1, RegionRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	M := dev.NumDSPSites()
+	nl := netlist.New("cg")
+	anchor := nl.AddFixedCell("a", netlist.IO, geom.Point{X: 1, Y: 1})
+	var ids []int
+	for i := 0; i < M; i++ { // every site needed
+		d := nl.AddCell("d", netlist.DSP)
+		nl.AddNet("n", anchor.ID, d.ID)
+		ids = append(ids, d.ID)
+	}
+	pos := make([]geom.Point, nl.NumCells())
+	for i := range pos {
+		pos[i] = geom.Point{X: 1, Y: 1} // all stacked at one corner
+	}
+	dg := dspgraph.Build(nl, dspgraph.Config{})
+	res, err := Solve(&Problem{
+		Device: dev, Netlist: nl, Graph: dg, DSPs: ids, Pos: pos,
+		Iterations: 3, Candidates: 2, // deliberately far too few
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, j := range res.SiteOf {
+		if seen[j] {
+			t.Fatal("duplicate site")
+		}
+		seen[j] = true
+	}
+	if len(seen) != M {
+		t.Fatalf("matched %d of %d", len(seen), M)
+	}
+}

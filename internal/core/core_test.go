@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"dsplacer/internal/features"
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/gcn"
+	"dsplacer/internal/gen"
+	"dsplacer/internal/netlist"
+	"dsplacer/internal/placer"
+)
+
+func miniSetup(t *testing.T) (*fpga.Device, *netlist.Netlist) {
+	t.Helper()
+	dev := fpga.NewZCU104()
+	nl, err := gen.Generate(gen.Small(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, nl
+}
+
+func TestOracleIdentifier(t *testing.T) {
+	_, nl := miniSetup(t)
+	ids, err := OracleIdentifier{}.Identify(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 {
+		t.Fatal("no datapath DSPs found")
+	}
+	for _, c := range ids {
+		if !nl.Cells[c].DatapathTruth {
+			t.Fatalf("cell %d not datapath", c)
+		}
+	}
+}
+
+func TestRunDSPlacerFlow(t *testing.T) {
+	dev, nl := miniSetup(t)
+	cfg := Config{ClockMHz: gen.Small().FreqMHz, MCFIterations: 8, Rounds: 1, Seed: 1}
+	res, err := Run(dev, nl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != "dsplacer" {
+		t.Fatalf("flow=%q", res.Flow)
+	}
+	if len(res.Pos) != nl.NumCells() {
+		t.Fatal("positions missing")
+	}
+	// All DSPs placed on distinct sites.
+	seen := map[int]bool{}
+	for _, c := range nl.CellsOfType(netlist.DSP) {
+		j, ok := res.SiteOfDSP[c]
+		if !ok {
+			t.Fatalf("DSP %d unplaced", c)
+		}
+		if seen[j] {
+			t.Fatalf("site %d reused", j)
+		}
+		seen[j] = true
+	}
+	// Cascade legality survives the full flow.
+	sites := dev.DSPSites()
+	for _, pair := range nl.CascadePairs() {
+		sp := sites[res.SiteOfDSP[pair[0]]]
+		ss := sites[res.SiteOfDSP[pair[1]]]
+		if sp.Col != ss.Col || ss.Row != sp.Row+1 {
+			t.Fatalf("cascade %v broken", pair)
+		}
+	}
+	if res.HPWL <= 0 || res.RoutedWL <= 0 {
+		t.Fatalf("metrics missing: %+v", res)
+	}
+	if res.Profile.Total <= 0 || res.Profile.DSPPlace <= 0 {
+		t.Fatalf("profile missing: %+v", res.Profile)
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	dev, nl := miniSetup(t)
+	cfg := Config{ClockMHz: gen.Small().FreqMHz, Seed: 2}
+	for _, mode := range []placer.Mode{placer.ModeVivado, placer.ModeAMF} {
+		res, err := RunBaseline(dev, nl, mode, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Flow != mode.String() {
+			t.Fatalf("flow=%q", res.Flow)
+		}
+		if res.RoutedWL <= 0 {
+			t.Fatalf("%v: no routed wirelength", mode)
+		}
+	}
+}
+
+func TestWeightsRestoredAfterRun(t *testing.T) {
+	dev, nl := miniSetup(t)
+	before := make([]float64, len(nl.Nets))
+	for i, n := range nl.Nets {
+		before[i] = n.Weight
+	}
+	_, err := Run(dev, nl, Config{ClockMHz: 150, MCFIterations: 4, Rounds: 1, TimingDriven: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range nl.Nets {
+		if n.Weight != before[i] {
+			t.Fatalf("net %d weight leaked: %v vs %v", i, n.Weight, before[i])
+		}
+	}
+}
+
+func TestGCNIdentifierEndToEnd(t *testing.T) {
+	dev := fpga.NewZCU104()
+	spec := gen.Small()
+	nl, err := gen.Generate(spec, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := features.Config{Seed: 5}
+	sample, err := BuildSample(nl, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gcn.Defaults(features.NumFeatures)
+	cfg.Epochs = 60
+	model, _ := gcn.Train(cfg, []*gcn.Sample{sample}, sample)
+	id := &GCNIdentifier{Model: model, FeatureCfg: fcfg}
+	got, err := id.Identify(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("GCN identified no datapath DSPs")
+	}
+	// Training on the same graph should reach high precision/recall.
+	truth := map[int]bool{}
+	for _, c := range nl.CellsOfType(netlist.DSP) {
+		truth[c] = nl.Cells[c].DatapathTruth
+	}
+	hit := 0
+	for _, c := range got {
+		if truth[c] {
+			hit++
+		}
+	}
+	if float64(hit)/float64(len(got)) < 0.8 {
+		t.Fatalf("precision %d/%d too low", hit, len(got))
+	}
+}
+
+func TestGCNIdentifierNilModel(t *testing.T) {
+	_, nl := miniSetup(t)
+	id := &GCNIdentifier{}
+	if _, err := id.Identify(nl); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}
+
+func TestRunRSADFlow(t *testing.T) {
+	dev, nl := miniSetup(t)
+	res, err := RunRSAD(dev, nl, Config{ClockMHz: gen.Small().FreqMHz, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != "rsad" {
+		t.Fatalf("flow=%q", res.Flow)
+	}
+	// All DSPs on distinct sites, cascades legal (the lattice guarantees it).
+	sites := dev.DSPSites()
+	seen := map[int]bool{}
+	for _, c := range nl.CellsOfType(netlist.DSP) {
+		j, ok := res.SiteOfDSP[c]
+		if !ok || seen[j] {
+			t.Fatalf("DSP %d bad site", c)
+		}
+		seen[j] = true
+	}
+	for _, pair := range nl.CascadePairs() {
+		sp := sites[res.SiteOfDSP[pair[0]]]
+		ss := sites[res.SiteOfDSP[pair[1]]]
+		if sp.Col != ss.Col || ss.Row != sp.Row+1 {
+			t.Fatalf("cascade %v broken", pair)
+		}
+	}
+	if res.RoutedWL <= 0 || res.Profile.Total <= 0 {
+		t.Fatalf("metrics missing: %+v", res)
+	}
+}

@@ -1,0 +1,257 @@
+// Package detailed implements detailed placement: a legality-preserving
+// local refinement pass that runs after legalization, reducing HPWL by
+// relocating CLB-class cells (LUT, LUTRAM-as-logic is excluded — it sits on
+// its own sites — so: LUT, FF, CARRY) into nearby free slots or swapping
+// them with nearby cells. Commercial flows always follow global placement
+// and legalization with such a pass; the baselines and DSPlacer's
+// incremental loop can both enable it through placer options.
+package detailed
+
+import (
+	"math/rand"
+	"sort"
+
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
+)
+
+// Options tunes refinement.
+type Options struct {
+	// Passes over all movable cells (default 1).
+	Passes int
+	// WindowCols/WindowRows bound the candidate site window around each
+	// cell (defaults 2 columns, 4 rows in each direction).
+	WindowCols, WindowRows int
+	Seed                   int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Passes == 0 {
+		o.Passes = 1
+	}
+	if o.WindowCols == 0 {
+		o.WindowCols = 2
+	}
+	if o.WindowRows == 0 {
+		o.WindowRows = 4
+	}
+	return o
+}
+
+// movable reports whether detailed placement may touch cells of type t.
+// DSPs and BRAMs stay where legalization put them (DSP positions are the
+// paper's result; moving them here would undo it).
+func movable(t netlist.CellType) bool {
+	switch t {
+	case netlist.LUT, netlist.FF, netlist.Carry, netlist.LUTRAM:
+		return true
+	}
+	return false
+}
+
+// Refine improves pos in place and returns the total HPWL gain (positive =
+// improvement). Capacity legality on CLB sites is preserved exactly.
+func Refine(dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point, opt Options) float64 {
+	opt = opt.withDefaults()
+
+	// CLB site geometry.
+	cols := dev.ColumnsOf(fpga.CLB)
+	if len(cols) == 0 {
+		return 0
+	}
+	colX := make([]float64, len(cols))
+	for k, ci := range cols {
+		colX[k] = dev.Columns[ci].X
+	}
+	pitch := dev.Columns[cols[0]].YPitch
+	numRows := dev.Columns[cols[0]].NumSites
+	capacity := dev.Columns[cols[0]].Capacity
+
+	// colOf maps a column x to its index in cols.
+	colOf := make(map[float64]int, len(cols))
+	for k, x := range colX {
+		colOf[x] = k
+	}
+
+	// Occupancy: cells per (col, row).
+	type siteKey struct{ col, row int }
+	occ := make(map[siteKey][]int)
+	var ids []int
+	for i, c := range nl.Cells {
+		if c.Fixed || !movable(c.Type) {
+			continue
+		}
+		k, ok := colOf[pos[i].X]
+		if !ok {
+			continue // not on a CLB site (unplaced or other resource)
+		}
+		row := int(pos[i].Y/pitch + 0.5)
+		if row < 0 || row >= numRows {
+			continue
+		}
+		occ[siteKey{k, row}] = append(occ[siteKey{k, row}], i)
+		ids = append(ids, i)
+	}
+	if len(ids) == 0 {
+		return 0
+	}
+
+	// Nets per cell for delta evaluation.
+	netsOf := make([][]*netlist.Net, nl.NumCells())
+	for _, n := range nl.Nets {
+		for _, p := range n.Pins() {
+			netsOf[p] = append(netsOf[p], n)
+		}
+	}
+	hpwlOf := func(n *netlist.Net) float64 {
+		r := geom.EmptyRect()
+		r = r.Expand(pos[n.Driver])
+		for _, s := range n.Sinks {
+			r = r.Expand(pos[s])
+		}
+		return r.HalfPerimeter() * n.Weight
+	}
+	// cost of the union of both cells' nets (deduplicated by net id).
+	costAround := func(a, b int) float64 {
+		total := 0.0
+		seen := map[int]bool{}
+		for _, n := range netsOf[a] {
+			if !seen[n.ID] {
+				seen[n.ID] = true
+				total += hpwlOf(n)
+			}
+		}
+		if b >= 0 {
+			for _, n := range netsOf[b] {
+				if !seen[n.ID] {
+					seen[n.ID] = true
+					total += hpwlOf(n)
+				}
+			}
+		}
+		return total
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed + 3))
+	gain := 0.0
+	for pass := 0; pass < opt.Passes; pass++ {
+		order := rng.Perm(len(ids))
+		for _, oi := range order {
+			c := ids[oi]
+			curK := colOf[pos[c].X]
+			curRow := int(pos[c].Y/pitch + 0.5)
+			cur := siteKey{curK, curRow}
+
+			bestDelta := -1e-9 // only strictly improving moves
+			bestTarget := siteKey{-1, -1}
+			bestSwap := -1
+			for dk := -opt.WindowCols; dk <= opt.WindowCols; dk++ {
+				tk := curK + dk
+				if tk < 0 || tk >= len(cols) {
+					continue
+				}
+				for dr := -opt.WindowRows; dr <= opt.WindowRows; dr++ {
+					tr := curRow + dr
+					if tr < 0 || tr >= numRows {
+						continue
+					}
+					tgt := siteKey{tk, tr}
+					if tgt == cur {
+						continue
+					}
+					tgtPos := geom.Point{X: colX[tk], Y: float64(tr) * pitch}
+					if len(occ[tgt]) < capacity {
+						// Free-slot move.
+						before := costAround(c, -1)
+						old := pos[c]
+						pos[c] = tgtPos
+						delta := costAround(c, -1) - before
+						pos[c] = old
+						if delta < bestDelta {
+							bestDelta = delta
+							bestTarget = tgt
+							bestSwap = -1
+						}
+					} else {
+						// Swap with the first resident (cheap heuristic).
+						o := occ[tgt][0]
+						if o == c {
+							continue
+						}
+						before := costAround(c, o)
+						oldC, oldO := pos[c], pos[o]
+						pos[c], pos[o] = oldO, oldC
+						delta := costAround(c, o) - before
+						pos[c], pos[o] = oldC, oldO
+						if delta < bestDelta {
+							bestDelta = delta
+							bestTarget = tgt
+							bestSwap = o
+						}
+					}
+				}
+			}
+			if bestTarget.col < 0 {
+				continue
+			}
+			tgtPos := geom.Point{X: colX[bestTarget.col], Y: float64(bestTarget.row) * pitch}
+			if bestSwap < 0 {
+				pos[c] = tgtPos
+				occ[cur] = remove(occ[cur], c)
+				occ[bestTarget] = append(occ[bestTarget], c)
+			} else {
+				pos[c], pos[bestSwap] = pos[bestSwap], pos[c]
+				occ[cur] = remove(occ[cur], c)
+				occ[bestTarget] = remove(occ[bestTarget], bestSwap)
+				occ[cur] = append(occ[cur], bestSwap)
+				occ[bestTarget] = append(occ[bestTarget], c)
+			}
+			gain += -bestDelta
+		}
+	}
+	return gain
+}
+
+func remove(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// CheckCapacity verifies that no CLB site holds more than its capacity;
+// used by tests and integration checks.
+func CheckCapacity(dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point) (worst int, ok bool) {
+	cols := dev.ColumnsOf(fpga.CLB)
+	if len(cols) == 0 {
+		return 0, true
+	}
+	capacity := dev.Columns[cols[0]].Capacity
+	load := map[geom.Point]int{}
+	for i, c := range nl.Cells {
+		if !c.Fixed && movable(c.Type) {
+			load[pos[i]]++
+		}
+	}
+	keys := make([]geom.Point, 0, len(load))
+	for k := range load {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].X != keys[b].X {
+			return keys[a].X < keys[b].X
+		}
+		return keys[a].Y < keys[b].Y
+	})
+	worst = 0
+	for _, k := range keys {
+		if load[k] > worst {
+			worst = load[k]
+		}
+	}
+	return worst, worst <= capacity
+}

@@ -1,0 +1,134 @@
+// Package drc checks placement design rules: every cell on a site of its
+// resource type, per-site capacity respected, DSP sites uniquely assigned,
+// cascade macros on consecutive sites of one column, fixed cells untouched.
+// It is the single source of truth the integration tests (and users
+// validating external placements) run against.
+package drc
+
+import (
+	"fmt"
+
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
+)
+
+// Violation is one design-rule failure.
+type Violation struct {
+	Rule string
+	Cell int // -1 when not cell-specific
+	Msg  string
+}
+
+func (v Violation) String() string {
+	if v.Cell >= 0 {
+		return fmt.Sprintf("%s (cell %d): %s", v.Rule, v.Cell, v.Msg)
+	}
+	return fmt.Sprintf("%s: %s", v.Rule, v.Msg)
+}
+
+// Check validates the placement and returns every violation found (empty =
+// clean). siteOfDSP may be nil when only position rules should be checked.
+func Check(dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point, siteOfDSP map[int]int) []Violation {
+	var out []Violation
+	add := func(rule string, cell int, format string, args ...interface{}) {
+		out = append(out, Violation{Rule: rule, Cell: cell, Msg: fmt.Sprintf(format, args...)})
+	}
+	if len(pos) != nl.NumCells() {
+		add("positions", -1, "%d positions for %d cells", len(pos), nl.NumCells())
+		return out
+	}
+
+	// Column lookup by x coordinate.
+	colAt := make(map[float64]*fpga.Column, len(dev.Columns))
+	for i := range dev.Columns {
+		colAt[dev.Columns[i].X] = &dev.Columns[i]
+	}
+	resFor := func(t netlist.CellType) (fpga.Resource, bool) {
+		switch t {
+		case netlist.LUT, netlist.LUTRAM, netlist.FF, netlist.Carry:
+			return fpga.CLB, true
+		case netlist.DSP:
+			return fpga.DSPRes, true
+		case netlist.BRAM:
+			return fpga.BRAMRes, true
+		}
+		return 0, false // IO/PSPort are fixed, not site-bound
+	}
+
+	// Per-site load for capacity rules.
+	type key struct {
+		x   float64
+		row int
+	}
+	load := make(map[key]int)
+
+	for i, c := range nl.Cells {
+		p := pos[i]
+		if c.Fixed {
+			if p != c.FixedAt {
+				add("fixed", i, "fixed cell moved from %v to %v", c.FixedAt, p)
+			}
+			continue
+		}
+		res, bound := resFor(c.Type)
+		if !bound {
+			continue
+		}
+		col, ok := colAt[p.X]
+		if !ok || col.Res != res {
+			add("resource", i, "%v cell at x=%v is not on a %v column", c.Type, p.X, res)
+			continue
+		}
+		rowF := p.Y / col.YPitch
+		row := int(rowF + 0.5)
+		if diff := rowF - float64(row); diff > 1e-6 || diff < -1e-6 {
+			add("grid", i, "y=%v not on the %v site grid (pitch %v)", p.Y, res, col.YPitch)
+			continue
+		}
+		if row < 0 || row >= col.NumSites {
+			add("bounds", i, "row %d outside column of %d sites", row, col.NumSites)
+			continue
+		}
+		load[key{p.X, row}]++
+		if load[key{p.X, row}] > col.Capacity {
+			add("capacity", i, "site (%v, row %d) exceeds capacity %d", p.X, row, col.Capacity)
+		}
+	}
+
+	// DSP assignment rules.
+	if siteOfDSP != nil {
+		sites := dev.DSPSites()
+		used := make(map[int]int, len(siteOfDSP))
+		for _, c := range nl.CellsOfType(netlist.DSP) {
+			j, ok := siteOfDSP[c]
+			if !ok {
+				add("dsp-assign", c, "DSP has no site assignment")
+				continue
+			}
+			if j < 0 || j >= len(sites) {
+				add("dsp-assign", c, "site %d out of range", j)
+				continue
+			}
+			if prev, dup := used[j]; dup {
+				add("dsp-overlap", c, "site %d already used by cell %d", j, prev)
+			}
+			used[j] = c
+			if want := dev.Loc(sites[j]); pos[c] != want {
+				add("dsp-pos", c, "position %v disagrees with site %d at %v", pos[c], j, want)
+			}
+		}
+		for _, pair := range nl.CascadePairs() {
+			jp, okP := siteOfDSP[pair[0]]
+			js, okS := siteOfDSP[pair[1]]
+			if !okP || !okS {
+				continue // already reported above
+			}
+			sp, ss := sites[jp], sites[js]
+			if sp.Col != ss.Col || ss.Row != sp.Row+1 {
+				add("cascade", pair[1], "pair %v not on consecutive rows of one column", pair)
+			}
+		}
+	}
+	return out
+}

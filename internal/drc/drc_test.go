@@ -1,0 +1,138 @@
+package drc
+
+import (
+	"strings"
+	"testing"
+
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
+)
+
+func setup(t *testing.T) *fpga.Device {
+	t.Helper()
+	dev, err := fpga.NewDevice(fpga.Config{Name: "d", Pattern: "CDB", Repeats: 2, RegionRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func hasRule(vs []Violation, rule string) bool {
+	for _, v := range vs {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCleanPlacement(t *testing.T) {
+	dev := setup(t)
+	nl := netlist.New("c")
+	lut := nl.AddCell("l", netlist.LUT)
+	d := nl.AddCell("d", netlist.DSP)
+	nl.AddNet("n", lut.ID, d.ID)
+	clbX := dev.Columns[dev.ColumnsOf(fpga.CLB)[0]].X
+	site0 := dev.DSPSites()[0]
+	pos := []geom.Point{{X: clbX, Y: 0}, dev.Loc(site0)}
+	vs := Check(dev, nl, pos, map[int]int{d.ID: 0})
+	if len(vs) != 0 {
+		t.Fatalf("violations on clean placement: %v", vs)
+	}
+}
+
+func TestCatchesWrongResource(t *testing.T) {
+	dev := setup(t)
+	nl := netlist.New("w")
+	lut := nl.AddCell("l", netlist.LUT)
+	nl.AddNet("n", lut.ID, nl.AddCell("f", netlist.FF).ID)
+	dspX := dev.Columns[dev.ColumnsOf(fpga.DSPRes)[0]].X
+	clbX := dev.Columns[dev.ColumnsOf(fpga.CLB)[0]].X
+	pos := []geom.Point{{X: dspX, Y: 0}, {X: clbX, Y: 0}}
+	vs := Check(dev, nl, pos, nil)
+	if !hasRule(vs, "resource") {
+		t.Fatalf("wrong-resource not caught: %v", vs)
+	}
+}
+
+func TestCatchesOffGridAndBounds(t *testing.T) {
+	dev := setup(t)
+	nl := netlist.New("g")
+	a := nl.AddCell("a", netlist.LUT)
+	b := nl.AddCell("b", netlist.LUT)
+	nl.AddNet("n", a.ID, b.ID)
+	clbX := dev.Columns[dev.ColumnsOf(fpga.CLB)[0]].X
+	pos := []geom.Point{{X: clbX, Y: 0.37}, {X: clbX, Y: 1e6}}
+	vs := Check(dev, nl, pos, nil)
+	if !hasRule(vs, "grid") || !hasRule(vs, "bounds") {
+		t.Fatalf("grid/bounds not caught: %v", vs)
+	}
+}
+
+func TestCatchesCapacity(t *testing.T) {
+	dev := setup(t)
+	nl := netlist.New("cap")
+	col := &dev.Columns[dev.ColumnsOf(fpga.CLB)[0]]
+	var pos []geom.Point
+	var prev int = -1
+	for i := 0; i < col.Capacity+1; i++ {
+		c := nl.AddCell("l", netlist.LUT)
+		if prev >= 0 {
+			nl.AddNet("n", prev, c.ID)
+		}
+		prev = c.ID
+		pos = append(pos, geom.Point{X: col.X, Y: 0})
+	}
+	vs := Check(dev, nl, pos, nil)
+	if !hasRule(vs, "capacity") {
+		t.Fatalf("capacity not caught: %v", vs)
+	}
+}
+
+func TestCatchesDSPRules(t *testing.T) {
+	dev := setup(t)
+	nl := netlist.New("dsp")
+	a := nl.AddCell("a", netlist.DSP)
+	b := nl.AddCell("b", netlist.DSP)
+	nl.AddNet("n", a.ID, b.ID)
+	nl.AddMacro([]int{a.ID, b.ID})
+	sites := dev.DSPSites()
+	// Overlap + broken cascade + position mismatch.
+	pos := []geom.Point{dev.Loc(sites[0]), {X: 0, Y: 0}}
+	vs := Check(dev, nl, pos, map[int]int{a.ID: 0, b.ID: 0})
+	for _, rule := range []string{"dsp-overlap", "dsp-pos", "cascade"} {
+		if !hasRule(vs, rule) {
+			t.Fatalf("%s not caught: %v", rule, vs)
+		}
+	}
+	// Missing assignment.
+	vs = Check(dev, nl, pos, map[int]int{a.ID: 0})
+	if !hasRule(vs, "dsp-assign") {
+		t.Fatalf("missing assignment not caught: %v", vs)
+	}
+}
+
+func TestCatchesMovedFixedCell(t *testing.T) {
+	dev := setup(t)
+	nl := netlist.New("fx")
+	io := nl.AddFixedCell("io", netlist.IO, geom.Point{X: 1, Y: 1})
+	nl.AddNet("n", io.ID, nl.AddCell("l", netlist.LUT).ID)
+	clbX := dev.Columns[dev.ColumnsOf(fpga.CLB)[0]].X
+	pos := []geom.Point{{X: 2, Y: 2}, {X: clbX, Y: 0}}
+	vs := Check(dev, nl, pos, nil)
+	if !hasRule(vs, "fixed") {
+		t.Fatalf("moved fixed cell not caught: %v", vs)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Rule: "capacity", Cell: 7, Msg: "x"}
+	if !strings.Contains(v.String(), "cell 7") {
+		t.Fatal(v.String())
+	}
+	v2 := Violation{Rule: "positions", Cell: -1, Msg: "y"}
+	if strings.Contains(v2.String(), "cell") {
+		t.Fatal(v2.String())
+	}
+}

@@ -1,0 +1,182 @@
+// Package dspgraph builds the datapath DSP graph of §III-B: starting from
+// the netlist, IDDFS is run from every DSP cell to find the shortest paths
+// to other DSPs that do not tunnel through an intermediate DSP, recording
+// path length and the cell types along each path. The resulting graph keeps
+// only DSP nodes and their direct connectivity, and can be filtered down to
+// the datapath DSPs selected by the GCN.
+package dspgraph
+
+import (
+	"fmt"
+
+	"dsplacer/internal/graph"
+	"dsplacer/internal/netlist"
+)
+
+// Edge is one DSP→DSP connection discovered by the search.
+type Edge struct {
+	// From and To are netlist cell ids of the endpoint DSPs; the direction
+	// follows signal flow (From drives the path toward To).
+	From, To int
+	// Dist is the number of netlist hops along the discovered shortest path.
+	Dist int
+	// PathCells counts the intermediate cells by type — the paper's
+	// observation that control-path DSPs see more storage elements along
+	// their paths is measurable from this.
+	PathCells map[netlist.CellType]int
+}
+
+// Graph is the DSP graph: nodes are DSP cell ids.
+type Graph struct {
+	// Nodes lists DSP cell ids in ascending order.
+	Nodes []int
+	// Index maps a cell id to its position in Nodes.
+	Index map[int]int
+	// Edges are the discovered DSP-to-DSP connections.
+	Edges []Edge
+}
+
+// Config controls the search.
+type Config struct {
+	// MaxDepth bounds the IDDFS depth (netlist hops); DSP pairs further
+	// apart are not considered directly connected. Default 8.
+	MaxDepth int
+}
+
+// Build runs the construction procedure on nl.
+func Build(nl *netlist.Netlist, cfg Config) *Graph {
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 8
+	}
+	g := nl.ToGraph()
+	dsp := nl.CellsOfType(netlist.DSP)
+	isDSP := make([]bool, nl.NumCells())
+	for _, d := range dsp {
+		isDSP[d] = true
+	}
+	dg := &Graph{Nodes: dsp, Index: make(map[int]int, len(dsp))}
+	for i, d := range dsp {
+		dg.Index[d] = i
+	}
+	target := func(v int) bool { return isDSP[v] }
+	for _, src := range dsp {
+		results := g.IDDFS(src, cfg.MaxDepth, target, true)
+		for _, r := range results {
+			counts := make(map[netlist.CellType]int)
+			for _, v := range r.Path[1 : len(r.Path)-1] {
+				counts[nl.Cells[v].Type]++
+			}
+			dg.Edges = append(dg.Edges, Edge{
+				From: src, To: r.Target, Dist: r.Dist, PathCells: counts,
+			})
+		}
+	}
+	sortEdges(dg.Edges)
+	return dg
+}
+
+func sortEdges(es []Edge) {
+	// Deterministic order: by (From, To).
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && less(es[j], es[j-1]); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+func less(a, b Edge) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.To < b.To
+}
+
+// Filter returns a copy of dg retaining only the nodes for which keep is
+// true (e.g. the GCN-identified datapath DSPs) and the edges between them —
+// the refinement step at the end of §III-B.
+func (dg *Graph) Filter(keep func(cellID int) bool) *Graph {
+	out := &Graph{Index: make(map[int]int)}
+	for _, n := range dg.Nodes {
+		if keep(n) {
+			out.Index[n] = len(out.Nodes)
+			out.Nodes = append(out.Nodes, n)
+		}
+	}
+	for _, e := range dg.Edges {
+		if keep(e.From) && keep(e.To) {
+			out.Edges = append(out.Edges, e)
+		}
+	}
+	return out
+}
+
+// StorageAlongPaths returns, per DSP node, the total number of storage
+// elements (FF, BRAM, LUTRAM) on its incident discovered paths. The paper
+// observes this is systematically higher for control-path DSPs.
+func (dg *Graph) StorageAlongPaths() map[int]int {
+	out := make(map[int]int, len(dg.Nodes))
+	for _, e := range dg.Edges {
+		s := e.PathCells[netlist.FF] + e.PathCells[netlist.BRAM] + e.PathCells[netlist.LUTRAM]
+		out[e.From] += s
+		out[e.To] += s
+	}
+	return out
+}
+
+// AverageDSPDistance returns the mean discovered DSP-to-DSP distance per
+// node (feature (g) of §III-A, measured on the constructed graph).
+func (dg *Graph) AverageDSPDistance() map[int]float64 {
+	sum := make(map[int]float64, len(dg.Nodes))
+	cnt := make(map[int]int, len(dg.Nodes))
+	for _, e := range dg.Edges {
+		sum[e.From] += float64(e.Dist)
+		cnt[e.From]++
+		sum[e.To] += float64(e.Dist)
+		cnt[e.To]++
+	}
+	out := make(map[int]float64, len(cnt))
+	for k, s := range sum {
+		out[k] = s / float64(cnt[k])
+	}
+	return out
+}
+
+// Degree returns the number of incident edges per node index.
+func (dg *Graph) Degree() []int {
+	deg := make([]int, len(dg.Nodes))
+	for _, e := range dg.Edges {
+		deg[dg.Index[e.From]]++
+		deg[dg.Index[e.To]]++
+	}
+	return deg
+}
+
+// AsDigraph converts the DSP graph to a graph.Digraph over node indices.
+func (dg *Graph) AsDigraph() *graph.Digraph {
+	g := graph.NewDigraph(len(dg.Nodes))
+	for _, e := range dg.Edges {
+		g.AddEdge(dg.Index[e.From], dg.Index[e.To])
+	}
+	return g
+}
+
+// Validate checks internal consistency.
+func (dg *Graph) Validate() error {
+	for i, n := range dg.Nodes {
+		if dg.Index[n] != i {
+			return fmt.Errorf("dspgraph: node %d index mismatch", n)
+		}
+	}
+	for _, e := range dg.Edges {
+		if _, ok := dg.Index[e.From]; !ok {
+			return fmt.Errorf("dspgraph: edge from unknown node %d", e.From)
+		}
+		if _, ok := dg.Index[e.To]; !ok {
+			return fmt.Errorf("dspgraph: edge to unknown node %d", e.To)
+		}
+		if e.Dist < 1 {
+			return fmt.Errorf("dspgraph: edge %d→%d has dist %d", e.From, e.To, e.Dist)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V): Table I (benchmarks), Fig. 7 (GCN classification),
+// Table II (placement PPA comparison), Fig. 8 (runtime breakdown), Fig. 9
+// (layout visualization), plus the ablations DESIGN.md calls out. The same
+// entry points back cmd/experiments and the root bench harness.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/gen"
+	"dsplacer/internal/netlist"
+)
+
+// Suite carries shared state: the device and lazily generated benchmarks.
+type Suite struct {
+	Dev   *fpga.Device
+	Specs []gen.Spec
+
+	mu    sync.Mutex
+	cache map[string]*netlist.Netlist
+}
+
+// NewSuite builds a suite over the given specs (TableI() by default).
+func NewSuite(specs []gen.Spec) *Suite {
+	if specs == nil {
+		specs = gen.TableI()
+	}
+	return &Suite{
+		Dev:   fpga.NewZCU104(),
+		Specs: specs,
+		cache: make(map[string]*netlist.Netlist),
+	}
+}
+
+// Netlist generates (and caches) the benchmark netlist for spec.
+func (s *Suite) Netlist(spec gen.Spec) (*netlist.Netlist, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if nl, ok := s.cache[spec.Name]; ok {
+		return nl, nil
+	}
+	nl, err := gen.Generate(spec, s.Dev)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[spec.Name] = nl
+	return nl, nil
+}
+
+// TableI prints the benchmark statistics table (paper Table I). The counts
+// are recomputed from the generated netlists, not echoed from the specs, so
+// the table doubles as a generator audit.
+func (s *Suite) TableI(w io.Writer) error {
+	fmt.Fprintf(w, "Table I: Benchmarks detail.\n")
+	fmt.Fprintf(w, "%-10s %7s %8s %7s %6s %6s %5s %10s\n",
+		"Design", "#LUT", "#LUTRAM", "#FF", "#BRAM", "#DSP", "DSP%", "freq.(MHz)")
+	for _, spec := range s.Specs {
+		nl, err := s.Netlist(spec)
+		if err != nil {
+			return err
+		}
+		st := nl.Stats()
+		dspPct := float64(st.DSP) / float64(s.Dev.NumDSPSites()) * 100
+		fmt.Fprintf(w, "%-10s %7d %8d %7d %6d %6d %4.0f%% %10.1f\n",
+			spec.Name, st.LUT, st.LUTRAM, st.FF, st.BRAM, st.DSP, dspPct, spec.FreqMHz)
+	}
+	return nil
+}

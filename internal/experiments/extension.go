@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dsplacer/internal/core"
+	"dsplacer/internal/gen"
+)
+
+// ExtensionRSAD contrasts DSPlacer with the R-SAD-style systolic-array
+// placer on two architectures: a pure systolic array (R-SAD's home turf)
+// and a diverse CNN accelerator, reproducing §I's claim that "its
+// specialized nature limits its applicability to CNN accelerators with
+// more diverse architectures".
+func (s *Suite) ExtensionRSAD(w io.Writer, diverse gen.Spec, cfg TableIIConfig) error {
+	specs := []struct {
+		label string
+		spec  gen.Spec
+	}{
+		{"systolic (R-SAD's target)", gen.Systolic()},
+		{"diverse   (" + diverse.Name + ")", diverse},
+	}
+	fmt.Fprintf(w, "Extension: R-SAD-style systolic placement vs DSPlacer.\n")
+	fmt.Fprintf(w, "%-28s %-9s %10s %12s %12s\n", "architecture", "flow", "WNS(ns)", "TNS(ns)", "HPWL")
+	for _, entry := range specs {
+		nl, err := s.Netlist(entry.spec)
+		if err != nil {
+			return err
+		}
+		ccfg := cfg.coreConfig(entry.spec)
+		rsadRes, err := core.RunRSAD(s.Dev, nl, ccfg)
+		if err != nil {
+			return fmt.Errorf("extension rsad on %s: %w", entry.spec.Name, err)
+		}
+		dspRes, err := core.Run(s.Dev, nl, ccfg)
+		if err != nil {
+			return fmt.Errorf("extension dsplacer on %s: %w", entry.spec.Name, err)
+		}
+		fmt.Fprintf(w, "%-28s %-9s %10.3f %12.3f %12.0f\n", entry.label, "rsad",
+			rsadRes.WNS, rsadRes.TNS, rsadRes.HPWL)
+		fmt.Fprintf(w, "%-28s %-9s %10.3f %12.3f %12.0f\n", "", "dsplacer",
+			dspRes.WNS, dspRes.TNS, dspRes.HPWL)
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+// Package features turns a netlist into the per-node feature matrix of
+// §III-A: (a) closeness centrality, (b) feedback-loop membership,
+// (c) eccentricity, (d) indegree, (e) outdegree, (f) betweenness centrality
+// and (g) the average shortest-path distance to other DSP nodes (defined on
+// DSP nodes only, zero elsewhere).
+//
+// Exact centralities are O(N·M); netlists in Table I reach ~150k cells, so
+// above Config.ExactThreshold the package switches to standard pivot
+// sampling (Brandes source sampling scaled by N/k; closeness/eccentricity
+// estimated from the same pivot BFS sweeps). The paper computes these with
+// NetworkX offline; sampling preserves the feature *ranking* the GCN needs.
+package features
+
+import (
+	"math"
+	"math/rand"
+
+	"dsplacer/internal/graph"
+	"dsplacer/internal/mat"
+	"dsplacer/internal/netlist"
+)
+
+// NumFeatures is the width of the extracted feature matrix.
+const NumFeatures = 7
+
+// Feature column indices.
+const (
+	Closeness = iota
+	FeedbackLoop
+	Eccentricity
+	InDegree
+	OutDegree
+	Betweenness
+	AvgDSPDist
+)
+
+// Names lists the feature column names in order.
+var Names = [NumFeatures]string{
+	"closeness", "feedback_loop", "eccentricity", "indegree",
+	"outdegree", "betweenness", "avg_dsp_dist",
+}
+
+// Config tunes extraction cost.
+type Config struct {
+	// ExactThreshold is the node count above which centralities are
+	// sampled instead of exact (default 3000).
+	ExactThreshold int
+	// Pivots is the sample size for approximate centralities (default 128).
+	Pivots int
+	// DSPPivots caps the number of DSP sources used for the average
+	// DSP-to-DSP distance feature (default 256).
+	DSPPivots int
+	// Seed drives pivot selection.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ExactThreshold == 0 {
+		c.ExactThreshold = 3000
+	}
+	if c.Pivots == 0 {
+		c.Pivots = 128
+	}
+	if c.DSPPivots == 0 {
+		c.DSPPivots = 256
+	}
+	return c
+}
+
+// Set is the extraction result.
+type Set struct {
+	// X is the n×NumFeatures raw feature matrix.
+	X *mat.Dense
+	// DSP lists the cell ids of DSP cells (the nodes the GCN classifies).
+	DSP []int
+}
+
+// Extract computes the feature matrix for nl.
+func Extract(nl *netlist.Netlist, cfg Config) *Set {
+	cfg = cfg.withDefaults()
+	dg := nl.ToGraph()
+	ug := dg.Undirected()
+	n := dg.N()
+	X := mat.NewDense(n, NumFeatures)
+
+	// Degrees come from the directed graph; everything metric-like from the
+	// undirected view, as in NetworkX usage for structural features.
+	for v := 0; v < n; v++ {
+		X.Set(v, InDegree, float64(dg.InDegree(v)))
+		X.Set(v, OutDegree, float64(dg.OutDegree(v)))
+	}
+	for v, in := range dg.InFeedbackLoop() {
+		if in {
+			X.Set(v, FeedbackLoop, 1)
+		}
+	}
+
+	if n <= cfg.ExactThreshold {
+		cc := ug.Closeness()
+		ecc := ug.Eccentricity()
+		cb := ug.Betweenness()
+		for v := 0; v < n; v++ {
+			X.Set(v, Closeness, cc[v])
+			X.Set(v, Eccentricity, float64(ecc[v]))
+			X.Set(v, Betweenness, cb[v]/2) // undirected convention
+		}
+	} else {
+		sampledCentralities(ug, X, cfg)
+	}
+
+	dsp := nl.CellsOfType(netlist.DSP)
+	avgDSPDistances(ug, dsp, X, cfg)
+	return &Set{X: X, DSP: dsp}
+}
+
+// sampledCentralities estimates closeness, eccentricity and betweenness
+// from cfg.Pivots BFS/Brandes sweeps.
+func sampledCentralities(ug *graph.Digraph, X *mat.Dense, cfg Config) {
+	n := ug.N()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	k := cfg.Pivots
+	if k > n {
+		k = n
+	}
+	pivots := rng.Perm(n)[:k]
+	scale := float64(n) / float64(k)
+
+	distSum := make([]float64, n)
+	distCnt := make([]int, n)
+	eccEst := make([]float64, n)
+	btw := make([]float64, n)
+
+	sigma := make([]float64, n)
+	dist := make([]int, n)
+	delta := make([]float64, n)
+	pred := make([][]int, n)
+	stack := make([]int, 0, n)
+	queue := make([]int, 0, n)
+
+	for _, s := range pivots {
+		for i := 0; i < n; i++ {
+			sigma[i] = 0
+			dist[i] = graph.Unreached
+			delta[i] = 0
+			pred[i] = pred[i][:0]
+		}
+		stack = stack[:0]
+		queue = queue[:0]
+		sigma[s] = 1
+		dist[s] = 0
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, w := range ug.Out(v) {
+				if dist[w] == graph.Unreached {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					pred[w] = append(pred[w], v)
+				}
+			}
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range pred[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				btw[w] += delta[w]
+			}
+		}
+		// Closeness/eccentricity estimates from the same sweep: on an
+		// undirected graph, dist(s, v) == dist(v, s).
+		for v := 0; v < n; v++ {
+			if dist[v] > 0 {
+				distSum[v] += float64(dist[v])
+				distCnt[v]++
+				if float64(dist[v]) > eccEst[v] {
+					eccEst[v] = float64(dist[v])
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if distCnt[v] > 0 {
+			// Estimated total distance to all nodes = mean pivot distance × (n-1).
+			est := distSum[v] / float64(distCnt[v]) * float64(n-1)
+			X.Set(v, Closeness, 1/est)
+		}
+		X.Set(v, Eccentricity, eccEst[v])
+		X.Set(v, Betweenness, btw[v]*scale/2)
+	}
+}
+
+// avgDSPDistances fills the AvgDSPDist column: for each DSP node, the mean
+// undirected shortest-path distance to the (sampled) other DSP nodes.
+// Unreachable pairs are skipped; DSPs reaching no other DSP get 0.
+func avgDSPDistances(ug *graph.Digraph, dsp []int, X *mat.Dense, cfg Config) {
+	if len(dsp) < 2 {
+		return
+	}
+	sources := dsp
+	if len(sources) > cfg.DSPPivots {
+		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		perm := rng.Perm(len(dsp))
+		sources = make([]int, cfg.DSPPivots)
+		for i := range sources {
+			sources[i] = dsp[perm[i]]
+		}
+	}
+	isDSP := make(map[int]bool, len(dsp))
+	for _, d := range dsp {
+		isDSP[d] = true
+	}
+	sum := make(map[int]float64, len(dsp))
+	cnt := make(map[int]int, len(dsp))
+	for _, s := range sources {
+		d := ug.BFSDistances(s)
+		for _, v := range dsp {
+			if v != s && d[v] > 0 {
+				sum[v] += float64(d[v])
+				cnt[v]++
+			}
+		}
+	}
+	for _, v := range dsp {
+		if cnt[v] > 0 {
+			X.Set(v, AvgDSPDist, sum[v]/float64(cnt[v]))
+		}
+	}
+}
+
+// Standardize returns a column-wise z-scored copy of X: (x-mean)/std per
+// column, with zero-variance columns left at 0. GCN training is far better
+// conditioned on standardized features.
+func Standardize(X *mat.Dense) *mat.Dense {
+	out := X.Clone()
+	for j := 0; j < X.C; j++ {
+		mean, sq := 0.0, 0.0
+		for i := 0; i < X.R; i++ {
+			mean += X.At(i, j)
+		}
+		mean /= float64(X.R)
+		for i := 0; i < X.R; i++ {
+			d := X.At(i, j) - mean
+			sq += d * d
+		}
+		std := math.Sqrt(sq / float64(X.R))
+		for i := 0; i < X.R; i++ {
+			if std > 1e-12 {
+				out.Set(i, j, (X.At(i, j)-mean)/std)
+			} else {
+				out.Set(i, j, 0)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"dsplacer/internal/mat"
+	"dsplacer/internal/netlist"
+)
+
+// chainWithLoop: ps→lut→dsp0→dsp1→ff→io plus ff→lut feedback.
+func chainWithLoop() *netlist.Netlist {
+	nl := netlist.New("f")
+	ps := nl.AddCell("ps", netlist.PSPort)
+	lut := nl.AddCell("lut", netlist.LUT)
+	d0 := nl.AddCell("d0", netlist.DSP)
+	d1 := nl.AddCell("d1", netlist.DSP)
+	ff := nl.AddCell("ff", netlist.FF)
+	io := nl.AddCell("io", netlist.IO)
+	nl.AddNet("n0", ps.ID, lut.ID)
+	nl.AddNet("n1", lut.ID, d0.ID)
+	nl.AddNet("n2", d0.ID, d1.ID)
+	nl.AddNet("n3", d1.ID, ff.ID)
+	nl.AddNet("n4", ff.ID, io.ID, lut.ID) // feedback to lut
+	return nl
+}
+
+func TestExtractShapes(t *testing.T) {
+	nl := chainWithLoop()
+	s := Extract(nl, Config{})
+	if s.X.R != nl.NumCells() || s.X.C != NumFeatures {
+		t.Fatalf("X is %dx%d", s.X.R, s.X.C)
+	}
+	if len(s.DSP) != 2 {
+		t.Fatalf("DSP=%v", s.DSP)
+	}
+}
+
+func TestDegreesAndFeedback(t *testing.T) {
+	nl := chainWithLoop()
+	s := Extract(nl, Config{})
+	lut := 1
+	if got := s.X.At(lut, InDegree); got != 2 { // from ps and ff
+		t.Fatalf("lut indegree=%v", got)
+	}
+	if got := s.X.At(lut, OutDegree); got != 1 {
+		t.Fatalf("lut outdegree=%v", got)
+	}
+	// lut, d0, d1, ff form the cycle; ps and io do not.
+	for v, want := range map[int]float64{0: 0, 1: 1, 2: 1, 3: 1, 4: 1, 5: 0} {
+		if got := s.X.At(v, FeedbackLoop); got != want {
+			t.Errorf("feedback[%d]=%v want %v", v, got, want)
+		}
+	}
+}
+
+func TestCentralitiesExactSmall(t *testing.T) {
+	nl := chainWithLoop()
+	s := Extract(nl, Config{})
+	// The undirected graph is: ps-lut, lut-d0, d0-d1, d1-ff, ff-io, ff-lut.
+	// Closeness of d0: distances — lut 1, d1 1, ps 2, ff 2, io 3 → sum 9.
+	d0 := 2
+	if got := s.X.At(d0, Closeness); math.Abs(got-1.0/9.0) > 1e-9 {
+		t.Fatalf("closeness(d0)=%v want 1/9", got)
+	}
+	// Eccentricity of d0 = 3 (to io).
+	if got := s.X.At(d0, Eccentricity); got != 3 {
+		t.Fatalf("ecc(d0)=%v", got)
+	}
+	// Betweenness must be strictly positive for interior nodes, 0 for leaves.
+	if got := s.X.At(0, Betweenness); got != 0 {
+		t.Fatalf("betweenness(ps)=%v", got)
+	}
+	if got := s.X.At(1, Betweenness); got <= 0 {
+		t.Fatalf("betweenness(lut)=%v", got)
+	}
+}
+
+func TestAvgDSPDist(t *testing.T) {
+	nl := chainWithLoop()
+	s := Extract(nl, Config{})
+	// Only two DSPs, adjacent: each has avg distance 1 to the other.
+	if got := s.X.At(2, AvgDSPDist); got != 1 {
+		t.Fatalf("avgDSPdist(d0)=%v", got)
+	}
+	if got := s.X.At(3, AvgDSPDist); got != 1 {
+		t.Fatalf("avgDSPdist(d1)=%v", got)
+	}
+	// Non-DSP nodes stay 0.
+	if got := s.X.At(1, AvgDSPDist); got != 0 {
+		t.Fatalf("avgDSPdist(lut)=%v", got)
+	}
+}
+
+func TestSampledMatchesExactRanking(t *testing.T) {
+	// Build a medium star-of-chains graph and check that sampling (forced
+	// via low threshold) ranks the hub's betweenness highest.
+	nl := netlist.New("m")
+	hub := nl.AddCell("hub", netlist.LUT)
+	for a := 0; a < 8; a++ {
+		prev := hub.ID
+		for b := 0; b < 6; b++ {
+			c := nl.AddCell("c", netlist.FF)
+			nl.AddNet("n", prev, c.ID)
+			prev = c.ID
+		}
+	}
+	s := Extract(nl, Config{ExactThreshold: 1, Pivots: 20, Seed: 7})
+	hubB := s.X.At(hub.ID, Betweenness)
+	for v := 1; v < nl.NumCells(); v++ {
+		if s.X.At(v, Betweenness) > hubB {
+			t.Fatalf("node %d betweenness %v exceeds hub %v", v, s.X.At(v, Betweenness), hubB)
+		}
+	}
+	if s.X.At(hub.ID, Eccentricity) <= 0 {
+		t.Fatal("sampled eccentricity missing")
+	}
+	if s.X.At(hub.ID, Closeness) <= 0 {
+		t.Fatal("sampled closeness missing")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	X := mat.FromRows([][]float64{{1, 5, 7}, {3, 5, 9}, {5, 5, 11}})
+	Z := Standardize(X)
+	// Column 0: mean 3, values standardized; column 1 constant → zeros.
+	for j := 0; j < 3; j++ {
+		mean := 0.0
+		for i := 0; i < 3; i++ {
+			mean += Z.At(i, j)
+		}
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("col %d mean %v", j, mean)
+		}
+	}
+	if Z.At(0, 1) != 0 || Z.At(2, 1) != 0 {
+		t.Fatal("constant column must standardize to zero")
+	}
+	if Z.At(0, 0) >= 0 || Z.At(2, 0) <= 0 {
+		t.Fatal("ordering not preserved")
+	}
+	// Original must be untouched.
+	if X.At(0, 0) != 1 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestSingleDSPNoDistances(t *testing.T) {
+	nl := netlist.New("one")
+	a := nl.AddCell("a", netlist.LUT)
+	d := nl.AddCell("d", netlist.DSP)
+	nl.AddNet("n", a.ID, d.ID)
+	s := Extract(nl, Config{})
+	if got := s.X.At(d.ID, AvgDSPDist); got != 0 {
+		t.Fatalf("single DSP avg dist = %v, want 0", got)
+	}
+}
+
+func TestDSPPivotSampling(t *testing.T) {
+	// More DSPs than DSPPivots forces the sampled path; averages must stay
+	// positive for connected DSPs.
+	nl := netlist.New("many")
+	hub := nl.AddCell("hub", netlist.LUT)
+	var dsps []int
+	for i := 0; i < 12; i++ {
+		d := nl.AddCell("d", netlist.DSP)
+		nl.AddNet("n", hub.ID, d.ID)
+		dsps = append(dsps, d.ID)
+	}
+	s := Extract(nl, Config{DSPPivots: 4, Seed: 3})
+	nonzero := 0
+	for _, d := range dsps {
+		if s.X.At(d, AvgDSPDist) > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < len(dsps)/2 {
+		t.Fatalf("only %d/%d DSPs got sampled distances", nonzero, len(dsps))
+	}
+}

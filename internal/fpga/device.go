@@ -1,0 +1,254 @@
+// Package fpga models the column-wise heterogeneous fabric of Xilinx
+// UltraScale+ devices (§II-A): vertical resource columns (CLB, DSP, BRAM,
+// IO) spanning the die, a fixed processing-system (PS) block at the
+// bottom-left corner, and the sorted DSP site list that the paper's
+// assignment formulation indexes.
+package fpga
+
+import (
+	"fmt"
+
+	"dsplacer/internal/geom"
+)
+
+// Resource enumerates what a fabric column provides.
+type Resource int
+
+const (
+	CLB Resource = iota // LUTs, LUTRAMs, FFs and carry chains
+	DSPRes
+	BRAMRes
+	IORes
+)
+
+var resourceNames = [...]string{CLB: "CLB", DSPRes: "DSP", BRAMRes: "BRAM", IORes: "IO"}
+
+func (r Resource) String() string {
+	if r < 0 || int(r) >= len(resourceNames) {
+		return fmt.Sprintf("Resource(%d)", int(r))
+	}
+	return resourceNames[r]
+}
+
+// Column is one vertical resource column of the fabric.
+type Column struct {
+	Index    int     // position in Device.Columns
+	X        float64 // x coordinate of every site in the column
+	Res      Resource
+	NumSites int     // vertical site count
+	YPitch   float64 // vertical distance between adjacent sites
+	Capacity int     // cells a single site can legally hold (CLB sites pack 8 LUT/FF pairs)
+}
+
+// SiteY returns the y coordinate of the row-th site (row 0 at the bottom).
+func (c *Column) SiteY(row int) float64 { return float64(row) * c.YPitch }
+
+// Device is a complete fabric: columns left to right plus the PS block.
+type Device struct {
+	Name    string
+	Columns []Column
+	Width   float64 // fabric extent in x
+	Height  float64 // fabric extent in y
+	// PS is the processing-system block, fixed at the bottom-left corner on
+	// Zynq parts. PS→PL data buses exit through the top edge, PL→PS buses
+	// through the right edge (Fig. 5a).
+	PS geom.Rect
+
+	dspSites []Site // cached sorted DSP site list
+}
+
+// Site identifies one site by column index and row.
+type Site struct {
+	Col, Row int
+}
+
+// Loc returns the fabric coordinates of site s.
+func (d *Device) Loc(s Site) geom.Point {
+	c := &d.Columns[s.Col]
+	return geom.Point{X: c.X, Y: c.SiteY(s.Row)}
+}
+
+// ColumnsOf returns the indices of all columns providing r, left to right.
+func (d *Device) ColumnsOf(r Resource) []int {
+	var out []int
+	for i := range d.Columns {
+		if d.Columns[i].Res == r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DSPSites returns every DSP site sorted ascending by (column x, row), so
+// that adjacent sites within one column have consecutive indices — the
+// ordering assumption behind the cascade constraint (5). The slice is cached
+// and must not be mutated.
+func (d *Device) DSPSites() []Site {
+	if d.dspSites == nil {
+		for _, ci := range d.ColumnsOf(DSPRes) {
+			for r := 0; r < d.Columns[ci].NumSites; r++ {
+				d.dspSites = append(d.dspSites, Site{Col: ci, Row: r})
+			}
+		}
+	}
+	return d.dspSites
+}
+
+// NumDSPSites returns the total DSP site count M.
+func (d *Device) NumDSPSites() int { return len(d.DSPSites()) }
+
+// Validate checks device invariants.
+func (d *Device) Validate() error {
+	if len(d.Columns) == 0 {
+		return fmt.Errorf("fpga %s: no columns", d.Name)
+	}
+	prevX := -1.0
+	for i := range d.Columns {
+		c := &d.Columns[i]
+		if c.Index != i {
+			return fmt.Errorf("fpga %s: column %d has index %d", d.Name, i, c.Index)
+		}
+		if c.X <= prevX {
+			return fmt.Errorf("fpga %s: column %d x=%v not increasing", d.Name, i, c.X)
+		}
+		prevX = c.X
+		if c.NumSites <= 0 || c.YPitch <= 0 || c.Capacity <= 0 {
+			return fmt.Errorf("fpga %s: column %d malformed", d.Name, i)
+		}
+		if top := c.SiteY(c.NumSites - 1); top > d.Height {
+			return fmt.Errorf("fpga %s: column %d exceeds device height", d.Name, i)
+		}
+	}
+	return nil
+}
+
+// PSToPLPorts returns n fixed locations along the top edge of the PS block,
+// where PS→PL data buses enter the programmable logic.
+func (d *Device) PSToPLPorts(n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		frac := (float64(i) + 0.5) / float64(n)
+		pts[i] = geom.Point{X: d.PS.MinX + frac*d.PS.Width(), Y: d.PS.MaxY}
+	}
+	return pts
+}
+
+// PLToPSPorts returns n fixed locations along the right edge of the PS
+// block, where PL→PS data buses return to the processing system.
+func (d *Device) PLToPSPorts(n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		frac := (float64(i) + 0.5) / float64(n)
+		pts[i] = geom.Point{X: d.PS.MaxX, Y: d.PS.MinY + frac*d.PS.Height()}
+	}
+	return pts
+}
+
+// PSCorner returns the reference corner used by the datapath angle penalty:
+// the origin of the cos-angle computation in Eq. (6). We use the outer
+// corner of the PS block (its top-right vertex) so that "above the PS" maps
+// to large angles and "right of the PS" to small angles.
+func (d *Device) PSCorner() geom.Point {
+	return geom.Point{X: d.PS.MinX, Y: d.PS.MinY}
+}
+
+// Config parameterizes NewDevice.
+type Config struct {
+	Name string
+	// Pattern is the repeating left-to-right column recipe, e.g.
+	// "CCDCCBC" = 4 CLB, 1 DSP, 1 BRAM columns per period. Letters:
+	// C=CLB, D=DSP, B=BRAM, I=IO.
+	Pattern string
+	// Repeats is how many times Pattern tiles across the die.
+	Repeats int
+	// RegionRows is the number of clock-region rows; UltraScale+ DSP columns
+	// hold 24 DSP48E2 sites per region.
+	RegionRows int
+	// CLBPerRegion is the CLB site count per region column (60 on US+).
+	CLBPerRegion int
+	// BRAMPerRegion is the RAMB36 site count per region column (12 on US+).
+	BRAMPerRegion int
+	// PSWidth/PSHeight size the PS block in fabric units (0 = no PS).
+	PSWidth, PSHeight float64
+}
+
+// Per-region site counts of the UltraScale+ family.
+const (
+	dspPerRegion = 24
+	colPitch     = 1.0
+)
+
+// NewDevice builds a device from cfg. Column x positions advance by one unit
+// per column; y pitches are chosen so every column type spans the same
+// physical region height (a CLB region of 60 sites spans 60 units).
+func NewDevice(cfg Config) (*Device, error) {
+	if cfg.Repeats <= 0 || cfg.RegionRows <= 0 || len(cfg.Pattern) == 0 {
+		return nil, fmt.Errorf("fpga: invalid config %+v", cfg)
+	}
+	if cfg.CLBPerRegion == 0 {
+		cfg.CLBPerRegion = 60
+	}
+	if cfg.BRAMPerRegion == 0 {
+		cfg.BRAMPerRegion = 12
+	}
+	regionH := float64(cfg.CLBPerRegion) // one CLB site per unit height
+	d := &Device{Name: cfg.Name}
+	d.Height = regionH * float64(cfg.RegionRows)
+	x := 0.0
+	add := func(res Resource, perRegion, capacity int) {
+		n := perRegion * cfg.RegionRows
+		d.Columns = append(d.Columns, Column{
+			Index:    len(d.Columns),
+			X:        x,
+			Res:      res,
+			NumSites: n,
+			YPitch:   d.Height / float64(n),
+			Capacity: capacity,
+		})
+		x += colPitch
+	}
+	for r := 0; r < cfg.Repeats; r++ {
+		for _, ch := range cfg.Pattern {
+			switch ch {
+			case 'C':
+				add(CLB, cfg.CLBPerRegion, 8)
+			case 'D':
+				add(DSPRes, dspPerRegion, 1)
+			case 'B':
+				add(BRAMRes, cfg.BRAMPerRegion, 1)
+			case 'I':
+				add(IORes, cfg.CLBPerRegion/2, 1)
+			default:
+				return nil, fmt.Errorf("fpga: unknown column letter %q", ch)
+			}
+		}
+	}
+	d.Width = x
+	if cfg.PSWidth > 0 && cfg.PSHeight > 0 {
+		d.PS = geom.Rect{MinX: 0, MinY: 0, MaxX: cfg.PSWidth, MaxY: cfg.PSHeight}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// NewZCU104 builds the ZCU104-like device used throughout the experiments:
+// a Zynq UltraScale+ fabric with 1728 DSP48E2 sites (12 DSP columns × 6
+// clock-region rows × 24 sites), matching the XCZU7EV's DSP budget so that
+// SkrSkr-3's 1431 DSPs occupy 83% of the device as in Table I.
+func NewZCU104() *Device {
+	d, err := NewDevice(Config{
+		Name: "zcu104",
+		// Per period: 4 CLB columns, one DSP column, 2 CLB, one BRAM column.
+		Pattern:    "CCCCDCCB",
+		Repeats:    12,
+		RegionRows: 6,
+		PSWidth:    8,
+		PSHeight:   70,
+	})
+	if err != nil {
+		panic("fpga: ZCU104 config invalid: " + err.Error())
+	}
+	return d
+}

@@ -1,0 +1,116 @@
+package fpga
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZCU104Shape(t *testing.T) {
+	d := NewZCU104()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.NumDSPSites(); got != 1728 {
+		t.Fatalf("DSP sites = %d, want 1728 (XCZU7EV budget)", got)
+	}
+	if got := len(d.ColumnsOf(DSPRes)); got != 12 {
+		t.Fatalf("DSP columns = %d, want 12", got)
+	}
+	if got := len(d.ColumnsOf(BRAMRes)); got != 12 {
+		t.Fatalf("BRAM columns = %d, want 12", got)
+	}
+	if d.PS.Empty() || d.PS.MinX != 0 || d.PS.MinY != 0 {
+		t.Fatalf("PS must sit at the bottom-left corner: %+v", d.PS)
+	}
+}
+
+func TestDSPSitesSorted(t *testing.T) {
+	d := NewZCU104()
+	sites := d.DSPSites()
+	for i := 1; i < len(sites); i++ {
+		a, b := d.Loc(sites[i-1]), d.Loc(sites[i])
+		if a.X > b.X || (a.X == b.X && a.Y >= b.Y) {
+			t.Fatalf("site %d (%v) not after site %d (%v)", i, b, i-1, a)
+		}
+		// Consecutive indices within a column must be vertically adjacent.
+		if sites[i-1].Col == sites[i].Col && sites[i].Row != sites[i-1].Row+1 {
+			t.Fatalf("rows not consecutive at index %d", i)
+		}
+	}
+}
+
+func TestColumnGeometry(t *testing.T) {
+	d := NewZCU104()
+	ci := d.ColumnsOf(DSPRes)[0]
+	col := &d.Columns[ci]
+	if col.NumSites != 144 { // 24 per region × 6 regions
+		t.Fatalf("DSP column sites = %d, want 144", col.NumSites)
+	}
+	top := col.SiteY(col.NumSites - 1)
+	if top >= d.Height || top < d.Height-2*col.YPitch {
+		t.Fatalf("column top %v vs device height %v", top, d.Height)
+	}
+	if col.SiteY(0) != 0 {
+		t.Fatal("bottom site must sit at y=0")
+	}
+}
+
+func TestPSPorts(t *testing.T) {
+	d := NewZCU104()
+	top := d.PSToPLPorts(4)
+	if len(top) != 4 {
+		t.Fatal("want 4 ports")
+	}
+	for _, p := range top {
+		if p.Y != d.PS.MaxY {
+			t.Fatalf("PS→PL port %v not on top edge (y=%v)", p, d.PS.MaxY)
+		}
+		if p.X < d.PS.MinX || p.X > d.PS.MaxX {
+			t.Fatalf("PS→PL port %v outside PS x-range", p)
+		}
+	}
+	right := d.PLToPSPorts(3)
+	for _, p := range right {
+		if p.X != d.PS.MaxX {
+			t.Fatalf("PL→PS port %v not on right edge", p)
+		}
+	}
+	// The datapath rule: ports above the PS have larger angle (smaller cos)
+	// from the PS corner than ports right of the PS.
+	corner := d.PSCorner()
+	if !(top[0].Sub(corner).CosAngle() < right[0].Sub(corner).CosAngle()) {
+		t.Fatal("top ports must have larger angle than right ports")
+	}
+}
+
+func TestNewDeviceErrors(t *testing.T) {
+	if _, err := NewDevice(Config{Pattern: "C", Repeats: 0, RegionRows: 1}); err == nil {
+		t.Fatal("zero repeats accepted")
+	}
+	if _, err := NewDevice(Config{Pattern: "X", Repeats: 1, RegionRows: 1}); err == nil {
+		t.Fatal("unknown letter accepted")
+	}
+}
+
+// Property: for any valid small config, every DSP site location lies within
+// the device bounds and Validate passes.
+func TestDeviceSitesInBounds(t *testing.T) {
+	f := func(repeats, rows uint8) bool {
+		rp := int(repeats%6) + 1
+		rr := int(rows%4) + 1
+		d, err := NewDevice(Config{Name: "t", Pattern: "CCDB", Repeats: rp, RegionRows: rr})
+		if err != nil {
+			return false
+		}
+		for _, s := range d.DSPSites() {
+			p := d.Loc(s)
+			if p.X < 0 || p.X >= d.Width || p.Y < 0 || p.Y > d.Height {
+				return false
+			}
+		}
+		return d.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

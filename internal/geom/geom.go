@@ -1,0 +1,172 @@
+// Package geom provides the small planar-geometry vocabulary used across
+// the placer: points, rectangles, Manhattan distances and half-perimeter
+// wirelength (HPWL) accumulation.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location on the FPGA fabric in site-grid units. X grows to the
+// right, Y grows upward; the processing system (PS) occupies the bottom-left
+// corner of the device, matching the Xilinx UltraScale+ floorplan.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Manhattan returns the L1 distance between p and q.
+func (p Point) Manhattan(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// Euclidean returns the L2 distance between p and q.
+func (p Point) Euclidean(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Norm returns the L2 norm of p viewed as a vector from the origin.
+func (p Point) Norm() float64 { return math.Sqrt(p.X*p.X + p.Y*p.Y) }
+
+// CosAngle returns the cosine of the angle between the vector origin→p and
+// the horizontal axis. This is the quantity used by the paper's soft
+// datapath constraint (Eq. 6): predecessors of a datapath edge should sit at
+// a larger angle from the PS corner than their successors. The origin is the
+// PS corner. A zero vector returns 0.
+func (p Point) CosAngle() float64 {
+	n := p.Norm()
+	if n == 0 {
+		return 0
+	}
+	return p.X / n
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.1f,%.1f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle, inclusive of its boundary.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyRect returns a rectangle ready to accumulate points via Expand: any
+// point expands it to a degenerate rectangle at that point.
+func EmptyRect() Rect {
+	return Rect{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+}
+
+// Empty reports whether r has accumulated no points.
+func (r Rect) Empty() bool { return r.MinX > r.MaxX }
+
+// Expand grows r to include p and returns the result.
+func (r Rect) Expand(p Point) Rect {
+	if p.X < r.MinX {
+		r.MinX = p.X
+	}
+	if p.X > r.MaxX {
+		r.MaxX = p.X
+	}
+	if p.Y < r.MinY {
+		r.MinY = p.Y
+	}
+	if p.Y > r.MaxY {
+		r.MaxY = p.Y
+	}
+	return r
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX),
+		MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX),
+		MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// Contains reports whether p lies inside or on the boundary of r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Width returns the horizontal extent of r (0 for empty rectangles).
+func (r Rect) Width() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.MaxX - r.MinX
+}
+
+// Height returns the vertical extent of r (0 for empty rectangles).
+func (r Rect) Height() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.MaxY - r.MinY
+}
+
+// HalfPerimeter returns width + height, the HPWL contribution of a net whose
+// pins have bounding box r.
+func (r Rect) HalfPerimeter() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.Width() + r.Height()
+}
+
+// Center returns the midpoint of r. Center of an empty rectangle is the
+// origin.
+func (r Rect) Center() Point {
+	if r.Empty() {
+		return Point{}
+	}
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// BoundingBox returns the bounding rectangle of pts.
+func BoundingBox(pts []Point) Rect {
+	r := EmptyRect()
+	for _, p := range pts {
+		r = r.Expand(p)
+	}
+	return r
+}
+
+// HPWL returns the half-perimeter wirelength of the net whose pin locations
+// are pts. Nets with fewer than two pins contribute zero.
+func HPWL(pts []Point) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	return BoundingBox(pts).HalfPerimeter()
+}
+
+// Clamp returns v limited to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

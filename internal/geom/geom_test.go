@@ -1,0 +1,197 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{3, 4}
+	q := Point{1, -2}
+	if got := p.Add(q); got != (Point{4, 2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if d := p.Manhattan(q); !almostEq(d, 7) {
+		t.Errorf("Manhattan = %v, want 7", d)
+	}
+	if d := p.Euclidean(q); !almostEq(d, 5) {
+		t.Errorf("Euclidean = %v, want 5", d)
+	}
+	if n := q.Norm(); !almostEq(n, 5) {
+		t.Errorf("Norm = %v, want 5", n)
+	}
+}
+
+func TestCosAngle(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{1, 0}, 1}, // on the horizontal axis
+		{Point{0, 1}, 0}, // straight up
+		{Point{1, 1}, math.Sqrt2 / 2},
+		{Point{0, 0}, 0}, // degenerate
+		{Point{3, 4}, 0.6},
+	}
+	for _, c := range cases {
+		if got := c.p.CosAngle(); !almostEq(got, c.want) {
+			t.Errorf("CosAngle(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestCosAngleMonotoneInDatapathSense(t *testing.T) {
+	// A point higher above the PS corner (same radius) has a smaller cosine:
+	// the paper encourages predecessors (above PS) to have larger angle,
+	// i.e. smaller cos, than successors (right of PS).
+	top := Point{0, 10}
+	right := Point{10, 0}
+	if !(top.CosAngle() < right.CosAngle()) {
+		t.Fatalf("expected cos(top) < cos(right), got %v vs %v",
+			top.CosAngle(), right.CosAngle())
+	}
+}
+
+func TestRectExpandAndHPWL(t *testing.T) {
+	r := EmptyRect()
+	if !r.Empty() {
+		t.Fatal("EmptyRect not empty")
+	}
+	if r.HalfPerimeter() != 0 {
+		t.Fatal("empty rect half-perimeter should be 0")
+	}
+	r = r.Expand(Point{1, 2})
+	if r.Empty() {
+		t.Fatal("rect with one point should not be empty")
+	}
+	if r.HalfPerimeter() != 0 {
+		t.Fatal("degenerate rect half-perimeter should be 0")
+	}
+	r = r.Expand(Point{4, 6})
+	if !almostEq(r.Width(), 3) || !almostEq(r.Height(), 4) {
+		t.Fatalf("w=%v h=%v", r.Width(), r.Height())
+	}
+	if !almostEq(r.HalfPerimeter(), 7) {
+		t.Fatalf("hp=%v", r.HalfPerimeter())
+	}
+	c := r.Center()
+	if !almostEq(c.X, 2.5) || !almostEq(c.Y, 4) {
+		t.Fatalf("center=%v", c)
+	}
+}
+
+func TestRectUnionContains(t *testing.T) {
+	a := BoundingBox([]Point{{0, 0}, {2, 2}})
+	b := BoundingBox([]Point{{5, 5}, {6, 8}})
+	u := a.Union(b)
+	for _, p := range []Point{{0, 0}, {2, 2}, {5, 5}, {6, 8}, {3, 3}} {
+		if !u.Contains(p) {
+			t.Errorf("union should contain %v", p)
+		}
+	}
+	if u.Contains(Point{-1, 0}) {
+		t.Error("union should not contain (-1,0)")
+	}
+	if got := a.Union(EmptyRect()); got != a {
+		t.Error("union with empty should be identity")
+	}
+	if got := EmptyRect().Union(b); got != b {
+		t.Error("empty union b should be b")
+	}
+}
+
+func TestHPWLSmallNets(t *testing.T) {
+	if HPWL(nil) != 0 || HPWL([]Point{{1, 1}}) != 0 {
+		t.Fatal("nets with <2 pins must have zero HPWL")
+	}
+	got := HPWL([]Point{{0, 0}, {3, 0}, {1, 5}})
+	if !almostEq(got, 8) {
+		t.Fatalf("HPWL = %v, want 8", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 10) != 5 || Clamp(-1, 0, 10) != 0 || Clamp(11, 0, 10) != 10 {
+		t.Fatal("clamp broken")
+	}
+}
+
+// Property: HPWL is invariant under translation of all pins.
+func TestHPWLTranslationInvariant(t *testing.T) {
+	f := func(xs, ys []int8, dx, dy int8) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		pts := make([]Point, n)
+		shifted := make([]Point, n)
+		for i := 0; i < n; i++ {
+			pts[i] = Point{float64(xs[i]), float64(ys[i])}
+			shifted[i] = pts[i].Add(Point{float64(dx), float64(dy)})
+		}
+		return almostEq(HPWL(pts), HPWL(shifted))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HPWL never decreases when a pin is added.
+func TestHPWLMonotoneUnderPinAddition(t *testing.T) {
+	f := func(xs, ys []int8, px, py int8) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if n < 2 {
+			return true
+		}
+		pts := make([]Point, n)
+		for i := 0; i < n; i++ {
+			pts[i] = Point{float64(xs[i]), float64(ys[i])}
+		}
+		grown := append(append([]Point{}, pts...), Point{float64(px), float64(py)})
+		return HPWL(grown) >= HPWL(pts)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bounding box contains every input point.
+func TestBoundingBoxContainsAll(t *testing.T) {
+	f := func(xs, ys []int8) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		pts := make([]Point, n)
+		for i := 0; i < n; i++ {
+			pts[i] = Point{float64(xs[i]), float64(ys[i])}
+		}
+		r := BoundingBox(pts)
+		for _, p := range pts {
+			if !r.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Betweenness computes the betweenness centrality of every node using
+// Brandes' algorithm (unweighted). Following Definition 1 of the paper, the
+// value of v is the sum over ordered pairs (s,t), s≠v≠t, of the fraction of
+// shortest s→t paths passing through v. Endpoint pairs are counted once per
+// direction on directed graphs; call on g.Undirected() (and halve) to obtain
+// the undirected convention used by NetworkX.
+func (g *Digraph) Betweenness() []float64 {
+	n := g.N()
+	cb := make([]float64, n)
+	var mu sync.Mutex
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	srcs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]float64, n)
+			sigma := make([]float64, n)
+			dist := make([]int, n)
+			delta := make([]float64, n)
+			pred := make([][]int, n)
+			stack := make([]int, 0, n)
+			queue := make([]int, 0, n)
+			for s := range srcs {
+				// Single-source shortest paths with path counting.
+				for i := 0; i < n; i++ {
+					sigma[i] = 0
+					dist[i] = Unreached
+					delta[i] = 0
+					pred[i] = pred[i][:0]
+				}
+				stack = stack[:0]
+				queue = queue[:0]
+				sigma[s] = 1
+				dist[s] = 0
+				queue = append(queue, s)
+				for len(queue) > 0 {
+					v := queue[0]
+					queue = queue[1:]
+					stack = append(stack, v)
+					for _, w2 := range g.out[v] {
+						if dist[w2] == Unreached {
+							dist[w2] = dist[v] + 1
+							queue = append(queue, w2)
+						}
+						if dist[w2] == dist[v]+1 {
+							sigma[w2] += sigma[v]
+							pred[w2] = append(pred[w2], v)
+						}
+					}
+				}
+				// Dependency accumulation in reverse BFS order.
+				for i := len(stack) - 1; i >= 0; i-- {
+					w2 := stack[i]
+					for _, v := range pred[w2] {
+						delta[v] += sigma[v] / sigma[w2] * (1 + delta[w2])
+					}
+					if w2 != s {
+						local[w2] += delta[w2]
+					}
+				}
+			}
+			mu.Lock()
+			for i, v := range local {
+				cb[i] += v
+			}
+			mu.Unlock()
+		}()
+	}
+	for s := 0; s < n; s++ {
+		srcs <- s
+	}
+	close(srcs)
+	wg.Wait()
+	return cb
+}
+
+// Closeness computes the closeness centrality of every node per Definition 2:
+// the reciprocal of the sum of shortest-path distances from the node to every
+// node it can reach. Nodes that reach nothing get 0. Distances follow the
+// forward edge direction; use Undirected() for the symmetric convention.
+func (g *Digraph) Closeness() []float64 {
+	n := g.N()
+	cc := make([]float64, n)
+	parallelOverSources(n, func(s int, dist []int) {
+		sum := 0
+		for _, d := range dist {
+			if d > 0 {
+				sum += d
+			}
+		}
+		if sum > 0 {
+			cc[s] = 1 / float64(sum)
+		}
+	}, g)
+	return cc
+}
+
+// Eccentricity computes, per Definition 3, the maximum shortest-path distance
+// from each node to any node it can reach. Isolated nodes get 0.
+func (g *Digraph) Eccentricity() []int {
+	n := g.N()
+	ecc := make([]int, n)
+	parallelOverSources(n, func(s int, dist []int) {
+		maxd := 0
+		for _, d := range dist {
+			if d > maxd {
+				maxd = d
+			}
+		}
+		ecc[s] = maxd
+	}, g)
+	return ecc
+}
+
+// parallelOverSources runs one BFS per source node across GOMAXPROCS workers
+// and hands each worker's distance vector to fn. fn must only write to
+// per-source state (indexed by s) — the slices cc/ecc above satisfy this.
+func parallelOverSources(n int, fn func(s int, dist []int), g *Digraph) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	srcs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dist := make([]int, n)
+			queue := make([]int, 0, n)
+			for s := range srcs {
+				for i := range dist {
+					dist[i] = Unreached
+				}
+				dist[s] = 0
+				queue = queue[:0]
+				queue = append(queue, s)
+				for len(queue) > 0 {
+					u := queue[0]
+					queue = queue[1:]
+					for _, v := range g.out[u] {
+						if dist[v] == Unreached {
+							dist[v] = dist[u] + 1
+							queue = append(queue, v)
+						}
+					}
+				}
+				fn(s, dist)
+			}
+		}()
+	}
+	for s := 0; s < n; s++ {
+		srcs <- s
+	}
+	close(srcs)
+	wg.Wait()
+}

@@ -1,0 +1,107 @@
+package graph
+
+// SCC computes the strongly connected components of g using Tarjan's
+// algorithm (iterative, so deep netlists cannot overflow the goroutine
+// stack). It returns comp, mapping each node to its component id, and the
+// number of components. Component ids are assigned in reverse topological
+// order of the condensation.
+func (g *Digraph) SCC() (comp []int, count int) {
+	n := g.N()
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+
+	type frame struct {
+		v  int
+		ei int // next out-edge index to explore
+	}
+	var callStack []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		callStack = append(callStack[:0], frame{v: root})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			v := f.v
+			if f.ei < len(g.out[v]) {
+				w := g.out[v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// Done with v: pop, maybe emit component, propagate lowlink.
+			callStack = callStack[:len(callStack)-1]
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = count
+					if w == v {
+						break
+					}
+				}
+				count++
+			}
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// InFeedbackLoop marks every node that participates in a directed cycle:
+// nodes in an SCC of size ≥ 2, plus nodes with a self-loop. The paper uses
+// feedback-loop membership as a GCN feature because control-path feedback is
+// cyclic while pure datapaths are feed-forward.
+func (g *Digraph) InFeedbackLoop() []bool {
+	comp, count := g.SCC()
+	size := make([]int, count)
+	for _, c := range comp {
+		size[c]++
+	}
+	in := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		if size[comp[v]] >= 2 {
+			in[v] = true
+			continue
+		}
+		for _, w := range g.out[v] {
+			if w == v {
+				in[v] = true
+				break
+			}
+		}
+	}
+	return in
+}

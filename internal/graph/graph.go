@@ -1,0 +1,110 @@
+// Package graph implements the directed-graph machinery DSPlacer needs:
+// traversals (BFS, DFS, iterative-deepening DFS), the centrality metrics used
+// as GCN node features (betweenness, closeness, eccentricity), feedback-loop
+// detection via strongly connected components, and topological ordering for
+// timing analysis. Nodes are dense integers 0..N-1.
+package graph
+
+import "fmt"
+
+// Digraph is a directed graph over nodes 0..N-1 stored as adjacency lists.
+// Parallel edges are permitted but usually undesirable; callers that need
+// simple graphs should deduplicate before adding.
+type Digraph struct {
+	out [][]int
+	in  [][]int
+	m   int
+}
+
+// NewDigraph returns an empty directed graph with n nodes.
+func NewDigraph(n int) *Digraph {
+	return &Digraph{out: make([][]int, n), in: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Digraph) N() int { return len(g.out) }
+
+// M returns the number of edges.
+func (g *Digraph) M() int { return g.m }
+
+// AddEdge inserts the directed edge u→v. It panics if either endpoint is out
+// of range, since that always indicates a construction bug upstream.
+func (g *Digraph) AddEdge(u, v int) {
+	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.N()))
+	}
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	g.m++
+}
+
+// HasEdge reports whether the edge u→v exists.
+func (g *Digraph) HasEdge(u, v int) bool {
+	for _, w := range g.out[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Out returns the successors of u. The slice is owned by the graph and must
+// not be mutated.
+func (g *Digraph) Out(u int) []int { return g.out[u] }
+
+// In returns the predecessors of u. The slice is owned by the graph and must
+// not be mutated.
+func (g *Digraph) In(u int) []int { return g.in[u] }
+
+// OutDegree returns the number of outgoing edges of u.
+func (g *Digraph) OutDegree(u int) int { return len(g.out[u]) }
+
+// InDegree returns the number of incoming edges of u.
+func (g *Digraph) InDegree(u int) int { return len(g.in[u]) }
+
+// Undirected returns the symmetric closure of g: for every edge u→v the
+// result has both u→v and v→u (deduplicated). Centrality features in the
+// paper are computed on the netlist viewed as an undirected graph.
+func (g *Digraph) Undirected() *Digraph {
+	u := NewDigraph(g.N())
+	seen := make(map[[2]int]bool, g.m*2)
+	add := func(a, b int) {
+		if a == b {
+			return
+		}
+		k := [2]int{a, b}
+		if !seen[k] {
+			seen[k] = true
+			u.AddEdge(a, b)
+		}
+	}
+	for a := 0; a < g.N(); a++ {
+		for _, b := range g.out[a] {
+			add(a, b)
+			add(b, a)
+		}
+	}
+	return u
+}
+
+// Reverse returns the transpose graph.
+func (g *Digraph) Reverse() *Digraph {
+	r := NewDigraph(g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.out[u] {
+			r.AddEdge(v, u)
+		}
+	}
+	return r
+}
+
+// Clone returns a deep copy of g.
+func (g *Digraph) Clone() *Digraph {
+	c := NewDigraph(g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.out[u] {
+			c.AddEdge(u, v)
+		}
+	}
+	return c
+}

@@ -1,0 +1,99 @@
+// Package hungarian implements the O(n³) Hungarian (Kuhn–Munkres)
+// algorithm for the rectangular assignment problem. It provides an exact,
+// flow-free alternative for small DSP-to-site assignments and serves as a
+// cross-check oracle for the min-cost-flow solver in tests.
+package hungarian
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve assigns each of n rows to one of m columns (n ≤ m) minimizing the
+// total cost. cost[i][j] is the cost of assigning row i to column j.
+// Returns the column per row and the optimal total cost.
+func Solve(cost [][]float64) ([]int, float64, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(cost[0])
+	if m < n {
+		return nil, 0, fmt.Errorf("hungarian: %d rows exceed %d columns", n, m)
+	}
+	for i, row := range cost {
+		if len(row) != m {
+			return nil, 0, fmt.Errorf("hungarian: ragged row %d", i)
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, 0, fmt.Errorf("hungarian: non-finite cost in row %d", i)
+			}
+		}
+	}
+
+	// Jonker-Volgenant style shortest augmenting path formulation with
+	// potentials, 1-indexed internal arrays (the classic e-maxx layout).
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1) // p[j] = row matched to column j (0 = none)
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign := make([]int, n)
+	total := 0.0
+	for j := 1; j <= m; j++ {
+		if p[j] != 0 {
+			assign[p[j]-1] = j - 1
+			total += cost[p[j]-1][j-1]
+		}
+	}
+	return assign, total, nil
+}

@@ -1,0 +1,110 @@
+package hungarian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dsplacer/internal/mcmf"
+)
+
+func TestSimpleSquare(t *testing.T) {
+	cost := [][]float64{
+		{1, 10, 10},
+		{10, 1, 10},
+		{10, 10, 1},
+	}
+	assign, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 {
+		t.Fatalf("total=%v", total)
+	}
+	for i, j := range assign {
+		if i != j {
+			t.Fatalf("assign=%v", assign)
+		}
+	}
+}
+
+func TestRectangular(t *testing.T) {
+	// 2 rows, 4 columns: best picks columns 3 and 0.
+	cost := [][]float64{
+		{5, 9, 9, 1},
+		{2, 9, 9, 9},
+	}
+	assign, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 || assign[0] != 3 || assign[1] != 0 {
+		t.Fatalf("assign=%v total=%v", assign, total)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, _, err := Solve([][]float64{{1}, {2}}); err == nil {
+		t.Fatal("rows > cols accepted")
+	}
+	if _, _, err := Solve([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged accepted")
+	}
+	if _, _, err := Solve([][]float64{{math.NaN(), 1}}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if a, c, err := Solve(nil); err != nil || a != nil || c != 0 {
+		t.Fatal("empty problem mishandled")
+	}
+}
+
+// Property: Hungarian matches the MCMF bipartite assignment on random
+// rectangular instances, and the assignment is a valid injection.
+func TestMatchesMCMF(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := n + rng.Intn(4)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(100))
+			}
+		}
+		assign, total, err := Solve(cost)
+		if err != nil {
+			return false
+		}
+		used := map[int]bool{}
+		check := 0.0
+		for i, j := range assign {
+			if j < 0 || j >= m || used[j] {
+				return false
+			}
+			used[j] = true
+			check += cost[i][j]
+		}
+		if math.Abs(check-total) > 1e-9 {
+			return false
+		}
+		// MCMF oracle.
+		g := mcmf.NewGraph(n + m + 2)
+		src, sink := 0, n+m+1
+		for i := 0; i < n; i++ {
+			g.AddEdge(src, 1+i, 1, 0)
+			for j := 0; j < m; j++ {
+				g.AddEdge(1+i, 1+n+j, 1, cost[i][j])
+			}
+		}
+		for j := 0; j < m; j++ {
+			g.AddEdge(1+n+j, sink, 1, 0)
+		}
+		flow, mcmfCost := g.MinCostFlow(src, sink, int64(n))
+		return flow == int64(n) && math.Abs(mcmfCost-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package ilp solves small 0-1 integer linear programs by branch-and-bound
+// over the LP relaxation (package lp). It replaces Gurobi for the paper's
+// cascade-legalization models (Eq. 10 and Eq. 11), which are small: the
+// number of DSP columns on a device is tens, not thousands.
+package ilp
+
+import (
+	"fmt"
+	"math"
+
+	"dsplacer/internal/lp"
+)
+
+// Problem is a minimization 0-1 ILP. Variables listed in Binary must take
+// values in {0,1}; all variables are non-negative.
+type Problem struct {
+	NumVars     int
+	Objective   []float64
+	Constraints []lp.Constraint
+	// Binary[i] forces x_i ∈ {0,1}. Non-binary variables stay continuous.
+	Binary []bool
+}
+
+// Solution is the branch-and-bound outcome.
+type Solution struct {
+	Status    lp.Status
+	X         []float64
+	Objective float64
+	Nodes     int // explored B&B nodes
+}
+
+// Options tunes the search.
+type Options struct {
+	// MaxNodes aborts the search after this many nodes (0 = 200000). When
+	// hit, the incumbent (if any) is returned with Status Optimal and
+	// Truncated=true semantics are reported via error.
+	MaxNodes int
+}
+
+const intTol = 1e-4
+
+// Solve runs depth-first branch-and-bound with most-fractional branching.
+func Solve(p *Problem, opt Options) (*Solution, error) {
+	if len(p.Objective) != p.NumVars {
+		return nil, fmt.Errorf("ilp: objective size %d, want %d", len(p.Objective), p.NumVars)
+	}
+	if len(p.Binary) != p.NumVars {
+		return nil, fmt.Errorf("ilp: binary mask size %d, want %d", len(p.Binary), p.NumVars)
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 200000
+	}
+
+	// Base relaxation: original constraints + x_i ≤ 1 for binary vars.
+	base := &lp.Problem{NumVars: p.NumVars, Objective: p.Objective}
+	base.Constraints = append(base.Constraints, p.Constraints...)
+	for i := 0; i < p.NumVars; i++ {
+		if p.Binary[i] {
+			row := make([]float64, p.NumVars)
+			row[i] = 1
+			base.Constraints = append(base.Constraints, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: 1})
+		}
+	}
+
+	type node struct {
+		fixed map[int]float64 // var → forced value (0 or 1)
+	}
+	stack := []node{{fixed: map[int]float64{}}}
+	best := &Solution{Status: lp.Infeasible, Objective: math.Inf(1)}
+	nodes := 0
+
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+		if nodes > maxNodes {
+			if best.Status == lp.Optimal {
+				best.Nodes = nodes
+				return best, fmt.Errorf("ilp: node limit reached; returning incumbent")
+			}
+			return nil, fmt.Errorf("ilp: node limit reached with no incumbent")
+		}
+
+		// Build the node LP: base + fixings.
+		np := &lp.Problem{NumVars: p.NumVars, Objective: p.Objective}
+		np.Constraints = append(np.Constraints, base.Constraints...)
+		for v, val := range nd.fixed {
+			row := make([]float64, p.NumVars)
+			row[v] = 1
+			np.Constraints = append(np.Constraints, lp.Constraint{Coeffs: row, Rel: lp.EQ, RHS: val})
+		}
+		rel, err := lp.Solve(np)
+		if err != nil {
+			return nil, err
+		}
+		if rel.Status == lp.Infeasible {
+			continue
+		}
+		if rel.Status == lp.Unbounded {
+			return nil, fmt.Errorf("ilp: relaxation unbounded")
+		}
+		if rel.Objective >= best.Objective-1e-9 {
+			continue // bound prune
+		}
+		// Find the most fractional binary variable.
+		branchVar := -1
+		worst := intTol
+		for i := 0; i < p.NumVars; i++ {
+			if !p.Binary[i] {
+				continue
+			}
+			f := math.Abs(rel.X[i] - math.Round(rel.X[i]))
+			if f > worst {
+				worst = f
+				branchVar = i
+			}
+		}
+		if branchVar < 0 {
+			// Integral: new incumbent.
+			x := make([]float64, p.NumVars)
+			copy(x, rel.X)
+			for i := range x {
+				if p.Binary[i] {
+					x[i] = math.Round(x[i])
+				}
+			}
+			best = &Solution{Status: lp.Optimal, X: x, Objective: rel.Objective}
+			continue
+		}
+		// Branch: try the rounding nearest the relaxation first (pushed
+		// last so it pops first from the stack).
+		near := math.Round(rel.X[branchVar])
+		far := 1 - near
+		for _, val := range []float64{far, near} {
+			child := node{fixed: make(map[int]float64, len(nd.fixed)+1)}
+			for k, v := range nd.fixed {
+				child.fixed[k] = v
+			}
+			child.fixed[branchVar] = val
+			stack = append(stack, child)
+		}
+	}
+	best.Nodes = nodes
+	if best.Status != lp.Optimal {
+		return &Solution{Status: lp.Infeasible, Nodes: nodes}, nil
+	}
+	return best, nil
+}

@@ -1,0 +1,213 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dsplacer/internal/lp"
+)
+
+func binaries(n int) []bool {
+	b := make([]bool, n)
+	for i := range b {
+		b[i] = true
+	}
+	return b
+}
+
+func TestKnapsack(t *testing.T) {
+	// max 10a+6b+4c s.t. a+b+c<=2 (binary) → min -obj. Optimum pick a,b = 16.
+	p := &Problem{
+		NumVars:   3,
+		Objective: []float64{-10, -6, -4},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1, 1, 1}, Rel: lp.LE, RHS: 2},
+		},
+		Binary: binaries(3),
+	}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != lp.Optimal || math.Abs(s.Objective-(-16)) > 1e-6 {
+		t.Fatalf("obj=%v x=%v", s.Objective, s.X)
+	}
+	if s.X[0] != 1 || s.X[1] != 1 || s.X[2] != 0 {
+		t.Fatalf("x=%v", s.X)
+	}
+}
+
+func TestFractionalLPNeedsBranching(t *testing.T) {
+	// max 5a+4b s.t. 6a+4b<=9 → LP relaxation fractional (a=1,b=0.75);
+	// binary optimum is a=0,b=1? 4; or a=1,b=0 → 5. Check 6*1=6<=9 → a=1
+	// feasible, so best = 5... with b: 6+4=10>9, no. So optimum -5.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-5, -4},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{6, 4}, Rel: lp.LE, RHS: 9},
+		},
+		Binary: binaries(2),
+	}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective-(-5)) > 1e-6 {
+		t.Fatalf("obj=%v x=%v", s.Objective, s.X)
+	}
+}
+
+func TestInfeasibleILP(t *testing.T) {
+	// a+b = 3 with binary a,b is infeasible.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1, 1}, Rel: lp.EQ, RHS: 3},
+		},
+		Binary: binaries(2),
+	}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != lp.Infeasible {
+		t.Fatalf("status=%v", s.Status)
+	}
+}
+
+func TestEqualityAssignment(t *testing.T) {
+	// 2 items × 2 slots assignment with costs [[1, 10], [10, 1]].
+	// x00+x01=1; x10+x11=1; x00+x10<=1; x01+x11<=1. Optimum diag = 2.
+	p := &Problem{
+		NumVars:   4,
+		Objective: []float64{1, 10, 10, 1},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1, 1, 0, 0}, Rel: lp.EQ, RHS: 1},
+			{Coeffs: []float64{0, 0, 1, 1}, Rel: lp.EQ, RHS: 1},
+			{Coeffs: []float64{1, 0, 1, 0}, Rel: lp.LE, RHS: 1},
+			{Coeffs: []float64{0, 1, 0, 1}, Rel: lp.LE, RHS: 1},
+		},
+		Binary: binaries(4),
+	}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective-2) > 1e-6 {
+		t.Fatalf("obj=%v x=%v", s.Objective, s.X)
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	if _, err := Solve(&Problem{NumVars: 2, Objective: []float64{1}, Binary: binaries(2)}, Options{}); err == nil {
+		t.Fatal("bad objective accepted")
+	}
+	if _, err := Solve(&Problem{NumVars: 2, Objective: []float64{1, 1}, Binary: []bool{true}}, Options{}); err == nil {
+		t.Fatal("bad binary mask accepted")
+	}
+}
+
+// bruteBinary enumerates all 2^n assignments.
+func bruteBinary(p *Problem) (float64, bool) {
+	n := p.NumVars
+	best := math.Inf(1)
+	found := false
+	for mask := 0; mask < 1<<n; mask++ {
+		feasible := true
+		for _, c := range p.Constraints {
+			dot := 0.0
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					dot += c.Coeffs[j]
+				}
+			}
+			switch c.Rel {
+			case lp.LE:
+				feasible = feasible && dot <= c.RHS+1e-9
+			case lp.GE:
+				feasible = feasible && dot >= c.RHS-1e-9
+			case lp.EQ:
+				feasible = feasible && math.Abs(dot-c.RHS) <= 1e-9
+			}
+			if !feasible {
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		obj := 0.0
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				obj += p.Objective[j]
+			}
+		}
+		if obj < best {
+			best = obj
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Property: B&B matches exhaustive enumeration on random small binary ILPs.
+func TestMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4) // 2..5 vars
+		p := &Problem{NumVars: n, Objective: make([]float64, n), Binary: binaries(n)}
+		for j := range p.Objective {
+			p.Objective[j] = float64(rng.Intn(21) - 10)
+		}
+		nc := 1 + rng.Intn(3)
+		for k := 0; k < nc; k++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = float64(rng.Intn(7) - 3)
+			}
+			rel := []lp.Relation{lp.LE, lp.GE}[rng.Intn(2)]
+			p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: row, Rel: rel, RHS: float64(rng.Intn(9) - 2)})
+		}
+		want, feasible := bruteBinary(p)
+		got, err := Solve(p, Options{})
+		if err != nil {
+			return false
+		}
+		if !feasible {
+			return got.Status == lp.Infeasible
+		}
+		if got.Status != lp.Optimal {
+			return false
+		}
+		// Verify integrality and feasibility of the returned point too.
+		for j, x := range got.X {
+			if p.Binary[j] && x != 0 && x != 1 {
+				return false
+			}
+		}
+		return math.Abs(got.Objective-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A problem that needs branching, with a 1-node budget: no incumbent
+	// can exist yet, so Solve must error.
+	p := &Problem{
+		NumVars:   6,
+		Objective: []float64{-5, -4, -3, -5, -4, -3},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{6, 4, 3, 5, 4, 3}, Rel: lp.LE, RHS: 10},
+		},
+		Binary: binaries(6),
+	}
+	if _, err := Solve(p, Options{MaxNodes: 1}); err == nil {
+		t.Fatal("node limit not enforced")
+	}
+}

@@ -1,0 +1,162 @@
+package legalize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// intraColumn solves Eq. 11 for one column: each group occupies size()
+// consecutive rows (constraint 11a for cascades), groups must not overlap
+// (11b), rows lie in [0, capacity), and the total L1 displacement
+// Σ|r_i − R_col(i)| is minimized. Groups are first ordered by average
+// desired row (macros by the mean of their members, as §IV-B prescribes);
+// given that order, the weighted-median clumping algorithm (Abacus with an
+// L1 objective) is exact. Returns the start row per group, parallel to
+// colGroups.
+func intraColumn(colGroups []*group, capacity int) ([]int, error) {
+	totalH := 0
+	for _, g := range colGroups {
+		totalH += g.size()
+	}
+	if totalH > capacity {
+		return nil, fmt.Errorf("legalize: column demand %d exceeds capacity %d", totalH, capacity)
+	}
+
+	// Order groups by mean desired row; ties broken by first cell id for
+	// determinism.
+	order := make([]int, len(colGroups))
+	for i := range order {
+		order[i] = i
+	}
+	meanRow := func(g *group) float64 {
+		s := 0.0
+		for _, r := range g.desiredRows {
+			s += r
+		}
+		return s / float64(len(g.desiredRows))
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ma, mb := meanRow(colGroups[order[a]]), meanRow(colGroups[order[b]])
+		if ma != mb {
+			return ma < mb
+		}
+		return colGroups[order[a]].cells[0] < colGroups[order[b]].cells[0]
+	})
+
+	// Clumping clusters. Every member cell contributes its own sample
+	// (desiredRow − offsetWithinCluster), so the weighted median of the
+	// cluster minimizes the exact Σ|r − R| objective.
+	type cluster struct {
+		height  int
+		desires []wd // member desires adjusted to the cluster start
+		start   float64
+	}
+	// bestStart returns the optimal *integer* start in [0, capacity-h]: the
+	// weighted median is a continuous minimizer of the piecewise-linear
+	// cost, so the integer optimum is its floor or ceil (whichever is
+	// cheaper after clamping).
+	bestStart := func(desires []wd, h int) float64 {
+		med := weightedMedian(desires)
+		lo, hi := math.Floor(med), math.Ceil(med)
+		clampI := func(v float64) float64 {
+			if v < 0 {
+				return 0
+			}
+			if max := float64(capacity - h); v > max {
+				return max
+			}
+			return v
+		}
+		lo, hi = clampI(lo), clampI(hi)
+		costAt := func(s float64) float64 {
+			c := 0.0
+			for _, d := range desires {
+				c += d.w * math.Abs(s-d.d)
+			}
+			return c
+		}
+		if costAt(lo) <= costAt(hi) {
+			return lo
+		}
+		return hi
+	}
+
+	var clusters []*cluster
+	for _, gi := range order {
+		g := colGroups[gi]
+		c := &cluster{height: g.size()}
+		for m, r := range g.desiredRows {
+			c.desires = append(c.desires, wd{d: r - float64(m), w: 1})
+		}
+		c.start = bestStart(c.desires, c.height)
+		// Merge while overlapping the previous cluster.
+		for len(clusters) > 0 {
+			p := clusters[len(clusters)-1]
+			if p.start+float64(p.height) <= c.start {
+				break
+			}
+			// Merge c into p: c's desires shift down by p.height.
+			for _, d := range c.desires {
+				p.desires = append(p.desires, wd{d: d.d - float64(p.height), w: d.w})
+			}
+			p.height += c.height
+			p.start = bestStart(p.desires, p.height)
+			clusters = clusters[:len(clusters)-1]
+			c = p
+		}
+		clusters = append(clusters, c)
+	}
+
+	// Emit integer start rows in order; rounding within a cluster keeps
+	// contiguity by construction.
+	starts := make([]int, len(colGroups))
+	k := 0
+	row := 0
+	for _, c := range clusters {
+		base := int(c.start + 0.5)
+		if base < row {
+			base = row
+		}
+		// Walk the groups covered by this cluster in order.
+		h := 0
+		for h < c.height {
+			gi := order[k]
+			starts[gi] = base + h
+			h += colGroups[gi].size()
+			k++
+		}
+		row = base + c.height
+		if row > capacity {
+			return nil, fmt.Errorf("legalize: clumping overflowed capacity %d", capacity)
+		}
+	}
+	return starts, nil
+}
+
+// weightedMedian returns a weighted median of the desires: the smallest d
+// whose cumulative weight reaches half the total. For L1 objectives any
+// point between the lower and upper weighted medians is optimal.
+func weightedMedian(ds []wd) float64 {
+	sorted := make([]wd, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].d < sorted[j].d })
+	total := 0.0
+	for _, x := range sorted {
+		total += x.w
+	}
+	acc := 0.0
+	for _, x := range sorted {
+		acc += x.w
+		if acc >= total/2 {
+			return x.d
+		}
+	}
+	return sorted[len(sorted)-1].d
+}
+
+// wd is one (desired position, weight) sample for the weighted median.
+type wd struct {
+	d float64
+	w float64
+}

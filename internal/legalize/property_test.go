@@ -1,0 +1,115 @@
+package legalize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/netlist"
+)
+
+// TestLegalizeRandomProperty drives the whole legalizer with random DSP
+// populations (mixed macros and singles, random colliding initial sites)
+// and verifies the two hard guarantees: unique legal sites and cascade
+// adjacency.
+func TestLegalizeRandomProperty(t *testing.T) {
+	dev, err := fpga.NewDevice(fpga.Config{Name: "p", Pattern: "CDCDC", Repeats: 2, RegionRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := dev.DSPSites()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := netlist.New("p")
+		anchor := nl.AddCell("a", netlist.LUT)
+		total := 0
+		in := map[int]int{}
+		budget := dev.NumDSPSites() * 3 / 4
+		for total < budget {
+			size := 1
+			if rng.Float64() < 0.4 {
+				size = 2 + rng.Intn(4)
+			}
+			if total+size > budget {
+				break
+			}
+			var ids []int
+			for k := 0; k < size; k++ {
+				d := nl.AddCell("d", netlist.DSP)
+				nl.AddNet("n", anchor.ID, d.ID)
+				ids = append(ids, d.ID)
+				in[d.ID] = rng.Intn(len(sites)) // collisions welcome
+			}
+			if size > 1 {
+				nl.AddMacro(ids)
+			}
+			total += size
+		}
+		if total == 0 {
+			return true
+		}
+		out, err := Legalize(dev, nl, in, Options{})
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		used := map[int]bool{}
+		for _, j := range out {
+			if j < 0 || j >= len(sites) || used[j] {
+				return false
+			}
+			used[j] = true
+		}
+		for _, pair := range nl.CascadePairs() {
+			sp, ss := sites[out[pair[0]]], sites[out[pair[1]]]
+			if sp.Col != ss.Col || ss.Row != sp.Row+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegalizeNearCapacity fills the device to 100% and checks the
+// legalizer still succeeds (SkrSkr-3 uses 83% of the device).
+func TestLegalizeNearCapacity(t *testing.T) {
+	dev, err := fpga.NewDevice(fpga.Config{Name: "full", Pattern: "CD", Repeats: 3, RegionRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := dev.NumDSPSites()
+	nl := netlist.New("full")
+	anchor := nl.AddCell("a", netlist.LUT)
+	in := map[int]int{}
+	var chain []int
+	for i := 0; i < n; i++ {
+		d := nl.AddCell("d", netlist.DSP)
+		nl.AddNet("n", anchor.ID, d.ID)
+		in[d.ID] = 0 // everything desires site 0
+		chain = append(chain, d.ID)
+		if len(chain) == 4 {
+			nl.AddMacro(chain)
+			chain = nil
+		}
+	}
+	out, err := Legalize(dev, nl, in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]bool{}
+	for _, j := range out {
+		if used[j] {
+			t.Fatal("site reused at full capacity")
+		}
+		used[j] = true
+	}
+	if len(used) != n {
+		t.Fatalf("placed %d of %d", len(used), n)
+	}
+}

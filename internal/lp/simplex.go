@@ -1,0 +1,307 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize  c·x
+//	subject to  A_i · x  {≤,=,≥}  b_i        for every constraint i
+//	            x ≥ 0
+//
+// It stands in for the LP relaxations that the paper hands to Gurobi. The
+// legalization models are small (tens of variables per subproblem), so a
+// dense tableau with Bland's anti-cycling rule is simple and exact.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Relation compares a constraint row to its right-hand side.
+type Relation int
+
+const (
+	LE Relation = iota // ≤
+	EQ                 // =
+	GE                 // ≥
+)
+
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case EQ:
+		return "=="
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Constraint is one row A_i·x Rel b_i. Coeffs must have Problem.NumVars
+// entries.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// Problem is a minimization LP over non-negative variables.
+type Problem struct {
+	NumVars     int
+	Objective   []float64
+	Constraints []Constraint
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "?"
+}
+
+// Solution carries the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex and returns the solution.
+func Solve(p *Problem) (*Solution, error) {
+	if len(p.Objective) != p.NumVars {
+		return nil, fmt.Errorf("lp: objective has %d coeffs, want %d", len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != p.NumVars {
+			return nil, fmt.Errorf("lp: constraint %d has %d coeffs, want %d", i, len(c.Coeffs), p.NumVars)
+		}
+	}
+
+	m := len(p.Constraints)
+	n := p.NumVars
+
+	// Count slack and artificial columns.
+	nSlack := 0
+	for _, c := range p.Constraints {
+		if c.Rel != EQ {
+			nSlack++
+		}
+	}
+	// Every row gets an artificial to obtain a trivial starting basis;
+	// rows whose slack already provides a basis column skip it below.
+	total := n + nSlack + m
+	// Tableau rows: m constraints; columns: total + RHS.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol := n
+	artCol := n + nSlack
+	nArt := 0
+
+	for i, c := range p.Constraints {
+		row := make([]float64, total+1)
+		copy(row, c.Coeffs)
+		rhs := c.RHS
+		sign := 1.0
+		if rhs < 0 {
+			// Normalize to non-negative RHS by negating the row.
+			sign = -1
+			for j := 0; j < n; j++ {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+		}
+		rel := c.Rel
+		if sign < 0 {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		switch rel {
+		case LE:
+			row[slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			basis[i] = artCol
+			artCol++
+			nArt++
+		case EQ:
+			row[artCol] = 1
+			basis[i] = artCol
+			artCol++
+			nArt++
+		}
+		row[total] = rhs
+		t[i] = row
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		obj := make([]float64, total+1)
+		for j := n + nSlack; j < n+nSlack+m; j++ {
+			obj[j] = 1
+		}
+		// Price out the basic artificials.
+		reduce(obj, t, basis)
+		if !iterate(t, basis, obj, total) {
+			return nil, fmt.Errorf("lp: phase 1 unbounded (cannot happen)")
+		}
+		if obj[total] < -eps {
+			// Objective row holds -(current value); value > 0 ⇒ infeasible.
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Drive any artificial still in the basis out (degenerate rows).
+		for i := 0; i < m; i++ {
+			if basis[i] >= n+nSlack {
+				pivoted := false
+				for j := 0; j < n+nSlack; j++ {
+					if math.Abs(t[i][j]) > eps {
+						pivot(t, basis, i, j)
+						pivoted = true
+						break
+					}
+				}
+				if !pivoted {
+					// Redundant row; harmless.
+					continue
+				}
+			}
+		}
+	}
+
+	// Phase 2: original objective; forbid artificial columns.
+	obj := make([]float64, total+1)
+	copy(obj, p.Objective)
+	reduce(obj, t, basis)
+	limit := n + nSlack // exclude artificial columns from pricing
+	if !iteratePhase2(t, basis, obj, total, limit) {
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = t[i][total]
+		}
+	}
+	val := 0.0
+	for j := 0; j < n; j++ {
+		val += p.Objective[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: val}, nil
+}
+
+// reduce prices out the basic variables from the objective row.
+func reduce(obj []float64, t [][]float64, basis []int) {
+	for i, b := range basis {
+		coeff := obj[b]
+		if coeff == 0 {
+			continue
+		}
+		for j := range obj {
+			obj[j] -= coeff * t[i][j]
+		}
+	}
+}
+
+// iterate runs simplex pivots on the full column range until optimal.
+// Returns false on unboundedness.
+func iterate(t [][]float64, basis []int, obj []float64, rhsCol int) bool {
+	return iteratePhase2(t, basis, obj, rhsCol, rhsCol)
+}
+
+// iteratePhase2 prices only columns < limit (to skip artificials). Bland's
+// rule (lowest eligible index) guarantees termination.
+func iteratePhase2(t [][]float64, basis []int, obj []float64, rhsCol, limit int) bool {
+	m := len(t)
+	for iter := 0; ; iter++ {
+		// Entering column: most negative reduced cost (Dantzig), falling
+		// back to Bland's rule after many iterations to break cycles.
+		col := -1
+		if iter < 2000 {
+			best := -eps
+			for j := 0; j < limit; j++ {
+				if obj[j] < best {
+					best = obj[j]
+					col = j
+				}
+			}
+		} else {
+			for j := 0; j < limit; j++ {
+				if obj[j] < -eps {
+					col = j
+					break
+				}
+			}
+		}
+		if col < 0 {
+			return true // optimal
+		}
+		// Leaving row: min ratio, Bland tie-break on basis index.
+		row := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := t[i][col]
+			if a > eps {
+				ratio := t[i][rhsCol] / a
+				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (row < 0 || basis[i] < basis[row])) {
+					bestRatio = ratio
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return false // unbounded
+		}
+		pivot(t, basis, row, col)
+		// Update the objective row as part of the pivot.
+		coeff := obj[col]
+		if coeff != 0 {
+			for j := range obj {
+				obj[j] -= coeff * t[row][j]
+			}
+		}
+	}
+}
+
+// pivot makes (row, col) a basis element via Gauss-Jordan elimination.
+func pivot(t [][]float64, basis []int, row, col int) {
+	p := t[row][col]
+	for j := range t[row] {
+		t[row][j] /= p
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range t[i] {
+			t[i][j] -= f * t[row][j]
+		}
+	}
+	basis[row] = col
+}

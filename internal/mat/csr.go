@@ -1,0 +1,92 @@
+package mat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row matrix, used for the GCN's normalized
+// adjacency operator Â = D^{-1/2}(A+I)D^{-1/2}, which is far too large to
+// hold densely for netlist-sized graphs.
+type CSR struct {
+	R, C   int
+	RowPtr []int
+	ColIdx []int
+	Val    []float64
+}
+
+// COO is one (row, col, value) triple for CSR construction.
+type COO struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR builds a CSR matrix from unordered triples; duplicate (row,col)
+// entries are summed.
+func NewCSR(r, c int, entries []COO) *CSR {
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= r || e.Col < 0 || e.Col >= c {
+			panic(fmt.Sprintf("mat: COO entry (%d,%d) out of %dx%d", e.Row, e.Col, r, c))
+		}
+	}
+	sorted := make([]COO, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{R: r, C: c, RowPtr: make([]int, r+1)}
+	for i := 0; i < len(sorted); {
+		j := i
+		v := 0.0
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		m.ColIdx = append(m.ColIdx, sorted[i].Col)
+		m.Val = append(m.Val, v)
+		m.RowPtr[sorted[i].Row+1]++
+		i = j
+	}
+	for i := 0; i < r; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// MulDense returns m × d (SpMM), parallelized over sparse rows.
+func (m *CSR) MulDense(d *Dense) *Dense {
+	if m.C != d.R {
+		panic(fmt.Sprintf("mat: spmm dims %dx%d × %dx%d", m.R, m.C, d.R, d.C))
+	}
+	out := NewDense(m.R, d.C)
+	parallelRows(m.R, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			oi := out.Row(i)
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				v := m.Val[p]
+				dr := d.Row(m.ColIdx[p])
+				for j, b := range dr {
+					oi[j] += v * b
+				}
+			}
+		}
+	})
+	return out
+}
+
+// ToDense materializes m; intended for tests on small matrices.
+func (m *CSR) ToDense() *Dense {
+	out := NewDense(m.R, m.C)
+	for i := 0; i < m.R; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			out.Set(i, m.ColIdx[p], m.Val[p])
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 1, 5)
+	m.Set(1, 2, -2)
+	if m.At(0, 1) != 5 || m.At(1, 2) != -2 || m.At(0, 0) != 0 {
+		t.Fatal("At/Set broken")
+	}
+	r := m.Row(1)
+	r[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row must be a mutable view")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 7)
+	if m.At(0, 0) == 7 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestFromRowsAndT(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.R != 3 || mt.C != 2 {
+		t.Fatalf("T dims %dx%d", mt.R, mt.C)
+	}
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatal("transpose wrong")
+			}
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	if got := a.Add(b).At(1, 1); got != 12 {
+		t.Fatalf("add=%v", got)
+	}
+	if got := a.Sub(b).At(0, 0); got != -4 {
+		t.Fatalf("sub=%v", got)
+	}
+	if got := a.Scale(3).At(1, 0); got != 9 {
+		t.Fatalf("scale=%v", got)
+	}
+	if got := a.Hadamard(b).At(0, 1); got != 12 {
+		t.Fatalf("hadamard=%v", got)
+	}
+	if got := a.Apply(func(v float64) float64 { return v * v }).At(1, 1); got != 16 {
+		t.Fatalf("apply=%v", got)
+	}
+	ac := a.Clone()
+	ac.AddInPlace(b)
+	if ac.At(0, 0) != 6 {
+		t.Fatal("AddInPlace broken")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	got := a.Mul(b)
+	want := FromRows([][]float64{{58, 64}, {139, 154}})
+	if got.MaxAbsDiff(want) > 1e-12 {
+		t.Fatalf("mul=%v", got.Data)
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewDense(4, 3).Randn(rng, 1)
+		b := NewDense(3, 5).Randn(rng, 1)
+		c := NewDense(5, 2).Randn(rng, 1)
+		left := a.Mul(b).Mul(c)
+		right := a.Mul(b.Mul(c))
+		return left.MaxAbsDiff(right) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRowVecAndColSums(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := m.AddRowVec([]float64{10, 20})
+	if got.At(0, 0) != 11 || got.At(1, 1) != 24 {
+		t.Fatalf("AddRowVec=%v", got.Data)
+	}
+	cs := m.ColSums()
+	if cs[0] != 4 || cs[1] != 6 {
+		t.Fatalf("ColSums=%v", cs)
+	}
+}
+
+func TestRowSoftmax(t *testing.T) {
+	m := FromRows([][]float64{{0, 0}, {1000, 1000}, {1, 3}})
+	s := m.RowSoftmax()
+	for i := 0; i < s.R; i++ {
+		sum := 0.0
+		for j := 0; j < s.C; j++ {
+			v := s.At(i, j)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("softmax out of range: %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	if math.Abs(s.At(0, 0)-0.5) > 1e-12 {
+		t.Fatal("uniform logits must give 0.5")
+	}
+	if !(s.At(2, 1) > s.At(2, 0)) {
+		t.Fatal("softmax ordering wrong")
+	}
+}
+
+func TestDimPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	a := NewDense(2, 2)
+	b := NewDense(3, 3)
+	assertPanics("add", func() { a.Add(b) })
+	assertPanics("mul", func() { a.Mul(b) })
+	assertPanics("bias", func() { a.AddRowVec([]float64{1}) })
+}
+
+func TestCSRConstructionAndSpMM(t *testing.T) {
+	// [[0 2 0], [1 0 3]] with a duplicate entry summed at (1,0).
+	m := NewCSR(2, 3, []COO{
+		{0, 1, 2}, {1, 2, 3}, {1, 0, 0.5}, {1, 0, 0.5},
+	})
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz=%d", m.NNZ())
+	}
+	d := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	got := m.MulDense(d)
+	want := FromRows([][]float64{{0, 2}, {4, 3}})
+	if got.MaxAbsDiff(want) > 1e-12 {
+		t.Fatalf("spmm=%v", got.Data)
+	}
+	dense := m.ToDense()
+	if dense.At(1, 0) != 1 || dense.At(0, 1) != 2 {
+		t.Fatal("ToDense wrong")
+	}
+}
+
+// Property: SpMM agrees with dense multiply on random sparse matrices.
+func TestSpMMMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, k, c := 6, 5, 4
+		var entries []COO
+		for i := 0; i < r; i++ {
+			for j := 0; j < k; j++ {
+				if rng.Float64() < 0.4 {
+					entries = append(entries, COO{i, j, rng.NormFloat64()})
+				}
+			}
+		}
+		s := NewCSR(r, k, entries)
+		d := NewDense(k, c).Randn(rng, 1)
+		return s.MulDense(d).MaxAbsDiff(s.ToDense().Mul(d)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSROutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCSR(2, 2, []COO{{5, 0, 1}})
+}

@@ -1,0 +1,189 @@
+// Package mcmf implements min-cost max-flow via successive shortest paths
+// with Johnson potentials. It substitutes for the Lemon solver the paper
+// uses: the linearized DSP-assignment model (Eq. 8–9) is a transportation
+// problem whose constraint matrix is totally unimodular, so the optimal flow
+// is integral and encodes a DSP→site assignment directly.
+package mcmf
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Edge is one directed arc with residual bookkeeping.
+type Edge struct {
+	To   int
+	Cap  int64 // remaining capacity
+	Cost float64
+	rev  int // index of the reverse edge in adj[To]
+	flow int64
+}
+
+// Flow returns the units currently pushed through the edge.
+func (e *Edge) Flow() int64 { return e.flow }
+
+// Graph is a flow network over nodes 0..n-1.
+type Graph struct {
+	n   int
+	adj [][]Edge
+}
+
+// NewGraph returns an empty network with n nodes.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, adj: make([][]Edge, n)}
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts an arc u→v with the given capacity and per-unit cost and
+// returns a stable handle (u, index) for querying its flow after solving.
+func (g *Graph) AddEdge(u, v int, cap int64, cost float64) EdgeRef {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("mcmf: edge (%d,%d) out of range", u, v))
+	}
+	if cap < 0 {
+		panic("mcmf: negative capacity")
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, Cap: cap, Cost: cost, rev: len(g.adj[v])})
+	g.adj[v] = append(g.adj[v], Edge{To: u, Cap: 0, Cost: -cost, rev: len(g.adj[u]) - 1})
+	return EdgeRef{u: u, idx: len(g.adj[u]) - 1}
+}
+
+// EdgeRef identifies an edge added via AddEdge.
+type EdgeRef struct {
+	u, idx int
+}
+
+// Flow returns the flow pushed through the referenced edge.
+func (g *Graph) Flow(r EdgeRef) int64 { return g.adj[r.u][r.idx].flow }
+
+// priority queue for Dijkstra
+type pqItem struct {
+	node int
+	dist float64
+}
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// MinCostFlow pushes up to maxFlow units from s to t along successively
+// cheapest augmenting paths and returns the amount shipped and its total
+// cost. Pass math.MaxInt64 as maxFlow for min-cost *max*-flow. Negative edge
+// costs are supported through an initial Bellman-Ford potential pass.
+func (g *Graph) MinCostFlow(s, t int, maxFlow int64) (flow int64, cost float64) {
+	if s == t {
+		return 0, 0
+	}
+	h := g.bellmanFordPotentials(s)
+	dist := make([]float64, g.n)
+	prevNode := make([]int, g.n)
+	prevEdge := make([]int, g.n)
+
+	for flow < maxFlow {
+		// Dijkstra on reduced costs.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevNode[i] = -1
+		}
+		dist[s] = 0
+		q := &pq{{node: s, dist: 0}}
+		for q.Len() > 0 {
+			it := heap.Pop(q).(pqItem)
+			if it.dist > dist[it.node] {
+				continue
+			}
+			u := it.node
+			for ei := range g.adj[u] {
+				e := &g.adj[u][ei]
+				if e.Cap <= 0 || math.IsInf(h[u], 1) {
+					continue
+				}
+				// Reduced cost. With valid potentials it is non-negative up
+				// to floating-point noise; clamp the noise at zero or
+				// Dijkstra can cycle forever on micro-negative edges when
+				// raw costs are large (λ-scaled quadratic distances).
+				rc := e.Cost + h[u] - h[e.To]
+				if rc < 0 {
+					rc = 0
+				}
+				nd := dist[u] + rc
+				eps := 1e-12 * (1 + math.Abs(nd))
+				if nd < dist[e.To]-eps {
+					dist[e.To] = nd
+					prevNode[e.To] = u
+					prevEdge[e.To] = ei
+					heap.Push(q, pqItem{node: e.To, dist: nd})
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			break // t no longer reachable
+		}
+		for i := range h {
+			if !math.IsInf(dist[i], 1) {
+				h[i] += dist[i]
+			}
+		}
+		// Bottleneck along the path.
+		push := maxFlow - flow
+		for v := t; v != s; v = prevNode[v] {
+			e := &g.adj[prevNode[v]][prevEdge[v]]
+			if e.Cap < push {
+				push = e.Cap
+			}
+		}
+		for v := t; v != s; v = prevNode[v] {
+			e := &g.adj[prevNode[v]][prevEdge[v]]
+			e.Cap -= push
+			e.flow += push
+			rev := &g.adj[v][e.rev]
+			rev.Cap += push
+			rev.flow -= push
+			cost += float64(push) * e.Cost
+		}
+		flow += push
+	}
+	return flow, cost
+}
+
+// bellmanFordPotentials returns shortest-path potentials from s over the
+// residual graph so Dijkstra's reduced costs are non-negative even when
+// original costs are negative. Unreachable nodes keep +Inf.
+func (g *Graph) bellmanFordPotentials(s int) []float64 {
+	h := make([]float64, g.n)
+	for i := range h {
+		h[i] = math.Inf(1)
+	}
+	h[s] = 0
+	for iter := 0; iter < g.n; iter++ {
+		changed := false
+		for u := 0; u < g.n; u++ {
+			if math.IsInf(h[u], 1) {
+				continue
+			}
+			for ei := range g.adj[u] {
+				e := &g.adj[u][ei]
+				if e.Cap > 0 && h[u]+e.Cost < h[e.To]-1e-12 {
+					h[e.To] = h[u] + e.Cost
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return h
+		}
+	}
+	panic("mcmf: negative cycle in cost graph")
+}

@@ -1,0 +1,216 @@
+package mcmf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplePath(t *testing.T) {
+	g := NewGraph(3)
+	e0 := g.AddEdge(0, 1, 5, 2)
+	e1 := g.AddEdge(1, 2, 3, 1)
+	flow, cost := g.MinCostFlow(0, 2, math.MaxInt64)
+	if flow != 3 || cost != 9 {
+		t.Fatalf("flow=%d cost=%v, want 3/9", flow, cost)
+	}
+	if g.Flow(e0) != 3 || g.Flow(e1) != 3 {
+		t.Fatal("edge flows wrong")
+	}
+}
+
+func TestChoosesCheaperPath(t *testing.T) {
+	// Two parallel 0→1 routes through intermediates; cheaper one first.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1, 10) // expensive direct
+	g.AddEdge(0, 2, 1, 1)
+	g.AddEdge(2, 1, 1, 1) // cheap via 2
+	g.AddEdge(1, 3, 2, 0)
+	flow, cost := g.MinCostFlow(0, 3, 1)
+	if flow != 1 || cost != 2 {
+		t.Fatalf("flow=%d cost=%v, want 1/2", flow, cost)
+	}
+	flow, cost = g.MinCostFlow(0, 3, 1) // second unit takes the dear route
+	if flow != 1 || cost != 10 {
+		t.Fatalf("flow=%d cost=%v, want 1/10", flow, cost)
+	}
+}
+
+func TestNegativeCosts(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 2, -5)
+	g.AddEdge(1, 2, 2, 3)
+	flow, cost := g.MinCostFlow(0, 2, math.MaxInt64)
+	if flow != 2 || cost != -4 {
+		t.Fatalf("flow=%d cost=%v, want 2/-4", flow, cost)
+	}
+}
+
+func TestMaxFlowCap(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1, 100, 1)
+	flow, cost := g.MinCostFlow(0, 1, 7)
+	if flow != 7 || cost != 7 {
+		t.Fatalf("flow=%d cost=%v", flow, cost)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 4, 1)
+	flow, cost := g.MinCostFlow(0, 2, math.MaxInt64)
+	if flow != 0 || cost != 0 {
+		t.Fatalf("flow=%d cost=%v, want 0/0", flow, cost)
+	}
+}
+
+func TestSourceEqualsSink(t *testing.T) {
+	g := NewGraph(1)
+	if f, c := g.MinCostFlow(0, 0, 10); f != 0 || c != 0 {
+		t.Fatalf("f=%d c=%v", f, c)
+	}
+}
+
+// assignmentBrute solves the n×n assignment problem exactly by permutation
+// enumeration (n ≤ 7).
+func assignmentBrute(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	used := make([]bool, n)
+	best := math.Inf(1)
+	var rec func(i int, acc float64)
+	rec = func(i int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if i == n {
+			best = acc
+			return
+		}
+		for j := 0; j < n; j++ {
+			if !used[j] {
+				used[j] = true
+				perm[i] = j
+				rec(i+1, acc+cost[i][j])
+				used[j] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// Property: MCMF solves random assignment problems to optimality and yields
+// a perfect integral matching.
+func TestAssignmentOptimality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5) // 2..6
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(50))
+			}
+		}
+		// Build bipartite flow: s=0, workers 1..n, jobs n+1..2n, t=2n+1.
+		g := NewGraph(2*n + 2)
+		s, tt := 0, 2*n+1
+		refs := make([][]EdgeRef, n)
+		for i := 0; i < n; i++ {
+			g.AddEdge(s, 1+i, 1, 0)
+			refs[i] = make([]EdgeRef, n)
+			for j := 0; j < n; j++ {
+				refs[i][j] = g.AddEdge(1+i, n+1+j, 1, cost[i][j])
+			}
+			g.AddEdge(n+1+i, tt, 1, 0)
+		}
+		flow, got := g.MinCostFlow(s, tt, math.MaxInt64)
+		if flow != int64(n) {
+			return false
+		}
+		// Extract matching: each worker exactly one job, each job once.
+		jobUsed := make([]bool, n)
+		check := 0.0
+		for i := 0; i < n; i++ {
+			cnt := 0
+			for j := 0; j < n; j++ {
+				fl := g.Flow(refs[i][j])
+				if fl < 0 || fl > 1 {
+					return false
+				}
+				if fl == 1 {
+					cnt++
+					if jobUsed[j] {
+						return false
+					}
+					jobUsed[j] = true
+					check += cost[i][j]
+				}
+			}
+			if cnt != 1 {
+				return false
+			}
+		}
+		want := assignmentBrute(cost)
+		return math.Abs(got-want) < 1e-9 && math.Abs(check-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flow conservation at every internal node.
+func TestFlowConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6
+		g := NewGraph(n)
+		for i := 0; i < 12; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, int64(1+rng.Intn(4)), float64(rng.Intn(9)))
+			}
+		}
+		g.MinCostFlow(0, n-1, math.MaxInt64)
+		net := make([]int64, n)
+		for u := 0; u < n; u++ {
+			for _, e := range g.adj[u] {
+				if e.flow > 0 { // only count forward edges
+					net[u] -= e.flow
+					net[e.To] += e.flow
+				}
+			}
+		}
+		for v := 1; v < n-1; v++ {
+			if net[v] != 0 {
+				return false
+			}
+		}
+		return net[0] <= 0 && net[n-1] >= 0 && net[0] == -net[n-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g := NewGraph(2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range edge accepted")
+			}
+		}()
+		g.AddEdge(0, 5, 1, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative capacity accepted")
+			}
+		}()
+		g.AddEdge(0, 1, -1, 0)
+	}()
+}

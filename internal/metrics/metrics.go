@@ -1,0 +1,72 @@
+// Package metrics computes the placement quality numbers reported in
+// Table II: half-perimeter wirelength (HPWL), displacement, and simple
+// distribution summaries.
+package metrics
+
+import (
+	"math"
+
+	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
+)
+
+// HPWL returns the total weighted half-perimeter wirelength of nl under the
+// given cell positions.
+func HPWL(nl *netlist.Netlist, pos []geom.Point) float64 {
+	total := 0.0
+	for _, n := range nl.Nets {
+		total += n.Weight * NetHPWL(n, pos)
+	}
+	return total
+}
+
+// NetHPWL returns the (unweighted) half-perimeter of one net.
+func NetHPWL(n *netlist.Net, pos []geom.Point) float64 {
+	r := geom.EmptyRect()
+	r = r.Expand(pos[n.Driver])
+	for _, s := range n.Sinks {
+		r = r.Expand(pos[s])
+	}
+	return r.HalfPerimeter()
+}
+
+// TotalDisplacement returns the summed Manhattan distance between two
+// placements over the given cell ids (all cells when ids is nil).
+func TotalDisplacement(a, b []geom.Point, ids []int) float64 {
+	total := 0.0
+	if ids == nil {
+		for i := range a {
+			total += a[i].Manhattan(b[i])
+		}
+		return total
+	}
+	for _, i := range ids {
+		total += a[i].Manhattan(b[i])
+	}
+	return total
+}
+
+// Summary describes a sample distribution.
+type Summary struct {
+	Min, Max, Mean, Sum float64
+	N                   int
+}
+
+// Summarize computes min/max/mean/sum of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1), N: len(xs)}
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		s.Sum += x
+	}
+	s.Mean = s.Sum / float64(s.N)
+	return s
+}

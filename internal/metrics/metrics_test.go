@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
+)
+
+func TestHPWL(t *testing.T) {
+	nl := netlist.New("t")
+	a := nl.AddCell("a", netlist.LUT)
+	b := nl.AddCell("b", netlist.LUT)
+	c := nl.AddCell("c", netlist.FF)
+	n := nl.AddNet("n", a.ID, b.ID, c.ID)
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 3, Y: 1}, {X: 1, Y: 4}}
+	if got := NetHPWL(n, pos); got != 7 {
+		t.Fatalf("NetHPWL=%v", got)
+	}
+	if got := HPWL(nl, pos); got != 7 {
+		t.Fatalf("HPWL=%v", got)
+	}
+	n.Weight = 2
+	if got := HPWL(nl, pos); got != 14 {
+		t.Fatalf("weighted HPWL=%v", got)
+	}
+}
+
+func TestTotalDisplacement(t *testing.T) {
+	a := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	b := []geom.Point{{X: 1, Y: 0}, {X: 1, Y: 3}}
+	if got := TotalDisplacement(a, b, nil); got != 3 {
+		t.Fatalf("disp=%v", got)
+	}
+	if got := TotalDisplacement(a, b, []int{1}); got != 2 {
+		t.Fatalf("disp ids=%v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.Min != 1 || s.Max != 3 || s.Sum != 6 || s.N != 3 || math.Abs(s.Mean-2) > 1e-12 {
+		t.Fatalf("summary %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Sum != 0 {
+		t.Fatalf("empty summary %+v", z)
+	}
+}

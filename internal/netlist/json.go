@@ -1,0 +1,122 @@
+package netlist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dsplacer/internal/geom"
+)
+
+// jsonCell is the on-disk representation of a Cell.
+type jsonCell struct {
+	Name     string  `json:"name"`
+	Type     string  `json:"type"`
+	Fixed    bool    `json:"fixed,omitempty"`
+	X        float64 `json:"x,omitempty"`
+	Y        float64 `json:"y,omitempty"`
+	Datapath bool    `json:"datapath,omitempty"`
+}
+
+// jsonNet is the on-disk representation of a Net.
+type jsonNet struct {
+	Name   string  `json:"name"`
+	Driver int     `json:"driver"`
+	Sinks  []int   `json:"sinks"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// jsonNetlist is the on-disk representation of a Netlist.
+type jsonNetlist struct {
+	Name   string     `json:"name"`
+	Cells  []jsonCell `json:"cells"`
+	Nets   []jsonNet  `json:"nets"`
+	Macros [][]int    `json:"macros,omitempty"`
+}
+
+// MarshalJSON serializes the netlist to a stable JSON document.
+func (nl *Netlist) MarshalJSON() ([]byte, error) {
+	doc := jsonNetlist{Name: nl.Name, Macros: nl.Macros}
+	for _, c := range nl.Cells {
+		doc.Cells = append(doc.Cells, jsonCell{
+			Name: c.Name, Type: c.Type.String(),
+			Fixed: c.Fixed, X: c.FixedAt.X, Y: c.FixedAt.Y,
+			Datapath: c.DatapathTruth,
+		})
+	}
+	for _, n := range nl.Nets {
+		w := n.Weight
+		if w == 1 {
+			w = 0 // omitted; restored on load
+		}
+		doc.Nets = append(doc.Nets, jsonNet{Name: n.Name, Driver: n.Driver, Sinks: n.Sinks, Weight: w})
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON rebuilds the netlist from its JSON document and re-stamps
+// macro back-references.
+func (nl *Netlist) UnmarshalJSON(data []byte) error {
+	var doc jsonNetlist
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("netlist: decode: %w", err)
+	}
+	*nl = Netlist{Name: doc.Name}
+	for _, jc := range doc.Cells {
+		t, err := ParseCellType(jc.Type)
+		if err != nil {
+			return err
+		}
+		c := nl.AddCell(jc.Name, t)
+		c.Fixed = jc.Fixed
+		c.FixedAt = geom.Point{X: jc.X, Y: jc.Y}
+		c.DatapathTruth = jc.Datapath
+	}
+	for _, jn := range doc.Nets {
+		n := nl.AddNet(jn.Name, jn.Driver, jn.Sinks...)
+		if jn.Weight != 0 {
+			n.Weight = jn.Weight
+		}
+	}
+	for _, m := range doc.Macros {
+		nl.AddMacro(m)
+	}
+	return nl.Validate()
+}
+
+// WriteTo streams the netlist as JSON.
+func (nl *Netlist) WriteTo(w io.Writer) (int64, error) {
+	b, err := nl.MarshalJSON()
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// SaveFile writes the netlist to path as JSON.
+func (nl *Netlist) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := nl.WriteTo(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a JSON netlist from path.
+func LoadFile(path string) (*Netlist, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	nl := &Netlist{}
+	if err := nl.UnmarshalJSON(data); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return nl, nil
+}

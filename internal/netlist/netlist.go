@@ -1,0 +1,281 @@
+// Package netlist models a pre-implementation FPGA netlist: heterogeneous
+// cells (LUT, LUTRAM, FF, BRAM, DSP, CARRY, IO, PS ports), driver/sink nets
+// and DSP cascade macros. It is the common input of every placer in this
+// repository and of the datapath-extraction stage.
+package netlist
+
+import (
+	"fmt"
+
+	"dsplacer/internal/geom"
+	"dsplacer/internal/graph"
+)
+
+// CellType enumerates the heterogeneous component kinds produced by logic
+// synthesis (§I of the paper).
+type CellType int
+
+const (
+	LUT CellType = iota
+	LUTRAM
+	FF
+	BRAM
+	DSP
+	Carry
+	IO
+	// PSPort models a fixed data-bus pin of the processing system (CPU)
+	// block at the bottom-left of the device. PS→PL ports sit above the PS,
+	// PL→PS ports to its right (Fig. 5a).
+	PSPort
+	numCellTypes
+)
+
+var cellTypeNames = [...]string{
+	LUT: "LUT", LUTRAM: "LUTRAM", FF: "FF", BRAM: "BRAM", DSP: "DSP",
+	Carry: "CARRY", IO: "IO", PSPort: "PSPORT",
+}
+
+func (t CellType) String() string {
+	if t < 0 || int(t) >= len(cellTypeNames) {
+		return fmt.Sprintf("CellType(%d)", int(t))
+	}
+	return cellTypeNames[t]
+}
+
+// ParseCellType converts the serialized name back to a CellType.
+func ParseCellType(s string) (CellType, error) {
+	for i, n := range cellTypeNames {
+		if n == s {
+			return CellType(i), nil
+		}
+	}
+	return 0, fmt.Errorf("netlist: unknown cell type %q", s)
+}
+
+// NoMacro marks cells that are not part of a DSP cascade macro.
+const NoMacro = -1
+
+// Cell is one component instance of the netlist.
+type Cell struct {
+	ID   int
+	Name string
+	Type CellType
+
+	// Fixed cells (IO pads, PS ports) have an immutable location FixedAt.
+	Fixed   bool
+	FixedAt geom.Point
+
+	// Macro/MacroIdx identify a DSP cascade macro and the cell's position
+	// along it (0 = head). Non-macro cells carry Macro == NoMacro.
+	Macro    int
+	MacroIdx int
+
+	// DatapathTruth is the ground-truth "datapath DSP" label attached by the
+	// benchmark generator; it is used only to train/evaluate the GCN, never
+	// by the placement algorithms themselves.
+	DatapathTruth bool
+}
+
+// Net connects one driver cell to one or more sink cells. Weight scales the
+// net's contribution to wirelength/timing objectives (criticality).
+type Net struct {
+	ID     int
+	Name   string
+	Driver int
+	Sinks  []int
+	Weight float64
+}
+
+// Pins returns all cell ids on the net, driver first.
+func (n *Net) Pins() []int {
+	out := make([]int, 0, 1+len(n.Sinks))
+	out = append(out, n.Driver)
+	out = append(out, n.Sinks...)
+	return out
+}
+
+// Netlist is a complete design: cells, nets and DSP cascade macros. Macros
+// list DSP cell ids in cascade order (predecessor before successor), the
+// order that constraint (5) of the paper must preserve on adjacent sites of
+// one column.
+type Netlist struct {
+	Name   string
+	Cells  []*Cell
+	Nets   []*Net
+	Macros [][]int
+}
+
+// New returns an empty netlist with the given design name.
+func New(name string) *Netlist {
+	return &Netlist{Name: name}
+}
+
+// AddCell appends a cell and returns it. The macro field is initialized to
+// NoMacro; use AddMacro to group cascaded DSPs.
+func (nl *Netlist) AddCell(name string, t CellType) *Cell {
+	c := &Cell{ID: len(nl.Cells), Name: name, Type: t, Macro: NoMacro}
+	nl.Cells = append(nl.Cells, c)
+	return c
+}
+
+// AddFixedCell appends a cell pinned at the given location.
+func (nl *Netlist) AddFixedCell(name string, t CellType, at geom.Point) *Cell {
+	c := nl.AddCell(name, t)
+	c.Fixed = true
+	c.FixedAt = at
+	return c
+}
+
+// AddNet appends a net from driver to sinks with unit weight and returns it.
+func (nl *Netlist) AddNet(name string, driver int, sinks ...int) *Net {
+	n := &Net{ID: len(nl.Nets), Name: name, Driver: driver, Sinks: sinks, Weight: 1}
+	nl.Nets = append(nl.Nets, n)
+	return n
+}
+
+// AddMacro registers a DSP cascade macro over the given cell ids (in cascade
+// order) and stamps the member cells. It returns the macro id.
+func (nl *Netlist) AddMacro(cells []int) int {
+	id := len(nl.Macros)
+	cp := make([]int, len(cells))
+	copy(cp, cells)
+	nl.Macros = append(nl.Macros, cp)
+	for idx, cid := range cp {
+		nl.Cells[cid].Macro = id
+		nl.Cells[cid].MacroIdx = idx
+	}
+	return id
+}
+
+// NumCells returns the number of cells.
+func (nl *Netlist) NumCells() int { return len(nl.Cells) }
+
+// NumNets returns the number of nets.
+func (nl *Netlist) NumNets() int { return len(nl.Nets) }
+
+// CellsOfType returns the ids of all cells with type t, in id order.
+func (nl *Netlist) CellsOfType(t CellType) []int {
+	var out []int
+	for _, c := range nl.Cells {
+		if c.Type == t {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// Stats summarizes the resource usage of a design (the columns of Table I).
+type Stats struct {
+	LUT, LUTRAM, FF, BRAM, DSP, Carry, IO, PSPort int
+	Nets                                          int
+	Macros                                        int
+}
+
+// Stats counts cells per type.
+func (nl *Netlist) Stats() Stats {
+	var s Stats
+	for _, c := range nl.Cells {
+		switch c.Type {
+		case LUT:
+			s.LUT++
+		case LUTRAM:
+			s.LUTRAM++
+		case FF:
+			s.FF++
+		case BRAM:
+			s.BRAM++
+		case DSP:
+			s.DSP++
+		case Carry:
+			s.Carry++
+		case IO:
+			s.IO++
+		case PSPort:
+			s.PSPort++
+		}
+	}
+	s.Nets = len(nl.Nets)
+	s.Macros = len(nl.Macros)
+	return s
+}
+
+// ToGraph converts the netlist to the directed cell graph of §III-A: one
+// node per cell, one edge driver→sink per (driver, sink) pair of every net,
+// deduplicated.
+func (nl *Netlist) ToGraph() *graph.Digraph {
+	g := graph.NewDigraph(len(nl.Cells))
+	seen := make(map[[2]int]bool)
+	for _, n := range nl.Nets {
+		for _, s := range n.Sinks {
+			if n.Driver == s {
+				continue
+			}
+			k := [2]int{n.Driver, s}
+			if !seen[k] {
+				seen[k] = true
+				g.AddEdge(n.Driver, s)
+			}
+		}
+	}
+	return g
+}
+
+// Validate checks structural invariants and returns the first violation:
+// net endpoints in range, macros composed of DSP cells with consistent
+// back-references, fixed cells only of fixed-capable types.
+func (nl *Netlist) Validate() error {
+	for i, c := range nl.Cells {
+		if c.ID != i {
+			return fmt.Errorf("netlist %s: cell %d has ID %d", nl.Name, i, c.ID)
+		}
+		if c.Type < 0 || c.Type >= numCellTypes {
+			return fmt.Errorf("netlist %s: cell %q has invalid type", nl.Name, c.Name)
+		}
+	}
+	for _, n := range nl.Nets {
+		if n.Driver < 0 || n.Driver >= len(nl.Cells) {
+			return fmt.Errorf("netlist %s: net %q driver %d out of range", nl.Name, n.Name, n.Driver)
+		}
+		if len(n.Sinks) == 0 {
+			return fmt.Errorf("netlist %s: net %q has no sinks", nl.Name, n.Name)
+		}
+		for _, s := range n.Sinks {
+			if s < 0 || s >= len(nl.Cells) {
+				return fmt.Errorf("netlist %s: net %q sink %d out of range", nl.Name, n.Name, s)
+			}
+		}
+		if n.Weight <= 0 {
+			return fmt.Errorf("netlist %s: net %q has non-positive weight", nl.Name, n.Name)
+		}
+	}
+	for mid, m := range nl.Macros {
+		if len(m) < 2 {
+			return fmt.Errorf("netlist %s: macro %d has fewer than 2 cells", nl.Name, mid)
+		}
+		for idx, cid := range m {
+			if cid < 0 || cid >= len(nl.Cells) {
+				return fmt.Errorf("netlist %s: macro %d member %d out of range", nl.Name, mid, cid)
+			}
+			c := nl.Cells[cid]
+			if c.Type != DSP {
+				return fmt.Errorf("netlist %s: macro %d member %q is %v, want DSP", nl.Name, mid, c.Name, c.Type)
+			}
+			if c.Macro != mid || c.MacroIdx != idx {
+				return fmt.Errorf("netlist %s: macro %d member %q has stale back-reference", nl.Name, mid, c.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// CascadePairs returns the set C of the paper: every (predecessor,
+// successor) cell-id pair adjacent along some macro chain.
+func (nl *Netlist) CascadePairs() [][2]int {
+	var out [][2]int
+	for _, m := range nl.Macros {
+		for i := 0; i+1 < len(m); i++ {
+			out = append(out, [2]int{m[i], m[i+1]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+// Package pack implements pre-placement clustering: LUT→FF pairs that talk
+// directly to each other are merged into two-cell clusters, the way real
+// FPGA flows pack logic into slice LUT/FF pairs before placement. Packing
+// halves the effective problem size for the quadratic placer and removes
+// the highest-weight two-pin nets from the wirelength objective entirely
+// (an intra-cluster net has zero length by construction).
+//
+// The package is self-contained: Cluster computes a pairing, Apply rewrites
+// a placement so paired cells share a location, and Expand is unnecessary
+// because both members keep their identity — only their positions fuse.
+package pack
+
+import (
+	"sort"
+
+	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
+)
+
+// Pairing maps each packed FF to its LUT partner and vice versa.
+type Pairing struct {
+	// PartnerOf[c] is the cell sharing c's slot, or -1.
+	PartnerOf []int
+	// Pairs lists each (LUT, FF) pair once.
+	Pairs [][2]int
+}
+
+// Cluster pairs every FF with a LUT that directly drives it, greedily, at
+// most one FF per LUT (the slice flop behind the LUT output). Candidate
+// pairs are ranked by the driving net's weight so timing-critical pairs
+// pack first.
+func Cluster(nl *netlist.Netlist) *Pairing {
+	p := &Pairing{PartnerOf: make([]int, nl.NumCells())}
+	for i := range p.PartnerOf {
+		p.PartnerOf[i] = -1
+	}
+	type cand struct {
+		lut, ff int
+		w       float64
+	}
+	var cands []cand
+	for _, n := range nl.Nets {
+		d := nl.Cells[n.Driver]
+		if d.Fixed || d.Type != netlist.LUT {
+			continue
+		}
+		for _, s := range n.Sinks {
+			c := nl.Cells[s]
+			if !c.Fixed && c.Type == netlist.FF {
+				cands = append(cands, cand{lut: n.Driver, ff: s, w: n.Weight})
+			}
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].w != cands[b].w {
+			return cands[a].w > cands[b].w
+		}
+		if cands[a].lut != cands[b].lut {
+			return cands[a].lut < cands[b].lut
+		}
+		return cands[a].ff < cands[b].ff
+	})
+	for _, c := range cands {
+		if p.PartnerOf[c.lut] != -1 || p.PartnerOf[c.ff] != -1 {
+			continue
+		}
+		p.PartnerOf[c.lut] = c.ff
+		p.PartnerOf[c.ff] = c.lut
+		p.Pairs = append(p.Pairs, [2]int{c.lut, c.ff})
+	}
+	return p
+}
+
+// Fuse snaps each pair to a common location (the midpoint) in pos; global
+// placement then treats the pair as co-located without any solver changes
+// (the pair's internal net has zero length, and anchors act on both).
+func (p *Pairing) Fuse(pos []geom.Point) {
+	for _, pr := range p.Pairs {
+		mid := pos[pr[0]].Add(pos[pr[1]]).Scale(0.5)
+		pos[pr[0]] = mid
+		pos[pr[1]] = mid
+	}
+}
+
+// InternalNets counts two-pin nets fully absorbed by the pairing — a
+// measure of how much wirelength pressure packing removes.
+func (p *Pairing) InternalNets(nl *netlist.Netlist) int {
+	n := 0
+	for _, net := range nl.Nets {
+		if len(net.Sinks) != 1 {
+			continue
+		}
+		if p.PartnerOf[net.Driver] == net.Sinks[0] {
+			n++
+		}
+	}
+	return n
+}

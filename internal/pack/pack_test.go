@@ -1,0 +1,113 @@
+package pack
+
+import (
+	"testing"
+
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/gen"
+	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
+)
+
+func TestClusterPairsDirectDrives(t *testing.T) {
+	nl := netlist.New("p")
+	l1 := nl.AddCell("l1", netlist.LUT)
+	f1 := nl.AddCell("f1", netlist.FF)
+	l2 := nl.AddCell("l2", netlist.LUT)
+	f2 := nl.AddCell("f2", netlist.FF)
+	nl.AddNet("a", l1.ID, f1.ID)
+	nl.AddNet("b", l2.ID, f2.ID)
+	p := Cluster(nl)
+	if len(p.Pairs) != 2 {
+		t.Fatalf("pairs=%v", p.Pairs)
+	}
+	if p.PartnerOf[l1.ID] != f1.ID || p.PartnerOf[f1.ID] != l1.ID {
+		t.Fatal("l1/f1 not paired")
+	}
+}
+
+func TestClusterOnePartnerEach(t *testing.T) {
+	nl := netlist.New("p")
+	l := nl.AddCell("l", netlist.LUT)
+	f1 := nl.AddCell("f1", netlist.FF)
+	f2 := nl.AddCell("f2", netlist.FF)
+	nl.AddNet("a", l.ID, f1.ID, f2.ID)
+	p := Cluster(nl)
+	if len(p.Pairs) != 1 {
+		t.Fatalf("pairs=%v", p.Pairs)
+	}
+	paired := 0
+	for _, c := range []int{f1.ID, f2.ID} {
+		if p.PartnerOf[c] == l.ID {
+			paired++
+		}
+	}
+	if paired != 1 {
+		t.Fatalf("LUT paired with %d FFs", paired)
+	}
+}
+
+func TestClusterPrefersCriticalNets(t *testing.T) {
+	nl := netlist.New("p")
+	l := nl.AddCell("l", netlist.LUT)
+	f1 := nl.AddCell("f1", netlist.FF)
+	f2 := nl.AddCell("f2", netlist.FF)
+	n1 := nl.AddNet("cold", l.ID, f1.ID)
+	n1.Weight = 1
+	n2 := nl.AddNet("hot", l.ID, f2.ID)
+	n2.Weight = 5
+	p := Cluster(nl)
+	if p.PartnerOf[l.ID] != f2.ID {
+		t.Fatalf("paired with %d, want the critical FF %d", p.PartnerOf[l.ID], f2.ID)
+	}
+}
+
+func TestClusterSkipsFixedAndOtherTypes(t *testing.T) {
+	nl := netlist.New("p")
+	io := nl.AddFixedCell("io", netlist.IO, geom.Point{})
+	f := nl.AddCell("f", netlist.FF)
+	d := nl.AddCell("d", netlist.DSP)
+	nl.AddNet("a", io.ID, f.ID)
+	nl.AddNet("b", d.ID, f.ID)
+	p := Cluster(nl)
+	if len(p.Pairs) != 0 {
+		t.Fatalf("pairs=%v", p.Pairs)
+	}
+}
+
+func TestFuseAndInternalNets(t *testing.T) {
+	nl := netlist.New("p")
+	l := nl.AddCell("l", netlist.LUT)
+	f := nl.AddCell("f", netlist.FF)
+	nl.AddNet("a", l.ID, f.ID)
+	p := Cluster(nl)
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 4, Y: 2}}
+	p.Fuse(pos)
+	if pos[l.ID] != pos[f.ID] || pos[l.ID] != (geom.Point{X: 2, Y: 1}) {
+		t.Fatalf("fuse wrong: %v %v", pos[l.ID], pos[f.ID])
+	}
+	if got := p.InternalNets(nl); got != 1 {
+		t.Fatalf("internal nets = %d", got)
+	}
+}
+
+func TestClusterOnGeneratedBenchmark(t *testing.T) {
+	dev := fpga.NewZCU104()
+	nl, err := gen.Generate(gen.Small(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Cluster(nl)
+	if len(p.Pairs) == 0 {
+		t.Fatal("no pairs on a realistic design")
+	}
+	// Pairing is an involution over LUT/FF cells.
+	for c, o := range p.PartnerOf {
+		if o >= 0 && p.PartnerOf[o] != c {
+			t.Fatalf("pairing not symmetric at %d", c)
+		}
+	}
+	if p.InternalNets(nl) == 0 {
+		t.Fatal("no nets absorbed")
+	}
+}

@@ -1,0 +1,83 @@
+package placer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCGSolvesSmallSystem(t *testing.T) {
+	// Two movable points on a line between anchors at 0 and 30 with unit
+	// weights: x0 = 10, x1 = 20.
+	m := newSPD(2)
+	rhs := make([]float64, 2)
+	m.addAnchor(0, 1, rhs, 0)
+	m.addConnection(0, 1, 1)
+	m.addAnchor(1, 1, rhs, 30)
+	x := []float64{5, 5}
+	m.solveCG(rhs, x, 100, 1e-10)
+	if math.Abs(x[0]-10) > 1e-6 || math.Abs(x[1]-20) > 1e-6 {
+		t.Fatalf("x=%v want [10 20]", x)
+	}
+}
+
+func TestCGWeightedPull(t *testing.T) {
+	// One movable point between anchors at 0 (weight 3) and 8 (weight 1):
+	// optimum (3·0 + 1·8)/4 = 2.
+	m := newSPD(1)
+	rhs := make([]float64, 1)
+	m.addAnchor(0, 3, rhs, 0)
+	m.addAnchor(0, 1, rhs, 8)
+	x := []float64{100}
+	m.solveCG(rhs, x, 50, 1e-12)
+	if math.Abs(x[0]-2) > 1e-8 {
+		t.Fatalf("x=%v want 2", x[0])
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	m := newSPD(2)
+	m.addConnection(0, 1, 1)
+	m.diag[0] += 1 // regularize
+	m.diag[1] += 1
+	x := []float64{0, 0}
+	m.solveCG(make([]float64, 2), x, 10, 1e-10)
+	if x[0] != 0 || x[1] != 0 {
+		t.Fatalf("x=%v", x)
+	}
+}
+
+// Property: CG solution satisfies the normal equations (residual small) on
+// random SPD systems built from random connections and anchors.
+func TestCGResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		m := newSPD(n)
+		rhs := make([]float64, n)
+		// Anchors keep the system positive definite.
+		for i := 0; i < n; i++ {
+			m.addAnchor(i, 0.1+rng.Float64(), rhs, rng.NormFloat64()*10)
+		}
+		for k := 0; k < 2*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				m.addConnection(i, j, rng.Float64())
+			}
+		}
+		x := make([]float64, n)
+		m.solveCG(rhs, x, 500, 1e-12)
+		ax := make([]float64, n)
+		m.mulVec(x, ax)
+		for i := range ax {
+			if math.Abs(ax[i]-rhs[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package placer
+
+import (
+	"sort"
+
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
+)
+
+// spreadTargets computes an order-preserving density target per movable
+// cell: along each axis, cells are partitioned into equal-capacity slabs in
+// sorted coordinate order and pulled toward their slab's span. This is the
+// spreading force of the global placer — crude compared with a full
+// electrostatic model, but order-preserving (low wirelength damage) and
+// sufficient to remove gross overlap before legalization.
+func spreadTargets(dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point, movable []bool) []geom.Point {
+	n := nl.NumCells()
+	targets := make([]geom.Point, n)
+	copy(targets, pos)
+
+	var ids []int
+	for i := 0; i < n; i++ {
+		if movable[i] {
+			ids = append(ids, i)
+		}
+	}
+	if len(ids) == 0 {
+		return targets
+	}
+
+	// The number of slabs scales with sqrt(cells) but is capped so each
+	// slab keeps a meaningful population.
+	slabs := intSqrt(len(ids))
+	if slabs < 4 {
+		slabs = 4
+	}
+	if slabs > 64 {
+		slabs = 64
+	}
+
+	// Spread within the design's current footprint (5th..95th percentile,
+	// padded), not the whole die: small designs stay compact, large ones
+	// expand naturally as overlap pressure pushes the percentiles outward.
+	loX, hiX := span(ids, pos, 0, dev.Width, func(p geom.Point) float64 { return p.X })
+	loY, hiY := span(ids, pos, 0, dev.Height, func(p geom.Point) float64 { return p.Y })
+	// Density floor: the footprint must hold the movable population at no
+	// more than ~60% of the fabric's slot density, or routability (and the
+	// legalizer) would be fiction. Expand both axes isotropically around
+	// the current center until the area suffices.
+	needArea := float64(len(ids)) / capacityEstimate(dev) * dev.Width * dev.Height
+	haveArea := (hiX - loX) * (hiY - loY)
+	if haveArea < needArea && haveArea > 0 {
+		scale := sqrtF(needArea / haveArea)
+		cx, cy := (loX+hiX)/2, (loY+hiY)/2
+		w := (hiX - loX) * scale
+		h := (hiY - loY) * scale
+		loX = geom.Clamp(cx-w/2, 0, dev.Width)
+		hiX = geom.Clamp(cx+w/2, 0, dev.Width)
+		loY = geom.Clamp(cy-h/2, 0, dev.Height)
+		hiY = geom.Clamp(cy+h/2, 0, dev.Height)
+		// Clamping can shave area at die edges; re-expand the other side.
+		if (hiX-loX)*(hiY-loY) < needArea {
+			w2 := needArea / (hiY - loY)
+			if w2 > hiX-loX {
+				loX = geom.Clamp(hiX-w2, 0, dev.Width)
+				hiX = geom.Clamp(loX+w2, 0, dev.Width)
+			}
+			h2 := needArea / (hiX - loX)
+			if h2 > hiY-loY {
+				loY = geom.Clamp(hiY-h2, 0, dev.Height)
+				hiY = geom.Clamp(loY+h2, 0, dev.Height)
+			}
+		}
+	}
+	spreadAxis(ids, pos, targets, slabs, loX, hiX)
+	spreadAxisY(ids, pos, targets, slabs, loY, hiY)
+	return targets
+}
+
+func sqrtF(v float64) float64 {
+	x := v
+	for i := 0; i < 40; i++ {
+		x = (x + v/x) / 2
+	}
+	return x
+}
+
+// span returns the padded 5th..95th percentile interval of the ids'
+// coordinates, clamped to [lo0, hi0].
+func span(ids []int, pos []geom.Point, lo0, hi0 float64, get func(geom.Point) float64) (float64, float64) {
+	xs := make([]float64, len(ids))
+	for k, id := range ids {
+		xs[k] = get(pos[id])
+	}
+	sort.Float64s(xs)
+	lo := xs[len(xs)*5/100]
+	hi := xs[len(xs)*95/100]
+	pad := (hi - lo) * 0.15
+	if pad < (hi0-lo0)*0.02 {
+		pad = (hi0 - lo0) * 0.02
+	}
+	return geom.Clamp(lo-pad, lo0, hi0), geom.Clamp(hi+pad, lo0, hi0)
+}
+
+// capacityEstimate approximates how many unit cells the fabric holds at a
+// routable utilization (CLB slots dominate; ~60% of peak density).
+func capacityEstimate(dev *fpga.Device) float64 {
+	total := 0.0
+	for i := range dev.Columns {
+		total += float64(dev.Columns[i].NumSites * dev.Columns[i].Capacity)
+	}
+	return total * 0.6
+}
+
+// spreadAxis distributes cells across equal-width x-slabs in sorted order:
+// cell k of m goes to the slab whose cumulative share covers k, at a
+// position interpolated within the slab. Order is preserved exactly.
+func spreadAxis(ids []int, pos, targets []geom.Point, slabs int, lo, hi float64) {
+	sorted := make([]int, len(ids))
+	copy(sorted, ids)
+	sort.SliceStable(sorted, func(a, b int) bool { return pos[sorted[a]].X < pos[sorted[b]].X })
+	m := len(sorted)
+	width := (hi - lo) / float64(slabs)
+	for k, id := range sorted {
+		f := (float64(k) + 0.5) / float64(m) * float64(slabs)
+		slab := int(f)
+		if slab >= slabs {
+			slab = slabs - 1
+		}
+		frac := f - float64(slab)
+		targets[id].X = lo + (float64(slab)+frac)*width
+	}
+}
+
+// spreadAxisY is the y-axis counterpart of spreadAxis.
+func spreadAxisY(ids []int, pos, targets []geom.Point, slabs int, lo, hi float64) {
+	sorted := make([]int, len(ids))
+	copy(sorted, ids)
+	sort.SliceStable(sorted, func(a, b int) bool { return pos[sorted[a]].Y < pos[sorted[b]].Y })
+	m := len(sorted)
+	width := (hi - lo) / float64(slabs)
+	for k, id := range sorted {
+		f := (float64(k) + 0.5) / float64(m) * float64(slabs)
+		slab := int(f)
+		if slab >= slabs {
+			slab = slabs - 1
+		}
+		frac := f - float64(slab)
+		targets[id].Y = lo + (float64(slab)+frac)*width
+	}
+}
+
+func intSqrt(n int) int {
+	x := 1
+	for x*x < n {
+		x++
+	}
+	return x
+}

@@ -1,0 +1,150 @@
+package route
+
+import (
+	"container/heap"
+	"math"
+)
+
+// mazeRoute finds a congestion-aware shortest path between bins a and b
+// with Dijkstra over the routing grid, restricted to a bounding region
+// around the two terminals (padded by margin bins). It is the escape hatch
+// for connections whose L and Z candidates all cross overflowed edges:
+// pattern routes are cheap but cannot detour around hot spots, a maze
+// search can. Returns the path as segments, or nil when a==b.
+func (g *grid) mazeRoute(a, b [2]int, margin int) []segment {
+	if a == b {
+		return nil
+	}
+	loX := min(a[0], b[0]) - margin
+	hiX := maxI(a[0], b[0]) + margin
+	loY := min(a[1], b[1]) - margin
+	hiY := maxI(a[1], b[1]) + margin
+	if loX < 0 {
+		loX = 0
+	}
+	if loY < 0 {
+		loY = 0
+	}
+	if hiX >= g.nx {
+		hiX = g.nx - 1
+	}
+	if hiY >= g.ny {
+		hiY = g.ny - 1
+	}
+	w := hiX - loX + 1
+	h := hiY - loY + 1
+	idx := func(x, y int) int { return (y-loY)*w + (x - loX) }
+
+	dist := make([]float64, w*h)
+	prev := make([]int, w*h) // packed predecessor bin, -1 = none
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	start := idx(a[0], a[1])
+	goal := idx(b[0], b[1])
+	dist[start] = 0
+	q := &pqBins{{bin: start, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(binItem)
+		if it.dist > dist[it.bin] {
+			continue
+		}
+		if it.bin == goal {
+			break
+		}
+		x := it.bin%w + loX
+		y := it.bin/w + loY
+		// Four neighbors; edge cost from the directional usage arrays.
+		type step struct {
+			nx, ny int
+			cost   float64
+		}
+		var steps []step
+		if x+1 <= hiX {
+			steps = append(steps, step{x + 1, y, g.edgeCost(g.hUse[y*g.nx+x], g.hHist[y*g.nx+x])})
+		}
+		if x-1 >= loX {
+			steps = append(steps, step{x - 1, y, g.edgeCost(g.hUse[y*g.nx+x-1], g.hHist[y*g.nx+x-1])})
+		}
+		if y+1 <= hiY {
+			steps = append(steps, step{x, y + 1, g.edgeCost(g.vUse[y*g.nx+x], g.vHist[y*g.nx+x])})
+		}
+		if y-1 >= loY {
+			steps = append(steps, step{x, y - 1, g.edgeCost(g.vUse[(y-1)*g.nx+x], g.vHist[(y-1)*g.nx+x])})
+		}
+		for _, s := range steps {
+			ni := idx(s.nx, s.ny)
+			nd := it.dist + s.cost
+			if nd < dist[ni] {
+				dist[ni] = nd
+				prev[ni] = it.bin
+				heap.Push(q, binItem{bin: ni, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[goal], 1) {
+		return nil
+	}
+	// Reconstruct the bin path, then compress into maximal segments.
+	var path [][2]int
+	for v := goal; v != -1; v = prev[v] {
+		path = append(path, [2]int{v%w + loX, v/w + loY})
+	}
+	// path runs goal→start; reverse.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return compressPath(path)
+}
+
+// compressPath turns a unit-step bin path into horizontal/vertical segments.
+func compressPath(path [][2]int) []segment {
+	var segs []segment
+	i := 0
+	for i+1 < len(path) {
+		j := i + 1
+		horiz := path[j][1] == path[i][1]
+		for j+1 < len(path) {
+			nextHoriz := path[j+1][1] == path[j][1]
+			if nextHoriz != horiz {
+				break
+			}
+			j++
+		}
+		if horiz {
+			x0 := min(path[i][0], path[j][0])
+			segs = append(segs, segment{x0: x0, y0: path[i][1], horiz: true, len: absI(path[j][0] - path[i][0])})
+		} else {
+			y0 := min(path[i][1], path[j][1])
+			segs = append(segs, segment{x0: path[i][0], y0: y0, horiz: false, len: absI(path[j][1] - path[i][1])})
+		}
+		i = j
+	}
+	return segs
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type binItem struct {
+	bin  int
+	dist float64
+}
+type pqBins []binItem
+
+func (q pqBins) Len() int            { return len(q) }
+func (q pqBins) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pqBins) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pqBins) Push(x interface{}) { *q = append(*q, x.(binItem)) }
+func (q *pqBins) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,132 @@
+package route
+
+import (
+	"math"
+	"testing"
+
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
+)
+
+func dev(t *testing.T) *fpga.Device {
+	t.Helper()
+	d, err := fpga.NewDevice(fpga.Config{Name: "rt", Pattern: "CCDB", Repeats: 6, RegionRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRouteTwoPin(t *testing.T) {
+	d := dev(t)
+	nl := netlist.New("r")
+	a := nl.AddCell("a", netlist.LUT)
+	b := nl.AddCell("b", netlist.LUT)
+	nl.AddNet("n", a.ID, b.ID)
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 16, Y: 8}}
+	res := Route(d, nl, pos, Options{BinSize: 4})
+	// Manhattan distance 24 units → 4+2 = 6 edges of 4 units = 24.
+	if math.Abs(res.Wirelength-24) > 1e-9 {
+		t.Fatalf("wirelength %v, want 24", res.Wirelength)
+	}
+	if res.NetLength[0] != res.Wirelength {
+		t.Fatal("per-net length mismatch")
+	}
+	if res.OverflowEdges != 0 {
+		t.Fatal("unexpected overflow")
+	}
+}
+
+func TestRouteSameBinZeroLength(t *testing.T) {
+	d := dev(t)
+	nl := netlist.New("r")
+	a := nl.AddCell("a", netlist.LUT)
+	b := nl.AddCell("b", netlist.LUT)
+	nl.AddNet("n", a.ID, b.ID)
+	pos := []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}
+	res := Route(d, nl, pos, Options{BinSize: 4})
+	if res.Wirelength != 0 {
+		t.Fatalf("wirelength %v, want 0", res.Wirelength)
+	}
+}
+
+func TestRoutedAtLeastHPWL(t *testing.T) {
+	d := dev(t)
+	nl := netlist.New("r")
+	a := nl.AddCell("a", netlist.LUT)
+	b := nl.AddCell("b", netlist.LUT)
+	c := nl.AddCell("c", netlist.LUT)
+	nl.AddNet("n", a.ID, b.ID, c.ID)
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 20, Y: 0}, {X: 0, Y: 20}}
+	res := Route(d, nl, pos, Options{BinSize: 4})
+	// Star/tree routing must cover at least the bounding box half-perimeter
+	// (here both arms are needed: 20 + 20 = 40 in grid terms).
+	if res.Wirelength < 40-1e-9 {
+		t.Fatalf("wirelength %v below Steiner lower bound 40", res.Wirelength)
+	}
+}
+
+func TestCongestionSpreadsRoutes(t *testing.T) {
+	d := dev(t)
+	nl := netlist.New("r")
+	// Many parallel nets between the same two regions with capacity 1:
+	// rip-up should spread them and cap max utilization growth.
+	var pos []geom.Point
+	k := 12
+	for i := 0; i < k; i++ {
+		a := nl.AddCell("a", netlist.LUT)
+		b := nl.AddCell("b", netlist.LUT)
+		nl.AddNet("n", a.ID, b.ID)
+		pos = append(pos, geom.Point{X: 0.5, Y: float64(i) * 0.1}, geom.Point{X: 17, Y: 9 + float64(i)*0.1})
+	}
+	congested := Route(d, nl, pos, Options{BinSize: 4, Capacity: 1, RipupRounds: 0})
+	spread := Route(d, nl, pos, Options{BinSize: 4, Capacity: 1, RipupRounds: 4})
+	if !(spread.MaxUtilization <= congested.MaxUtilization) {
+		t.Fatalf("ripup did not reduce max utilization: %v vs %v",
+			spread.MaxUtilization, congested.MaxUtilization)
+	}
+	if spread.Wirelength < congested.Wirelength-1e-9 {
+		t.Fatal("spreading cannot shorten wirelength below the direct routes")
+	}
+}
+
+func TestHighFanoutStar(t *testing.T) {
+	d := dev(t)
+	nl := netlist.New("r")
+	drv := nl.AddCell("d", netlist.LUT)
+	pos := []geom.Point{{X: 10, Y: 10}}
+	sinks := make([]int, 100)
+	for i := range sinks {
+		s := nl.AddCell("s", netlist.FF)
+		sinks[i] = s.ID
+		pos = append(pos, geom.Point{X: float64(i % 20), Y: float64(i / 2)})
+	}
+	nl.AddNet("big", drv.ID, sinks...)
+	res := Route(d, nl, pos, Options{BinSize: 4})
+	if res.Wirelength <= 0 {
+		t.Fatal("high fanout net not routed")
+	}
+	if res.NetCongestion[0] <= 0 {
+		t.Fatal("congestion not recorded")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := dev(t)
+	nl := netlist.New("r")
+	var pos []geom.Point
+	for i := 0; i < 30; i++ {
+		a := nl.AddCell("a", netlist.LUT)
+		b := nl.AddCell("b", netlist.LUT)
+		nl.AddNet("n", a.ID, b.ID)
+		pos = append(pos,
+			geom.Point{X: float64(i), Y: float64((i * 7) % 40)},
+			geom.Point{X: float64((i * 3) % 20), Y: float64(i)})
+	}
+	r1 := Route(d, nl, pos, Options{})
+	r2 := Route(d, nl, pos, Options{})
+	if r1.Wirelength != r2.Wirelength || r1.OverflowEdges != r2.OverflowEdges {
+		t.Fatal("routing not deterministic")
+	}
+}

@@ -1,0 +1,153 @@
+// Package rsad implements an R-SAD-style systolic-array DSP placer, the
+// related-work baseline of §I [26]: it exploits array *regularity* by
+// snapping the PE grid onto a rectangular lattice of DSP sites — PE (r,c)
+// goes to column base+c, rows r·L..r·L+L−1 — which is excellent when the
+// design truly is one big systolic array and indifferent to everything the
+// datapath-driven formulation models (PS↔PL dataflow, per-PE operand
+// registers, non-array DSPs). The extension experiment uses it to reproduce
+// the paper's claim that the specialized approach does not generalize to
+// diverse CNN accelerator architectures.
+package rsad
+
+import (
+	"fmt"
+	"sort"
+
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
+)
+
+// Place assigns every DSP of nl to a site: cascade macros (the PE array)
+// are arranged as a regular lattice of vertical cascades across adjacent
+// DSP columns, centered on the centroid of pos; remaining DSPs fill the
+// nearest free sites. Returns cell → site index.
+func Place(dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point) (map[int]int, error) {
+	sites := dev.DSPSites()
+	cols := dev.ColumnsOf(fpga.DSPRes)
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("rsad: device has no DSP columns")
+	}
+	siteIdx := make(map[[2]int]int, len(sites))
+	for j, s := range sites {
+		siteIdx[[2]int{s.Col, s.Row}] = j
+	}
+
+	dsps := nl.CellsOfType(netlist.DSP)
+	if len(dsps) == 0 {
+		return map[int]int{}, nil
+	}
+	if len(dsps) > len(sites) {
+		return nil, fmt.Errorf("rsad: %d DSPs exceed %d sites", len(dsps), len(sites))
+	}
+
+	// The PE array: macros in id order (the generator emits them in array
+	// order, which is exactly the regularity R-SAD exploits).
+	var macros [][]int
+	inMacro := make(map[int]bool)
+	for _, m := range nl.Macros {
+		macros = append(macros, m)
+		for _, c := range m {
+			inMacro[c] = true
+		}
+	}
+
+	// Centroid of the DSPs' current analytical positions selects the
+	// lattice origin.
+	var centroid geom.Point
+	for _, c := range dsps {
+		centroid = centroid.Add(pos[c])
+	}
+	centroid = centroid.Scale(1 / float64(len(dsps)))
+
+	// Lattice shape: as square as possible in (columns × macro rows).
+	maxLen := 0
+	for _, m := range macros {
+		if len(m) > maxLen {
+			maxLen = len(m)
+		}
+	}
+	occupied := make([]bool, len(sites))
+	out := make(map[int]int, len(dsps))
+
+	if len(macros) > 0 && maxLen > 0 {
+		colCap := dev.Columns[cols[0]].NumSites
+		rowsPerCol := colCap / maxLen // macro slots per column
+		if rowsPerCol == 0 {
+			return nil, fmt.Errorf("rsad: cascade length %d exceeds column height %d", maxLen, colCap)
+		}
+		needCols := (len(macros) + rowsPerCol - 1) / rowsPerCol
+		if needCols > len(cols) {
+			return nil, fmt.Errorf("rsad: array needs %d DSP columns, device has %d", needCols, len(cols))
+		}
+		// Center the lattice: pick the starting column nearest the
+		// centroid, and a base row centering the used span vertically.
+		bestStart := 0
+		bestD := 1e18
+		for k := 0; k+needCols <= len(cols); k++ {
+			mid := (dev.Columns[cols[k]].X + dev.Columns[cols[k+needCols-1]].X) / 2
+			d := abs(mid - centroid.X)
+			if d < bestD {
+				bestD = d
+				bestStart = k
+			}
+		}
+		usedRows := rowsPerCol * maxLen
+		pitch := dev.Columns[cols[0]].YPitch
+		baseRow := int(centroid.Y/pitch) - usedRows/2
+		if baseRow < 0 {
+			baseRow = 0
+		}
+		if baseRow+usedRows > colCap {
+			baseRow = colCap - usedRows
+		}
+		for k, m := range macros {
+			colOrd := bestStart + k/rowsPerCol
+			slot := k % rowsPerCol
+			ci := cols[colOrd]
+			start := baseRow + slot*maxLen
+			for idx, cell := range m {
+				j, ok := siteIdx[[2]int{ci, start + idx}]
+				if !ok {
+					return nil, fmt.Errorf("rsad: no site at col %d row %d", ci, start+idx)
+				}
+				out[cell] = j
+				occupied[j] = true
+			}
+		}
+	}
+
+	// Remaining DSPs (control path, singles): nearest free site.
+	var rest []int
+	for _, c := range dsps {
+		if _, done := out[c]; !done {
+			rest = append(rest, c)
+		}
+	}
+	sort.Ints(rest)
+	for _, c := range rest {
+		best, bestD := -1, 1e18
+		for j, s := range sites {
+			if occupied[j] {
+				continue
+			}
+			if d := dev.Loc(s).Manhattan(pos[c]); d < bestD {
+				bestD = d
+				best = j
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("rsad: out of DSP sites")
+		}
+		out[c] = best
+		occupied[best] = true
+	}
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,137 @@
+package rsad
+
+import (
+	"testing"
+
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/gen"
+	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
+)
+
+func dev(t *testing.T) *fpga.Device {
+	t.Helper()
+	d, err := fpga.NewDevice(fpga.Config{Name: "r", Pattern: "CCD", Repeats: 4, RegionRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPlaceLatticeRegularity(t *testing.T) {
+	d := dev(t)
+	nl := netlist.New("r")
+	anchor := nl.AddCell("a", netlist.LUT)
+	var macros [][]int
+	for k := 0; k < 6; k++ {
+		var m []int
+		for i := 0; i < 4; i++ {
+			c := nl.AddCell("d", netlist.DSP)
+			nl.AddNet("n", anchor.ID, c.ID)
+			m = append(m, c.ID)
+		}
+		nl.AddMacro(m)
+		macros = append(macros, m)
+	}
+	pos := make([]geom.Point, nl.NumCells())
+	for i := range pos {
+		pos[i] = geom.Point{X: d.Width / 2, Y: d.Height / 2}
+	}
+	out, err := Place(d, nl, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := d.DSPSites()
+	used := map[int]bool{}
+	for _, j := range out {
+		if used[j] {
+			t.Fatal("site reused")
+		}
+		used[j] = true
+	}
+	// Cascade adjacency within each macro.
+	for _, m := range macros {
+		for i := 0; i+1 < len(m); i++ {
+			a, b := sites[out[m[i]]], sites[out[m[i+1]]]
+			if a.Col != b.Col || b.Row != a.Row+1 {
+				t.Fatalf("macro broken at %v→%v", a, b)
+			}
+		}
+	}
+	// Regularity: macro starts form a lattice — every start row is a
+	// multiple of the cascade length offset from the base row.
+	baseRow := -1
+	for _, m := range macros {
+		r := sites[out[m[0]]].Row
+		if baseRow < 0 || r < baseRow {
+			baseRow = r
+		}
+	}
+	for _, m := range macros {
+		r := sites[out[m[0]]].Row
+		if (r-baseRow)%4 != 0 {
+			t.Fatalf("start row %d not on the lattice (base %d)", r, baseRow)
+		}
+	}
+}
+
+func TestPlaceHandlesControlDSPs(t *testing.T) {
+	d := dev(t)
+	nl := netlist.New("r")
+	anchor := nl.AddCell("a", netlist.LUT)
+	var m []int
+	for i := 0; i < 3; i++ {
+		c := nl.AddCell("d", netlist.DSP)
+		nl.AddNet("n", anchor.ID, c.ID)
+		m = append(m, c.ID)
+	}
+	nl.AddMacro(m)
+	single := nl.AddCell("s", netlist.DSP)
+	nl.AddNet("n", anchor.ID, single.ID)
+	pos := make([]geom.Point, nl.NumCells())
+	out, err := Place(d, nl, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("placed %d of 4", len(out))
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	d := dev(t)
+	nl := netlist.New("big")
+	anchor := nl.AddCell("a", netlist.LUT)
+	n := d.NumDSPSites() + 1
+	for i := 0; i < n; i++ {
+		c := nl.AddCell("d", netlist.DSP)
+		nl.AddNet("n", anchor.ID, c.ID)
+	}
+	pos := make([]geom.Point, nl.NumCells())
+	if _, err := Place(d, nl, pos); err == nil {
+		t.Fatal("oversubscription accepted")
+	}
+}
+
+func TestPlaceOnGeneratedBenchmark(t *testing.T) {
+	d := fpga.NewZCU104()
+	nl, err := gen.Generate(gen.Small(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]geom.Point, nl.NumCells())
+	for i, c := range nl.Cells {
+		if c.Fixed {
+			pos[i] = c.FixedAt
+		} else {
+			pos[i] = geom.Point{X: d.Width / 2, Y: d.Height / 2}
+		}
+	}
+	out, err := Place(d, nl, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(nl.CellsOfType(netlist.DSP)) {
+		t.Fatal("not all DSPs placed")
+	}
+}

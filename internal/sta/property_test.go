@@ -1,0 +1,109 @@
+package sta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
+)
+
+// randomPipeline builds a random but legal (register-bounded) netlist:
+// layers of LUTs between FF ranks, so STA always accepts it.
+func randomPipeline(seed int64) (*netlist.Netlist, []geom.Point) {
+	rng := rand.New(rand.NewSource(seed))
+	nl := netlist.New("p")
+	var pos []geom.Point
+	add := func(t netlist.CellType) int {
+		id := nl.AddCell("c", t).ID
+		pos = append(pos, geom.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50})
+		return id
+	}
+	prevRank := []int{add(netlist.FF), add(netlist.FF)}
+	ranks := 2 + rng.Intn(3)
+	for r := 0; r < ranks; r++ {
+		var luts []int
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			l := add(netlist.LUT)
+			nl.AddNet("n", prevRank[rng.Intn(len(prevRank))], l)
+			luts = append(luts, l)
+		}
+		var ffs []int
+		for _, l := range luts {
+			f := add(netlist.FF)
+			nl.AddNet("n", l, f)
+			ffs = append(ffs, f)
+		}
+		prevRank = ffs
+	}
+	return nl, pos
+}
+
+// Property: WNS + worst path delay == clock period, and TNS ≤ min(0, WNS).
+func TestWNSTNSConsistency(t *testing.T) {
+	f := func(seed int64, periodRaw uint8) bool {
+		nl, pos := randomPipeline(seed)
+		period := 0.2 + float64(periodRaw%50)/10
+		res, err := Analyze(nl, pos, Options{ClockPeriodNs: period})
+		if err != nil {
+			return false
+		}
+		// Every endpoint slack ≥ WNS; TNS = Σ negative endpoint slacks.
+		sum := 0.0
+		for _, e := range res.Endpoints {
+			if e.Slack < res.WNS-1e-9 {
+				return false
+			}
+			if e.Slack < 0 {
+				sum += e.Slack
+			}
+		}
+		if diff := sum - res.TNS; diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+		return res.TNS <= 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling all distances up cannot improve WNS (delay monotone in
+// wirelength).
+func TestWNSMonotoneInDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		nl, pos := randomPipeline(seed)
+		far := make([]geom.Point, len(pos))
+		for i, p := range pos {
+			far[i] = p.Scale(3)
+		}
+		a, err1 := Analyze(nl, pos, Options{ClockPeriodNs: 4})
+		b, err2 := Analyze(nl, far, Options{ClockPeriodNs: 4})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return b.WNS <= a.WNS+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: increasing the clock period shifts every endpoint slack up by
+// exactly the period change.
+func TestPeriodShift(t *testing.T) {
+	f := func(seed int64) bool {
+		nl, pos := randomPipeline(seed)
+		a, err1 := Analyze(nl, pos, Options{ClockPeriodNs: 3})
+		b, err2 := Analyze(nl, pos, Options{ClockPeriodNs: 5})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		d := b.WNS - a.WNS
+		return d > 2-1e-9 && d < 2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

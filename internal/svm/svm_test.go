@@ -1,0 +1,120 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// blob generates two Gaussian blobs in d dims separated along axis 0.
+func blob(n, d int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		cls := i % 2
+		y[i] = cls
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64() * 0.4
+		}
+		row[0] += float64(2*cls-1) * 1.5
+		X[i] = row
+	}
+	return X, y
+}
+
+func TestLearnsSeparableBlobs(t *testing.T) {
+	X, y := blob(200, 3, 1)
+	m, err := Train(X, y, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(X, y); acc < 0.95 {
+		t.Fatalf("accuracy %v < 0.95", acc)
+	}
+}
+
+func TestGeneralizes(t *testing.T) {
+	Xtr, ytr := blob(300, 4, 3)
+	Xte, yte := blob(100, 4, 4)
+	m, err := Train(Xtr, ytr, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(Xte, yte); acc < 0.9 {
+		t.Fatalf("test accuracy %v < 0.9", acc)
+	}
+}
+
+func TestClassWeightedImproveMinorityRecall(t *testing.T) {
+	// 95/5 imbalance; weighted training must not collapse to majority.
+	rng := rand.New(rand.NewSource(6))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 400; i++ {
+		cls := 0
+		if i%20 == 0 {
+			cls = 1
+		}
+		X = append(X, []float64{float64(2*cls-1)*1.2 + rng.NormFloat64()*0.4, rng.NormFloat64()})
+		y = append(y, cls)
+	}
+	m, err := Train(X, y, Config{Seed: 7, ClassWeighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minHit, minTot := 0, 0
+	for i, x := range X {
+		if y[i] == 1 {
+			minTot++
+			if m.Predict(x) == 1 {
+				minHit++
+			}
+		}
+	}
+	if float64(minHit)/float64(minTot) < 0.7 {
+		t.Fatalf("minority recall %d/%d too low", minHit, minTot)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Train(nil, nil, Config{}); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []int{0, 1}, Config{}); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+	if _, err := Train([][]float64{{1, 2}, {1}}, []int{0, 1}, Config{}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestDecisionPredictConsistency(t *testing.T) {
+	m := &Model{W: []float64{1, -1}, B: 0.5}
+	if m.Predict([]float64{1, 0}) != 1 {
+		t.Fatal("positive decision must predict 1")
+	}
+	if m.Predict([]float64{-2, 0}) != 0 {
+		t.Fatal("negative decision must predict 0")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	X := [][]float64{{10, 5}, {20, 5}, {30, 5}}
+	means, stds := Standardize(X, nil, nil)
+	if means[0] != 20 || stds[1] != 0 {
+		t.Fatalf("means=%v stds=%v", means, stds)
+	}
+	if X[0][0] >= 0 || X[2][0] <= 0 {
+		t.Fatal("column 0 not centered")
+	}
+	if X[1][1] != 0 {
+		t.Fatal("constant column must map to 0")
+	}
+	// Applying train stats to new data.
+	Y := [][]float64{{20, 5}}
+	Standardize(Y, means, stds)
+	if Y[0][0] != 0 {
+		t.Fatalf("reused stats wrong: %v", Y[0][0])
+	}
+}

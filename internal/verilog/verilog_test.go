@@ -1,0 +1,94 @@
+package verilog
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/gen"
+	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
+)
+
+func tiny() *netlist.Netlist {
+	nl := netlist.New("tiny-top")
+	in := nl.AddFixedCell("din", netlist.PSPort, geom.Point{X: 0, Y: 1})
+	lut := nl.AddCell("u_lut", netlist.LUT)
+	dsp := nl.AddCell("pe/dsp", netlist.DSP)
+	ff := nl.AddCell("q_reg", netlist.FF)
+	out := nl.AddFixedCell("dout", netlist.IO, geom.Point{X: 9, Y: 0})
+	nl.AddNet("a", in.ID, lut.ID)
+	nl.AddNet("b", lut.ID, dsp.ID)
+	nl.AddNet("c", dsp.ID, ff.ID)
+	nl.AddNet("d", ff.ID, out.ID)
+	return nl
+}
+
+func TestWriteStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"module tiny_top (",
+		"input din",
+		"output dout",
+		"wire net_0;",
+		"LUT6 ", "DSP48E2 ", "FDRE ",
+		"assign net_0 = din",
+		"= net_3;",
+		"endmodule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Each instance connects its input and output nets.
+	if !strings.Contains(out, ".I0(net_1), .O(net_2)") {
+		t.Fatalf("DSP connections wrong:\n%s", out)
+	}
+}
+
+func TestWriteGeneratedBenchmark(t *testing.T) {
+	dev := fpga.NewZCU104()
+	nl, err := gen.Generate(gen.Small(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "DSP48E2 ") != gen.Small().DSP {
+		t.Fatalf("DSP instance count %d, want %d", strings.Count(out, "DSP48E2 "), gen.Small().DSP)
+	}
+	if !strings.Contains(out, "RAMB36E2 ") || !strings.Contains(out, "RAM64M8 ") {
+		t.Fatal("memory primitives missing")
+	}
+}
+
+func TestSaveFileAndInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.v")
+	if err := SaveFile(path, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	bad := netlist.New("bad")
+	c := bad.AddCell("a", netlist.LUT)
+	bad.AddNet("n", c.ID, 99)
+	if err := Write(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("invalid netlist accepted")
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	if got := sanitizeID("pe[3]/dsp.q"); got != "pe_3__dsp_q" {
+		t.Fatalf("got %q", got)
+	}
+	if got := sanitizeID("0abc"); got != "n0abc" {
+		t.Fatalf("got %q", got)
+	}
+}

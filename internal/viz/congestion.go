@@ -1,0 +1,77 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CongestionMap is the minimal view of router state the heatmap needs; it
+// is satisfied by a thin adapter over route.Result or raw usage grids.
+type CongestionMap struct {
+	// NX, NY are the grid dimensions; H and V the per-edge utilizations
+	// (usage/capacity) indexed [y*NX+x] like the router's arrays.
+	NX, NY int
+	H, V   []float64
+}
+
+// congestion glyph ramp from idle to overflowed.
+var ramp = []byte(" .:-=+*#%@")
+
+// Heatmap renders per-bin worst-edge utilization as ASCII art, downsampled
+// to roughly cols×rows characters. '@' marks utilization ≥ 1 (overflow).
+func Heatmap(c CongestionMap, cols, rows int) string {
+	if cols <= 0 {
+		cols = 64
+	}
+	if rows <= 0 {
+		rows = 24
+	}
+	if cols > c.NX {
+		cols = c.NX
+	}
+	if rows > c.NY {
+		rows = c.NY
+	}
+	util := func(x, y int) float64 {
+		i := y*c.NX + x
+		u := 0.0
+		if i < len(c.H) && c.H[i] > u {
+			u = c.H[i]
+		}
+		if i < len(c.V) && c.V[i] > u {
+			u = c.V[i]
+		}
+		return u
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "congestion heatmap (%dx%d bins, '@'=overflow)\n", c.NX, c.NY)
+	for r := rows - 1; r >= 0; r-- {
+		y0 := r * c.NY / rows
+		y1 := (r+1)*c.NY/rows - 1
+		if y1 < y0 {
+			y1 = y0
+		}
+		for cc := 0; cc < cols; cc++ {
+			x0 := cc * c.NX / cols
+			x1 := (cc+1)*c.NX/cols - 1
+			if x1 < x0 {
+				x1 = x0
+			}
+			worst := 0.0
+			for y := y0; y <= y1; y++ {
+				for x := x0; x <= x1; x++ {
+					if u := util(x, y); u > worst {
+						worst = u
+					}
+				}
+			}
+			idx := int(worst * float64(len(ramp)-1))
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+// Package viz renders placement layouts — the Fig. 9 comparison — as ASCII
+// art (for terminals and logs) and SVG (for reports). The interesting
+// content is the DSP story: datapath DSPs, control DSPs, the PS block and
+// the PS→PL / PL→PS datapath direction.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
+)
+
+// ASCII renders the device and DSP placement as a character grid of roughly
+// cols×rows. Legend: '.' fabric, ':' DSP column, '#' PS block, 'D' datapath
+// DSP, 'c' control DSP, 'o' both in one bucket.
+func ASCII(dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point, datapath map[int]bool, cols, rows int) string {
+	if cols <= 0 {
+		cols = 64
+	}
+	if rows <= 0 {
+		rows = 32
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = make([]byte, cols)
+		for c := range grid[r] {
+			grid[r][c] = '.'
+		}
+	}
+	plot := func(p geom.Point) (int, int) {
+		c := int(p.X / dev.Width * float64(cols))
+		r := int(p.Y / dev.Height * float64(rows))
+		if c < 0 {
+			c = 0
+		}
+		if c >= cols {
+			c = cols - 1
+		}
+		if r < 0 {
+			r = 0
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		// ASCII rows grow downward; fabric y grows upward.
+		return rows - 1 - r, c
+	}
+	// DSP columns.
+	for _, ci := range dev.ColumnsOf(fpga.DSPRes) {
+		x := dev.Columns[ci].X
+		c := int(x / dev.Width * float64(cols))
+		if c >= cols {
+			c = cols - 1
+		}
+		for r := 0; r < rows; r++ {
+			grid[r][c] = ':'
+		}
+	}
+	// PS block.
+	if !dev.PS.Empty() {
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				x := (float64(c) + 0.5) / float64(cols) * dev.Width
+				y := (float64(rows-1-r) + 0.5) / float64(rows) * dev.Height
+				if dev.PS.Contains(geom.Point{X: x, Y: y}) {
+					grid[r][c] = '#'
+				}
+			}
+		}
+	}
+	// DSP cells on top.
+	for _, id := range nl.CellsOfType(netlist.DSP) {
+		r, c := plot(pos[id])
+		mark := byte('c')
+		if datapath[id] {
+			mark = 'D'
+		}
+		if (grid[r][c] == 'D' && mark == 'c') || (grid[r][c] == 'c' && mark == 'D') {
+			mark = 'o'
+		}
+		grid[r][c] = mark
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (%dx%d fabric, D=datapath DSP, c=control DSP, #=PS)\n", nl.Name, int(dev.Width), int(dev.Height))
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SVG renders the layout as a standalone SVG document. Datapath DSPs are
+// blue squares, control DSPs orange, DSP columns light bands, the PS block
+// grey, and datapath DSP-graph edges thin blue lines when provided.
+func SVG(dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point, datapath map[int]bool, edges [][2]int) string {
+	const scale = 3.0
+	w := dev.Width * scale
+	h := dev.Height * scale
+	y := func(v float64) float64 { return h - v*scale } // flip y
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%.0f" height="%.0f" fill="#fafafa"/>`+"\n", w, h)
+	for _, ci := range dev.ColumnsOf(fpga.DSPRes) {
+		x := dev.Columns[ci].X * scale
+		fmt.Fprintf(&b, `<rect x="%.1f" y="0" width="%.1f" height="%.0f" fill="#e8f0e8"/>`+"\n", x-scale/2, scale, h)
+	}
+	if !dev.PS.Empty() {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#d0d0d0" stroke="#888"/>`+"\n",
+			dev.PS.MinX*scale, y(dev.PS.MaxY), dev.PS.Width()*scale, dev.PS.Height()*scale)
+	}
+	for _, e := range edges {
+		a, c := pos[e[0]], pos[e[1]]
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#4a90d9" stroke-width="0.4" opacity="0.5"/>`+"\n",
+			a.X*scale, y(a.Y), c.X*scale, y(c.Y))
+	}
+	for _, id := range nl.CellsOfType(netlist.DSP) {
+		p := pos[id]
+		color := "#e08030"
+		if datapath[id] {
+			color = "#2060c0"
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+			p.X*scale-scale, y(p.Y)-scale, 2*scale, 2*scale, color)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
+)
+
+func setup(t *testing.T) (*fpga.Device, *netlist.Netlist, []geom.Point, map[int]bool) {
+	t.Helper()
+	dev, err := fpga.NewDevice(fpga.Config{
+		Name: "v", Pattern: "CDC", Repeats: 2, RegionRows: 1, PSWidth: 2, PSHeight: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := netlist.New("vtest")
+	d0 := nl.AddCell("d0", netlist.DSP)
+	d1 := nl.AddCell("d1", netlist.DSP)
+	lut := nl.AddCell("l", netlist.LUT)
+	nl.AddNet("n", d0.ID, d1.ID)
+	nl.AddNet("m", d1.ID, lut.ID)
+	pos := []geom.Point{{X: 1, Y: 50}, {X: 4, Y: 20}, {X: 2, Y: 30}}
+	return dev, nl, pos, map[int]bool{d0.ID: true}
+}
+
+func TestASCIIShape(t *testing.T) {
+	dev, nl, pos, dp := setup(t)
+	out := ASCII(dev, nl, pos, dp, 40, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 21 { // header + 20 rows
+		t.Fatalf("lines=%d", len(lines))
+	}
+	for _, l := range lines[1:] {
+		if len(l) != 40 {
+			t.Fatalf("row width %d", len(l))
+		}
+	}
+	if !strings.Contains(out, "D") {
+		t.Fatal("datapath DSP missing")
+	}
+	if !strings.Contains(out, "c") {
+		t.Fatal("control DSP missing")
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("PS block missing")
+	}
+	if !strings.Contains(out, ":") {
+		t.Fatal("DSP columns missing")
+	}
+}
+
+func TestASCIIDefaultsAndClamping(t *testing.T) {
+	dev, nl, pos, dp := setup(t)
+	pos[0] = geom.Point{X: -5, Y: 1e6} // out of range must not panic
+	out := ASCII(dev, nl, pos, dp, 0, 0)
+	if !strings.Contains(out, "vtest") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestSVG(t *testing.T) {
+	dev, nl, pos, dp := setup(t)
+	out := SVG(dev, nl, pos, dp, [][2]int{{0, 1}})
+	for _, want := range []string{"<svg", "</svg>", "#2060c0", "#e08030", "<line"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	c := CongestionMap{
+		NX: 8, NY: 8,
+		H: make([]float64, 64),
+		V: make([]float64, 64),
+	}
+	c.H[3*8+4] = 1.5 // overflowed edge
+	c.V[1*8+1] = 0.5
+	out := Heatmap(c, 8, 8)
+	if !strings.Contains(out, "@") {
+		t.Fatal("overflow glyph missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("lines=%d", len(lines))
+	}
+	// y is flipped: the overflow at y=3 should appear above y=1's mark.
+	var rowAt = func(y int) string { return lines[1+(8-1-y)] }
+	if !strings.Contains(rowAt(3), "@") {
+		t.Fatal("overflow not at expected row")
+	}
+	if rowAt(1) == strings.Repeat(" ", 8) {
+		t.Fatal("mid utilization not rendered")
+	}
+	// Downsampled rendering still shows the hot spot.
+	small := Heatmap(c, 4, 4)
+	if !strings.Contains(small, "@") {
+		t.Fatal("downsampled overflow missing")
+	}
+}

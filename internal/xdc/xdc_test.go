@@ -1,0 +1,103 @@
+package xdc
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/netlist"
+)
+
+func setup(t *testing.T) (*fpga.Device, *netlist.Netlist) {
+	t.Helper()
+	dev, err := fpga.NewDevice(fpga.Config{Name: "x", Pattern: "CDCD", Repeats: 2, RegionRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := netlist.New("x")
+	a := nl.AddCell("pe[0]/mul", netlist.DSP)
+	b := nl.AddCell("pe[1]/mul", netlist.DSP)
+	nl.AddNet("n", a.ID, b.ID)
+	return dev, nl
+}
+
+func TestSiteName(t *testing.T) {
+	dev, _ := setup(t)
+	// Site 0 = first DSP column, row 0.
+	name, err := SiteName(dev, 0)
+	if err != nil || name != "DSP48E2_X0Y0" {
+		t.Fatalf("name=%q err=%v", name, err)
+	}
+	// First site of the second DSP column.
+	perCol := dev.Columns[dev.ColumnsOf(fpga.DSPRes)[0]].NumSites
+	name, err = SiteName(dev, perCol)
+	if err != nil || name != "DSP48E2_X1Y0" {
+		t.Fatalf("name=%q err=%v", name, err)
+	}
+	if _, err := SiteName(dev, -1); err == nil {
+		t.Fatal("negative site accepted")
+	}
+	if _, err := SiteName(dev, dev.NumDSPSites()); err == nil {
+		t.Fatal("out-of-range site accepted")
+	}
+}
+
+func TestWriteConstraints(t *testing.T) {
+	dev, nl := setup(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, dev, nl, map[int]int{0: 0, 1: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"set_property LOC DSP48E2_X0Y0 [get_cells {pe[0]/mul}]",
+		"set_property LOC DSP48E2_X0Y1 [get_cells {pe[1]/mul}]",
+		"IS_LOC_FIXED true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteRejectsNonDSP(t *testing.T) {
+	dev, nl := setup(t)
+	lut := nl.AddCell("l", netlist.LUT)
+	if err := Write(&bytes.Buffer{}, dev, nl, map[int]int{lut.ID: 0}); err == nil {
+		t.Fatal("non-DSP accepted")
+	}
+	if err := Write(&bytes.Buffer{}, dev, nl, map[int]int{99: 0}); err == nil {
+		t.Fatal("unknown cell accepted")
+	}
+}
+
+func TestDuplicateNamesFallBack(t *testing.T) {
+	dev, _ := setup(t)
+	nl := netlist.New("dup")
+	a := nl.AddCell("dsp", netlist.DSP)
+	b := nl.AddCell("dsp", netlist.DSP) // same name
+	nl.AddNet("n", a.ID, b.ID)
+	var buf bytes.Buffer
+	if err := Write(&buf, dev, nl, map[int]int{a.ID: 0, b.ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cell_1") {
+		t.Fatalf("duplicate name not disambiguated:\n%s", buf.String())
+	}
+}
+
+func TestSaveFile(t *testing.T) {
+	dev, nl := setup(t)
+	path := filepath.Join(t.TempDir(), "dsp.xdc")
+	if err := SaveFile(path, dev, nl, map[int]int{0: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("a b;c$d/e[0].f"); got != "abcd/e[0].f" {
+		t.Fatalf("sanitize=%q", got)
+	}
+}
