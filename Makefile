@@ -1,0 +1,25 @@
+# Convenience targets mirroring the commands CI (and the tier-1 verify in
+# ROADMAP.md) runs. Everything is stdlib-only Go; no other tooling needed.
+
+.PHONY: build test ci bench profile
+
+# Tier-1 verify (ROADMAP.md).
+test:
+	go build ./... && go test ./...
+
+# CI-style check: vet plus the full test suite under the race detector —
+# the parallel hot paths (internal/par users) must stay race-free.
+ci:
+	go vet ./... && go test -race ./...
+
+build:
+	go build ./...
+
+# Hot-path micro-benchmarks with allocation counts.
+bench:
+	go test -run '^$$' -bench 'DSPGraphBuild|AssignIteration' -benchmem .
+
+# CPU-profile one Table II regeneration at mini scale; open with
+# `go tool pprof cpu.pb.gz`.
+profile:
+	go run ./cmd/experiments -mini -table2 -stages -cpuprofile cpu.pb.gz

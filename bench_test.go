@@ -10,6 +10,9 @@ import (
 	"io"
 	"testing"
 
+	"dsplacer/internal/assign"
+	"dsplacer/internal/core"
+	"dsplacer/internal/dspgraph"
 	"dsplacer/internal/experiments"
 	"dsplacer/internal/gen"
 )
@@ -62,6 +65,62 @@ func benchFlowRow(b *testing.B, f func(*experiments.Suite, gen.Spec) error) {
 	for i := 0; i < b.N; i++ {
 		if err := f(s, spec); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDSPGraphBuild measures the §III-B DSP-graph construction (the
+// per-DSP IDDFS sweep) on one mini benchmark — the tentpole hot path of the
+// parallel-build work. ReportAllocs tracks the per-edge counter and scratch
+// reuse wins.
+func BenchmarkDSPGraphBuild(b *testing.B) {
+	s := benchSuite()
+	nl, err := s.Netlist(s.Specs[1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dg := dspgraph.Build(nl, dspgraph.Config{})
+		if len(dg.Nodes) == 0 {
+			b.Fatal("empty DSP graph")
+		}
+	}
+}
+
+// BenchmarkAssignIteration measures one linearized min-cost-flow assignment
+// iteration (candidate generation + cost rows + flow solve) on one mini
+// benchmark's datapath DSPs.
+func BenchmarkAssignIteration(b *testing.B) {
+	s := benchSuite()
+	nl, err := s.Netlist(s.Specs[1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids, err := core.OracleIdentifier{}.Identify(nl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dg := dspgraph.Build(nl, dspgraph.Config{})
+	keep := make(map[int]bool, len(ids))
+	for _, c := range ids {
+		keep[c] = true
+	}
+	p := &assign.Problem{
+		Device: s.Dev, Netlist: nl,
+		Graph: dg.Filter(func(id int) bool { return keep[id] }),
+		DSPs:  ids, Pos: syntheticPositions(s.Dev, nl), Iterations: 1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := assign.Solve(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.SiteOf) != len(ids) {
+			b.Fatalf("assigned %d of %d", len(res.SiteOf), len(ids))
 		}
 	}
 }

@@ -10,6 +10,12 @@
 //	experiments -ablations         # λ / MCF-iteration / filtering sweeps
 //	experiments -all               # everything above
 //	experiments -mini              # use ~1/16-scale benchmarks (fast)
+//
+// Profiling / observability (see DESIGN.md §8):
+//
+//	experiments -cpuprofile cpu.pb.gz -table2   # pprof CPU profile
+//	experiments -memprofile mem.pb.gz -table2   # pprof heap profile on exit
+//	experiments -stages -table2                 # hot-path stage timing table
 package main
 
 import (
@@ -17,9 +23,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"dsplacer/internal/experiments"
 	"dsplacer/internal/gen"
+	"dsplacer/internal/metrics"
 )
 
 func main() {
@@ -38,7 +47,31 @@ func main() {
 	mcfIters := flag.Int("mcf-iters", 50, "MCF iterations (paper: 50)")
 	rounds := flag.Int("rounds", 2, "incremental rounds")
 	seed := flag.Int64("seed", 1, "random seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	stages := flag.Bool("stages", false, "print the hot-path stage-timing counters on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *stages {
+			section(os.Stdout, "Stage timings")
+			metrics.StageReport(os.Stdout)
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			check(err)
+			defer f.Close()
+			runtime.GC()
+			check(pprof.WriteHeapProfile(f))
+		}
+	}()
 
 	if *all {
 		*table1, *table2, *fig7a, *fig7b, *fig8, *fig9, *ablations, *extension = true, true, true, true, true, true, true, true

@@ -1,0 +1,112 @@
+package dsplacer
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"dsplacer/internal/assign"
+	"dsplacer/internal/core"
+	"dsplacer/internal/dspgraph"
+	"dsplacer/internal/experiments"
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
+)
+
+// syntheticPositions deterministically scatters movable cells over the
+// fabric (fixed cells keep their pinned locations) so the assignment solver
+// can be exercised without running the full prototype placement.
+func syntheticPositions(dev *fpga.Device, nl *netlist.Netlist) []geom.Point {
+	pos := make([]geom.Point, nl.NumCells())
+	for i, c := range nl.Cells {
+		if c.Fixed {
+			pos[i] = c.FixedAt
+			continue
+		}
+		pos[i] = geom.Point{
+			X: math.Mod(float64(i)*37.3, dev.Width),
+			Y: math.Mod(float64(i)*61.7, dev.Height),
+		}
+	}
+	return pos
+}
+
+// TestParallelDeterminism asserts the parallel hot paths produce output
+// identical to the serial run regardless of worker count: dspgraph.Build
+// and assign.Solve execute under GOMAXPROCS=1 and GOMAXPROCS=8 and are
+// compared field by field, including exact float equality on the flow cost.
+func TestParallelDeterminism(t *testing.T) {
+	suite := experiments.NewSuite(experiments.MiniSpecs()[:1])
+	nl, err := suite.Netlist(suite.Specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := suite.Dev
+	ids, err := core.OracleIdentifier{}.Identify(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) < 2 {
+		t.Fatalf("mini benchmark has %d datapath DSPs", len(ids))
+	}
+	pos := syntheticPositions(dev, nl)
+
+	type outcome struct {
+		dg  *dspgraph.Graph
+		res *assign.Result
+	}
+	runAt := func(procs int) outcome {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		dg := dspgraph.Build(nl, dspgraph.Config{})
+		keep := make(map[int]bool, len(ids))
+		for _, c := range ids {
+			keep[c] = true
+		}
+		dp := dg.Filter(func(id int) bool { return keep[id] })
+		res, err := assign.Solve(&assign.Problem{
+			Device: dev, Netlist: nl, Graph: dp, DSPs: ids,
+			Pos: pos, Iterations: 5,
+		})
+		if err != nil {
+			t.Fatalf("solve at GOMAXPROCS=%d: %v", procs, err)
+		}
+		return outcome{dg: dg, res: res}
+	}
+
+	serial := runAt(1)
+	parallel := runAt(8)
+
+	if !reflect.DeepEqual(serial.dg, parallel.dg) {
+		t.Errorf("dspgraph.Build differs between GOMAXPROCS=1 and 8 (%d vs %d edges)",
+			len(serial.dg.Edges), len(parallel.dg.Edges))
+	}
+	if !reflect.DeepEqual(serial.res.SiteOf, parallel.res.SiteOf) {
+		t.Error("assign.Solve site assignment differs between GOMAXPROCS=1 and 8")
+	}
+	if serial.res.Cost != parallel.res.Cost {
+		t.Errorf("assign.Solve cost differs: %v vs %v", serial.res.Cost, parallel.res.Cost)
+	}
+	if serial.res.Iterations != parallel.res.Iterations || serial.res.Converged != parallel.res.Converged {
+		t.Errorf("assign.Solve trajectory differs: (%d,%v) vs (%d,%v)",
+			serial.res.Iterations, serial.res.Converged,
+			parallel.res.Iterations, parallel.res.Converged)
+	}
+}
+
+// TestDSPGraphBuildRepeatable guards against map-iteration order leaking
+// into the edge list: two builds of the same netlist must be identical.
+func TestDSPGraphBuildRepeatable(t *testing.T) {
+	suite := experiments.NewSuite(experiments.MiniSpecs()[:1])
+	nl, err := suite.Netlist(suite.Specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dspgraph.Build(nl, dspgraph.Config{})
+	b := dspgraph.Build(nl, dspgraph.Config{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two builds of the same netlist differ")
+	}
+}

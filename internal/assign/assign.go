@@ -9,13 +9,14 @@ package assign
 
 import (
 	"fmt"
-	"sort"
 
 	"dsplacer/internal/dspgraph"
 	"dsplacer/internal/fpga"
 	"dsplacer/internal/geom"
 	"dsplacer/internal/mcmf"
 	"dsplacer/internal/netlist"
+	"dsplacer/internal/par"
+	"dsplacer/internal/stage"
 )
 
 // Problem bundles the inputs of one datapath DSP placement pass.
@@ -97,6 +98,7 @@ type neighbor struct {
 
 // Solve runs the iterative linearized assignment.
 func Solve(p *Problem) (*Result, error) {
+	defer stage.Start("assign.solve")()
 	p = p.withDefaults()
 	sites := p.Device.DSPSites()
 	M := len(sites)
@@ -115,6 +117,9 @@ func Solve(p *Problem) (*Result, error) {
 	for j, s := range sites {
 		locs[j] = p.Device.Loc(s)
 	}
+	// The site set is fixed for the whole solve: build the spatial index
+	// once and let every iteration's candidate queries share it.
+	sidx := newSiteIndex(locs)
 
 	idx := make(map[int]int, N) // cell id → dense dsp index
 	for i, c := range p.DSPs {
@@ -213,7 +218,7 @@ func Solve(p *Problem) (*Result, error) {
 
 	for iter := 1; iter <= p.Iterations; iter++ {
 		updateCascTargets()
-		assignment, cost, err := solveOnce(p, locs, cosOf,
+		assignment, cost, err := solveOnce(p, sidx, locs, cosOf,
 			nbrs, lambdaCoeff, prevPos, prevSite, cascTarget, kCand, idx, iter)
 		if err != nil {
 			return nil, err
@@ -248,8 +253,12 @@ func Solve(p *Problem) (*Result, error) {
 	return res, nil
 }
 
-// solveOnce builds and solves one linearized min-cost-flow assignment.
-func solveOnce(p *Problem, locs []geom.Point, cosOf []float64,
+// solveOnce builds and solves one linearized min-cost-flow assignment. The
+// per-cell candidate selection and cost rows are computed in parallel (each
+// cell's row depends only on that cell), then the flow network is assembled
+// and solved serially in cell order, so the result is independent of the
+// worker count.
+func solveOnce(p *Problem, sidx *siteIndex, locs []geom.Point, cosOf []float64,
 	nbrs [][]neighbor, lambdaCoeff []float64, prevPos []geom.Point,
 	prevSite []int, cascTarget []*geom.Point, kCand int, idx map[int]int, iter int) ([]int, float64, error) {
 
@@ -260,7 +269,18 @@ func solveOnce(p *Problem, locs []geom.Point, cosOf []float64,
 		if kCand > M {
 			kCand = M
 		}
-		cands := candidateSites(p, locs, nbrs, prevPos, cascTarget, kCand, idx)
+		stopCand := stage.Start("assign.candidates")
+		cands := candidateSites(p, sidx, nbrs, prevPos, cascTarget, kCand, idx)
+		costs := par.Map(N, func(i int) []float64 {
+			row := make([]float64, len(cands[i]))
+			for x, j := range cands[i] {
+				row[x] = edgeCost(p, i, j, locs, cosOf, nbrs, lambdaCoeff,
+					prevPos, cascTarget, idx, iter)
+			}
+			return row
+		})
+		stopCand()
+		stopFlow := stage.Start("assign.flow")
 		// Bipartite flow: 0 = source, 1..N = DSPs, N+1..N+M = sites, N+M+1 = sink.
 		g := mcmf.NewGraph(N + M + 2)
 		src, sink := 0, N+M+1
@@ -273,10 +293,8 @@ func solveOnce(p *Problem, locs []geom.Point, cosOf []float64,
 		usedSite := make(map[int]bool)
 		for i := 0; i < N; i++ {
 			g.AddEdge(src, 1+i, 1, 0)
-			for _, j := range cands[i] {
-				c := edgeCost(p, i, j, locs, cosOf, nbrs, lambdaCoeff,
-					prevPos, cascTarget, idx, iter)
-				ref := g.AddEdge(1+i, 1+N+j, 1, c)
+			for x, j := range cands[i] {
+				ref := g.AddEdge(1+i, 1+N+j, 1, costs[i][x])
 				arcs = append(arcs, arc{ref: ref, dsp: i, site: j})
 				if !usedSite[j] {
 					usedSite[j] = true
@@ -285,6 +303,7 @@ func solveOnce(p *Problem, locs []geom.Point, cosOf []float64,
 			}
 		}
 		flow, cost := g.MinCostFlow(src, sink, int64(N))
+		stopFlow()
 		if flow == int64(N) {
 			assignment := make([]int, N)
 			for i := range assignment {
@@ -308,38 +327,76 @@ func solveOnce(p *Problem, locs []geom.Point, cosOf []float64,
 	}
 }
 
+// siteIndex bundles the spatial grid over the DSP-site locations with the
+// precomputed "every site, ascending" answer used when a query wants at
+// least the whole set (the historical nearestSites contract).
+type siteIndex struct {
+	grid *geom.GridIndex
+	all  []int // 0..M-1
+}
+
+func newSiteIndex(locs []geom.Point) *siteIndex {
+	all := make([]int, len(locs))
+	for i := range all {
+		all[i] = i
+	}
+	return &siteIndex{grid: geom.NewGridIndex(locs), all: all}
+}
+
+// nearest returns the k sites closest to target (Manhattan, ties by index),
+// or every site in ascending index order when k covers the whole set. The
+// result aliases buf and is only valid until buf's next query.
+func (s *siteIndex) nearest(target geom.Point, k int, buf *geom.NearestBuf) []int {
+	if k >= len(s.all) {
+		return s.all
+	}
+	return s.grid.Nearest(target, k, buf)
+}
+
+// candScratch is the per-worker state of the parallel candidate phase: the
+// grid-query buffer plus an epoch-stamped dedup array (replacing a per-cell
+// map allocation).
+type candScratch struct {
+	buf   geom.NearestBuf
+	stamp []int
+	epoch int
+}
+
 // candidateSites selects, per DSP, the k sites nearest to the wirelength
 // centroid of its anchors, merged with sites near its previous position and
 // near its cascade target, so the iterate can both exploit and stay stable.
-func candidateSites(p *Problem, locs []geom.Point, nbrs [][]neighbor,
+// Each cell's candidate list depends only on that cell, so the cells fan
+// out across the worker pool; list contents and order are identical to the
+// serial computation.
+func candidateSites(p *Problem, sidx *siteIndex, nbrs [][]neighbor,
 	prevPos []geom.Point, cascTarget []*geom.Point, k int, idx map[int]int) [][]int {
 
 	N := len(p.DSPs)
-	M := len(locs)
+	M := len(sidx.all)
 	if k > M {
 		k = M
 	}
-	out := make([][]int, N)
-	for i := 0; i < N; i++ {
-		target := centroid(p, i, nbrs, prevPos, idx)
-		sets := [][]int{
-			nearestSites(locs, target, k),
-			nearestSites(locs, prevPos[i], k/2+1),
-		}
-		if ct := cascTarget[i]; ct != nil {
-			sets = append(sets, nearestSites(locs, *ct, k/2+1))
-		}
-		seen := make(map[int]bool, 2*k)
-		for _, set := range sets {
-			for _, j := range set {
-				if !seen[j] {
-					seen[j] = true
-					out[i] = append(out[i], j)
+	return par.MapWorker(N,
+		func(int) *candScratch { return &candScratch{stamp: make([]int, M)} },
+		func(sc *candScratch, i int) []int {
+			sc.epoch++
+			var out []int
+			addSet := func(set []int) {
+				for _, j := range set {
+					if sc.stamp[j] != sc.epoch {
+						sc.stamp[j] = sc.epoch
+						out = append(out, j)
+					}
 				}
 			}
-		}
-	}
-	return out
+			target := centroid(p, i, nbrs, prevPos, idx)
+			addSet(sidx.nearest(target, k, &sc.buf))
+			addSet(sidx.nearest(prevPos[i], k/2+1, &sc.buf))
+			if ct := cascTarget[i]; ct != nil {
+				addSet(sidx.nearest(*ct, k/2+1, &sc.buf))
+			}
+			return out
+		})
 }
 
 // centroid returns the weighted mean location of a DSP's anchors; datapath
@@ -361,36 +418,6 @@ func centroid(p *Problem, i int, nbrs [][]neighbor, prevPos []geom.Point, idx ma
 		return prevPos[i]
 	}
 	return sum.Scale(1 / w)
-}
-
-// nearestSites returns the indices of the k sites closest to target.
-func nearestSites(locs []geom.Point, target geom.Point, k int) []int {
-	if k >= len(locs) {
-		all := make([]int, len(locs))
-		for i := range all {
-			all[i] = i
-		}
-		return all
-	}
-	type ds struct {
-		j int
-		d float64
-	}
-	arr := make([]ds, len(locs))
-	for j, l := range locs {
-		arr[j] = ds{j: j, d: l.Manhattan(target)}
-	}
-	sort.Slice(arr, func(a, b int) bool {
-		if arr[a].d != arr[b].d {
-			return arr[a].d < arr[b].d
-		}
-		return arr[a].j < arr[b].j
-	})
-	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		out[i] = arr[i].j
-	}
-	return out
 }
 
 // edgeCost evaluates the linearized per-assignment cost of putting dense

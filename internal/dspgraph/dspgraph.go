@@ -8,10 +8,19 @@ package dspgraph
 
 import (
 	"fmt"
+	"sort"
 
 	"dsplacer/internal/graph"
 	"dsplacer/internal/netlist"
+	"dsplacer/internal/par"
+	"dsplacer/internal/stage"
 )
+
+// CellCounts counts cells by type, indexed by netlist.CellType. A dense
+// array instead of a map: at build scale there is one counter set per
+// discovered edge, and the map version was one allocation (plus hashing)
+// per edge.
+type CellCounts [netlist.NumCellTypes]int
 
 // Edge is one DSP→DSP connection discovered by the search.
 type Edge struct {
@@ -23,7 +32,7 @@ type Edge struct {
 	// PathCells counts the intermediate cells by type — the paper's
 	// observation that control-path DSPs see more storage elements along
 	// their paths is measurable from this.
-	PathCells map[netlist.CellType]int
+	PathCells CellCounts
 }
 
 // Graph is the DSP graph: nodes are DSP cell ids.
@@ -59,29 +68,48 @@ func Build(nl *netlist.Netlist, cfg Config) *Graph {
 		dg.Index[d] = i
 	}
 	target := func(v int) bool { return isDSP[v] }
-	for _, src := range dsp {
-		results := g.IDDFS(src, cfg.MaxDepth, target, true)
-		for _, r := range results {
-			counts := make(map[netlist.CellType]int)
-			for _, v := range r.Path[1 : len(r.Path)-1] {
-				counts[nl.Cells[v].Type]++
+	// The per-source searches are independent: fan them across the worker
+	// pool, collect each source's edges into its own slot, and concatenate
+	// in source order. Within a source the edges are sorted by target, so
+	// the merged slice is already in (From, To) order and — map iteration
+	// having been removed from the output path — identical for any worker
+	// count.
+	defer stage.Start("dspgraph.build")()
+	perSrc := par.MapWorker(len(dsp),
+		func(int) *graph.IDDFSScratch { return new(graph.IDDFSScratch) },
+		func(sc *graph.IDDFSScratch, i int) []Edge {
+			src := dsp[i]
+			results := g.IDDFSWith(sc, src, cfg.MaxDepth, target, true)
+			es := make([]Edge, 0, len(results))
+			for _, r := range results {
+				var counts CellCounts
+				for _, v := range r.Path[1 : len(r.Path)-1] {
+					counts[nl.Cells[v].Type]++
+				}
+				es = append(es, Edge{
+					From: src, To: r.Target, Dist: r.Dist, PathCells: counts,
+				})
 			}
-			dg.Edges = append(dg.Edges, Edge{
-				From: src, To: r.Target, Dist: r.Dist, PathCells: counts,
-			})
-		}
+			sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
+			return es
+		})
+	total := 0
+	for _, es := range perSrc {
+		total += len(es)
+	}
+	dg.Edges = make([]Edge, 0, total)
+	for _, es := range perSrc {
+		dg.Edges = append(dg.Edges, es...)
 	}
 	sortEdges(dg.Edges)
 	return dg
 }
 
 func sortEdges(es []Edge) {
-	// Deterministic order: by (From, To).
-	for i := 1; i < len(es); i++ {
-		for j := i; j > 0 && less(es[j], es[j-1]); j-- {
-			es[j], es[j-1] = es[j-1], es[j]
-		}
-	}
+	// Deterministic order: by (From, To). sort.Slice instead of the old
+	// insertion sort, which was quadratic on adversarial input; here the
+	// input is already nearly sorted by construction.
+	sort.Slice(es, func(i, j int) bool { return less(es[i], es[j]) })
 }
 
 func less(a, b Edge) bool {

@@ -1,0 +1,38 @@
+package dspgraph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSortEdges10k is the regression for the old O(E²) insertion sort: a
+// shuffled 10k-edge slice must come back in exact (From, To) order. The
+// insertion sort took quadratic time on inputs like this; sort.Slice is
+// O(E log E) (and the test would time out long before completing under the
+// old implementation at a few hundred k edges).
+func TestSortEdges10k(t *testing.T) {
+	const n = 10000
+	rng := rand.New(rand.NewSource(42))
+	es := make([]Edge, 0, n)
+	// Unique (From, To) pairs — the invariant Build guarantees — shuffled
+	// into adversarial (reverse-ish) order.
+	for i := 0; i < n; i++ {
+		es = append(es, Edge{From: i / 100, To: i % 100, Dist: 1 + rng.Intn(7)})
+	}
+	rng.Shuffle(len(es), func(i, j int) { es[i], es[j] = es[j], es[i] })
+
+	want := make([]Edge, len(es))
+	copy(want, es)
+	sort.SliceStable(want, func(a, b int) bool { return less(want[a], want[b]) })
+
+	sortEdges(es)
+	if !sort.SliceIsSorted(es, func(a, b int) bool { return less(es[a], es[b]) }) {
+		t.Fatal("edges not sorted")
+	}
+	for i := range es {
+		if es[i] != want[i] {
+			t.Fatalf("edge %d: got %+v want %+v", i, es[i], want[i])
+		}
+	}
+}

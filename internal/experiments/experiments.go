@@ -21,7 +21,17 @@ type Suite struct {
 	Specs []gen.Spec
 
 	mu    sync.Mutex
-	cache map[string]*netlist.Netlist
+	cache map[string]*netlistEntry
+}
+
+// netlistEntry is a per-spec once-cell: the suite mutex only guards the map
+// lookup, so parallel experiment rows generating *different* benchmarks do
+// not serialize on one global lock, while two rows asking for the same
+// benchmark still share a single generation.
+type netlistEntry struct {
+	once sync.Once
+	nl   *netlist.Netlist
+	err  error
 }
 
 // NewSuite builds a suite over the given specs (TableI() by default).
@@ -32,23 +42,21 @@ func NewSuite(specs []gen.Spec) *Suite {
 	return &Suite{
 		Dev:   fpga.NewZCU104(),
 		Specs: specs,
-		cache: make(map[string]*netlist.Netlist),
+		cache: make(map[string]*netlistEntry),
 	}
 }
 
 // Netlist generates (and caches) the benchmark netlist for spec.
 func (s *Suite) Netlist(spec gen.Spec) (*netlist.Netlist, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if nl, ok := s.cache[spec.Name]; ok {
-		return nl, nil
+	e, ok := s.cache[spec.Name]
+	if !ok {
+		e = &netlistEntry{}
+		s.cache[spec.Name] = e
 	}
-	nl, err := gen.Generate(spec, s.Dev)
-	if err != nil {
-		return nil, err
-	}
-	s.cache[spec.Name] = nl
-	return nl, nil
+	s.mu.Unlock()
+	e.once.Do(func() { e.nl, e.err = gen.Generate(spec, s.Dev) })
+	return e.nl, e.err
 }
 
 // TableI prints the benchmark statistics table (paper Table I). The counts

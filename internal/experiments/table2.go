@@ -8,7 +8,9 @@ import (
 
 	"dsplacer/internal/core"
 	"dsplacer/internal/gen"
+	"dsplacer/internal/par"
 	"dsplacer/internal/placer"
+	"dsplacer/internal/stage"
 )
 
 // FlowMetrics is one cell group of Table II.
@@ -48,6 +50,7 @@ func (c TableIIConfig) coreConfig(spec gen.Spec) core.Config {
 
 // RunTableIIRow executes all three flows on one benchmark.
 func (s *Suite) RunTableIIRow(spec gen.Spec, cfg TableIIConfig) (*TableIIRow, error) {
+	defer stage.Start("experiments.table2.row")()
 	nl, err := s.Netlist(spec)
 	if err != nil {
 		return nil, err
@@ -91,8 +94,13 @@ func (s *Suite) RunTableIIRow(spec gen.Spec, cfg TableIIConfig) (*TableIIRow, er
 // normalization row. The normalization uses critical-path delay ratios for
 // WNS (period − WNS), |TNS|+1 ratios for TNS, and direct ratios for HPWL
 // and runtime, each geomean-ed across benchmarks relative to DSPlacer = 1.
+//
+// The rows are independent (separate netlists, separate flows), so they
+// execute across the worker pool and are printed in spec order afterwards.
+// Per-flow Runtime stays wall-clock and can inflate when rows share cores;
+// the cross-flow ratios within one row remain comparable since all three
+// flows of a row run on the same worker.
 func (s *Suite) TableII(w io.Writer, cfg TableIIConfig) ([]*TableIIRow, error) {
-	var rows []*TableIIRow
 	fmt.Fprintf(w, "Table II: Experiment Result.\n")
 	fmt.Fprintf(w, "%-10s | %9s %12s %10s %8s | %9s %12s %10s %8s | %9s %12s %10s %8s\n",
 		"", "Vivado", "", "", "", "AMF", "", "", "", "DSPlacer", "", "", "")
@@ -101,17 +109,25 @@ func (s *Suite) TableII(w io.Writer, cfg TableIIConfig) ([]*TableIIRow, error) {
 		"WNS(ns)", "TNS(ns)", "HPWL", "Rt(s)",
 		"WNS(ns)", "TNS(ns)", "HPWL", "Rt(s)",
 		"WNS(ns)", "TNS(ns)", "HPWL", "Rt(s)")
-	for _, spec := range s.Specs {
-		row, err := s.RunTableIIRow(spec, cfg)
-		if err != nil {
-			return rows, err
+	type rowOrErr struct {
+		row *TableIIRow
+		err error
+	}
+	results := par.Map(len(s.Specs), func(i int) rowOrErr {
+		row, err := s.RunTableIIRow(s.Specs[i], cfg)
+		return rowOrErr{row: row, err: err}
+	})
+	var rows []*TableIIRow
+	for _, r := range results {
+		if r.err != nil {
+			return rows, r.err
 		}
-		rows = append(rows, row)
+		rows = append(rows, r.row)
 		p := func(m FlowMetrics) string {
 			return fmt.Sprintf("%9.3f %12.3f %10.0f %8.1f", m.WNS, m.TNS, m.HPWL, m.Runtime)
 		}
 		fmt.Fprintf(w, "%-10s | %s | %s | %s\n",
-			row.Benchmark, p(row.Vivado), p(row.AMF), p(row.DSPlacer))
+			r.row.Benchmark, p(r.row.Vivado), p(r.row.AMF), p(r.row.DSPlacer))
 	}
 	nv, na := Normalize(rows, s.Specs)
 	fmt.Fprintf(w, "%-10s | %8.3fx %11.3fx %9.3fx %7.3fx | %8.3fx %11.3fx %9.3fx %7.3fx | %9s %12s %10s %8s\n",

@@ -18,6 +18,8 @@ import (
 	"dsplacer/internal/graph"
 	"dsplacer/internal/mat"
 	"dsplacer/internal/netlist"
+	"dsplacer/internal/par"
+	"dsplacer/internal/stage"
 )
 
 // NumFeatures is the width of the extracted feature matrix.
@@ -149,9 +151,8 @@ func sampledCentralities(ug *graph.Digraph, X *mat.Dense, cfg Config) {
 		sigma[s] = 1
 		dist[s] = 0
 		queue = append(queue, s)
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
 			stack = append(stack, v)
 			for _, w := range ug.Out(v) {
 				if dist[w] == graph.Unreached {
@@ -199,10 +200,16 @@ func sampledCentralities(ug *graph.Digraph, X *mat.Dense, cfg Config) {
 // avgDSPDistances fills the AvgDSPDist column: for each DSP node, the mean
 // undirected shortest-path distance to the (sampled) other DSP nodes.
 // Unreachable pairs are skipped; DSPs reaching no other DSP get 0.
+//
+// The per-source BFS sweeps run across the worker pool, each worker folding
+// into its own integer accumulators that are merged serially afterwards —
+// integer addition is exactly associative, so the result is bit-identical
+// for any worker count.
 func avgDSPDistances(ug *graph.Digraph, dsp []int, X *mat.Dense, cfg Config) {
 	if len(dsp) < 2 {
 		return
 	}
+	defer stage.Start("features.avg_dsp_dist")()
 	sources := dsp
 	if len(sources) > cfg.DSPPivots {
 		rng := rand.New(rand.NewSource(cfg.Seed + 1))
@@ -212,24 +219,41 @@ func avgDSPDistances(ug *graph.Digraph, dsp []int, X *mat.Dense, cfg Config) {
 			sources[i] = dsp[perm[i]]
 		}
 	}
-	isDSP := make(map[int]bool, len(dsp))
-	for _, d := range dsp {
-		isDSP[d] = true
+	type acc struct {
+		sum, cnt []int64 // indexed by dense DSP index
+		dist     []int   // per-worker BFS scratch
 	}
-	sum := make(map[int]float64, len(dsp))
-	cnt := make(map[int]int, len(dsp))
-	for _, s := range sources {
-		d := ug.BFSDistances(s)
-		for _, v := range dsp {
-			if v != s && d[v] > 0 {
-				sum[v] += float64(d[v])
-				cnt[v]++
+	W := par.Workers(len(sources))
+	accs := make([]*acc, W)
+	par.ForEachWorker(len(sources), func(w, si int) {
+		a := accs[w]
+		if a == nil {
+			a = &acc{
+				sum:  make([]int64, len(dsp)),
+				cnt:  make([]int64, len(dsp)),
+				dist: make([]int, ug.N()),
+			}
+			accs[w] = a
+		}
+		s := sources[si]
+		ug.BFSDistancesInto(s, a.dist)
+		for di, v := range dsp {
+			if d := a.dist[v]; v != s && d > 0 {
+				a.sum[di] += int64(d)
+				a.cnt[di]++
 			}
 		}
-	}
-	for _, v := range dsp {
-		if cnt[v] > 0 {
-			X.Set(v, AvgDSPDist, sum[v]/float64(cnt[v]))
+	})
+	for di, v := range dsp {
+		var sum, cnt int64
+		for _, a := range accs {
+			if a != nil {
+				sum += a.sum[di]
+				cnt += a.cnt[di]
+			}
+		}
+		if cnt > 0 {
+			X.Set(v, AvgDSPDist, float64(sum)/float64(cnt))
 		}
 	}
 }

@@ -1,0 +1,132 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// nearestRef is the reference linear scan: all points sorted by
+// (Manhattan distance, index), first k.
+func nearestRef(pts []Point, target Point, k int) []int {
+	if k > len(pts) {
+		k = len(pts)
+	}
+	type ds struct {
+		j int
+		d float64
+	}
+	arr := make([]ds, len(pts))
+	for j, p := range pts {
+		arr[j] = ds{j: j, d: p.Manhattan(target)}
+	}
+	sort.Slice(arr, func(a, b int) bool {
+		if arr[a].d != arr[b].d {
+			return arr[a].d < arr[b].d
+		}
+		return arr[a].j < arr[b].j
+	})
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = arr[i].j
+	}
+	return out
+}
+
+func checkAgainstRef(t *testing.T, pts []Point, target Point, k int, g *GridIndex, buf *NearestBuf) {
+	t.Helper()
+	got := g.Nearest(target, k, buf)
+	want := nearestRef(pts, target, k)
+	if len(got) != len(want) {
+		t.Fatalf("k=%d target=%v: got %d results want %d", k, target, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("k=%d target=%v: result[%d]=%d want %d\ngot  %v\nwant %v",
+				k, target, i, got[i], want[i], got, want)
+		}
+	}
+}
+
+func TestGridIndexMatchesLinearScanRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(400)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64() * 100, Y: rng.Float64() * 60}
+		}
+		g := NewGridIndex(pts)
+		buf := &NearestBuf{}
+		for q := 0; q < 25; q++ {
+			// Targets inside, near and far outside the bounding box.
+			target := Point{X: rng.Float64()*220 - 60, Y: rng.Float64()*160 - 50}
+			k := 1 + rng.Intn(n+3)
+			checkAgainstRef(t, pts, target, k, g, buf)
+		}
+	}
+}
+
+func TestGridIndexColumnLayout(t *testing.T) {
+	// DSP sites live in sparse vertical columns; make sure the ring search
+	// handles strongly anisotropic sets.
+	var pts []Point
+	for _, x := range []float64{3, 17, 31, 45} {
+		for y := 0; y < 60; y++ {
+			pts = append(pts, Point{X: x, Y: float64(y)})
+		}
+	}
+	g := NewGridIndex(pts)
+	rng := rand.New(rand.NewSource(11))
+	for q := 0; q < 40; q++ {
+		target := Point{X: rng.Float64() * 50, Y: rng.Float64() * 60}
+		checkAgainstRef(t, pts, target, 1+rng.Intn(30), g, nil)
+	}
+}
+
+func TestGridIndexTiesBreakByIndex(t *testing.T) {
+	// Four points equidistant from the center: ties must resolve by index.
+	pts := []Point{{X: 1, Y: 0}, {X: -1, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: -1}}
+	g := NewGridIndex(pts)
+	got := g.Nearest(Point{}, 3, nil)
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ties: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestGridIndexDegenerate(t *testing.T) {
+	// All points coincident.
+	pts := []Point{{X: 5, Y: 5}, {X: 5, Y: 5}, {X: 5, Y: 5}}
+	g := NewGridIndex(pts)
+	checkAgainstRef(t, pts, Point{X: 5, Y: 5}, 2, g, nil)
+	checkAgainstRef(t, pts, Point{X: -100, Y: 40}, 3, g, nil)
+
+	// Empty and k larger than the set.
+	if got := NewGridIndex(nil).Nearest(Point{}, 4, nil); len(got) != 0 {
+		t.Fatalf("empty index returned %v", got)
+	}
+	one := []Point{{X: 1, Y: 2}}
+	if got := NewGridIndex(one).Nearest(Point{}, 10, nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("k>n: got %v", got)
+	}
+	if got := NewGridIndex(one).Nearest(Point{}, 0, nil); len(got) != 0 {
+		t.Fatalf("k=0: got %v", got)
+	}
+}
+
+func TestGridIndexBufReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]Point, 200)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+	}
+	g := NewGridIndex(pts)
+	buf := &NearestBuf{}
+	for q := 0; q < 50; q++ {
+		target := Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+		checkAgainstRef(t, pts, target, 1+rng.Intn(24), g, buf)
+	}
+}

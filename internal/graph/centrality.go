@@ -48,9 +48,11 @@ func (g *Digraph) Betweenness() []float64 {
 				sigma[s] = 1
 				dist[s] = 0
 				queue = append(queue, s)
-				for len(queue) > 0 {
-					v := queue[0]
-					queue = queue[1:]
+				// Dequeue via head index: queue = queue[1:] walks the slice
+				// header forward and forces append to regrow the buffer on
+				// every BFS; the head index reuses one buffer per worker.
+				for head := 0; head < len(queue); head++ {
+					v := queue[head]
 					stack = append(stack, v)
 					for _, w2 := range g.out[v] {
 						if dist[w2] == Unreached {
@@ -153,9 +155,8 @@ func parallelOverSources(n int, fn func(s int, dist []int), g *Digraph) {
 				dist[s] = 0
 				queue = queue[:0]
 				queue = append(queue, s)
-				for len(queue) > 0 {
-					u := queue[0]
-					queue = queue[1:]
+				for head := 0; head < len(queue); head++ {
+					u := queue[head]
 					for _, v := range g.out[u] {
 						if dist[v] == Unreached {
 							dist[v] = dist[u] + 1

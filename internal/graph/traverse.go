@@ -8,15 +8,24 @@ const Unreached = -1
 // get Unreached.
 func (g *Digraph) BFSDistances(src int) []int {
 	dist := make([]int, g.N())
+	g.BFSDistancesInto(src, dist)
+	return dist
+}
+
+// BFSDistancesInto is BFSDistances with a caller-owned distance buffer of
+// length N(), for sweeps that run one BFS per source and want to reuse the
+// allocation (feature extraction's DSP-distance sweep).
+func (g *Digraph) BFSDistancesInto(src int, dist []int) {
 	for i := range dist {
 		dist[i] = Unreached
 	}
 	dist[src] = 0
+	// Head index instead of queue = queue[1:]: the backing array is fully
+	// reused, so one BFS does a single allocation however long it runs.
 	queue := make([]int, 0, 16)
 	queue = append(queue, src)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, v := range g.out[u] {
 			if dist[v] == Unreached {
 				dist[v] = dist[u] + 1
@@ -24,7 +33,6 @@ func (g *Digraph) BFSDistances(src int) []int {
 			}
 		}
 	}
-	return dist
 }
 
 // DFSPreorder returns the nodes reachable from src in depth-first preorder.
@@ -59,6 +67,16 @@ type IDDFSResult struct {
 	Path []int
 }
 
+// IDDFSScratch holds the reusable per-worker state of repeated IDDFS calls
+// over one graph: the on-stack marks and the current path. Reusing it across
+// sources removes the O(N) allocation per search that dominates DSP-graph
+// construction on large netlists. A scratch must not be shared between
+// concurrent searches; the zero value is ready to use.
+type IDDFSScratch struct {
+	onPath []bool
+	path   []int
+}
+
 // IDDFS performs iterative-deepening depth-first search from src, as
 // described in §III-B of the paper: it has DFS's O(depth) space footprint
 // yet, by deepening one level at a time, the first time a target is reached
@@ -71,11 +89,22 @@ type IDDFSResult struct {
 // DSP graph wants direct DSP-to-DSP reachability, so paths must not tunnel
 // through an intermediate DSP when stopAtTarget is true.
 func (g *Digraph) IDDFS(src, maxDepth int, isTarget func(int) bool, stopAtTarget bool) map[int]IDDFSResult {
+	return g.IDDFSWith(new(IDDFSScratch), src, maxDepth, isTarget, stopAtTarget)
+}
+
+// IDDFSWith is IDDFS with caller-owned scratch, for callers that sweep many
+// sources (dspgraph.Build runs one search per DSP per worker).
+func (g *Digraph) IDDFSWith(sc *IDDFSScratch, src, maxDepth int, isTarget func(int) bool, stopAtTarget bool) map[int]IDDFSResult {
 	found := make(map[int]IDDFSResult)
 	// onPath guards against cycles within the current DFS stack only, which
 	// keeps memory at O(depth) in the spirit of IDDFS while remaining exact.
-	onPath := make([]bool, g.N())
-	path := make([]int, 0, maxDepth+1)
+	// Every push is matched by a deferred pop, so the scratch returns to
+	// all-false/empty and can be reused as-is by the next search.
+	if len(sc.onPath) < g.N() {
+		sc.onPath = make([]bool, g.N())
+	}
+	onPath := sc.onPath
+	path := sc.path[:0]
 
 	var dls func(u, limit int) bool // reports whether any node at the frontier remained
 	dls = func(u, limit int) bool {
@@ -116,6 +145,7 @@ func (g *Digraph) IDDFS(src, maxDepth int, isTarget func(int) bool, stopAtTarget
 			break
 		}
 	}
+	sc.path = path // keep any growth for the next search
 	return found
 }
 
@@ -135,9 +165,8 @@ func (g *Digraph) TopoSort() (order []int, ok bool) {
 		}
 	}
 	order = make([]int, 0, g.N())
-	for len(ready) > 0 {
-		u := ready[0]
-		ready = ready[1:]
+	for head := 0; head < len(ready); head++ {
+		u := ready[head]
 		order = append(order, u)
 		for _, v := range g.out[u] {
 			indeg[v]--

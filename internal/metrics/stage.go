@@ -1,0 +1,34 @@
+package metrics
+
+import (
+	"io"
+	"time"
+
+	"dsplacer/internal/stage"
+)
+
+// Stage timing counters, re-exported from the dependency-free
+// internal/stage registry (the hot paths record there directly; this
+// package imports dspgraph and so cannot be imported back by it). See
+// internal/stage for the semantics.
+
+// StageStat is one named accumulator's snapshot.
+type StageStat = stage.Stat
+
+// StageStart records the start of one invocation of the named stage and
+// returns the function that stops the clock:
+//
+//	defer metrics.StageStart("dspgraph.build")()
+func StageStart(name string) func() { return stage.Start(name) }
+
+// StageAdd folds one completed invocation of duration d into the stage.
+func StageAdd(name string, d time.Duration) { stage.Add(name, d) }
+
+// StageSnapshot returns a copy of every stage accumulator.
+func StageSnapshot() map[string]StageStat { return stage.Snapshot() }
+
+// StageReset clears all stage accumulators.
+func StageReset() { stage.Reset() }
+
+// StageReport writes the accumulators as a name-sorted fixed-width table.
+func StageReport(w io.Writer) { stage.Report(w) }

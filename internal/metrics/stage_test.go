@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageAccumulates(t *testing.T) {
+	StageReset()
+	defer StageReset()
+	StageAdd("x", 10*time.Millisecond)
+	StageAdd("x", 30*time.Millisecond)
+	StageAdd("y", 5*time.Millisecond)
+	snap := StageSnapshot()
+	if s := snap["x"]; s.Count != 2 || s.Total != 40*time.Millisecond {
+		t.Fatalf("x=%+v", s)
+	}
+	if s := snap["y"]; s.Count != 1 || s.Total != 5*time.Millisecond {
+		t.Fatalf("y=%+v", s)
+	}
+}
+
+func TestStageStartStops(t *testing.T) {
+	StageReset()
+	defer StageReset()
+	stop := StageStart("timed")
+	time.Sleep(time.Millisecond)
+	stop()
+	s := StageSnapshot()["timed"]
+	if s.Count != 1 || s.Total <= 0 {
+		t.Fatalf("timed=%+v", s)
+	}
+}
+
+func TestStageConcurrentAdds(t *testing.T) {
+	StageReset()
+	defer StageReset()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				StageAdd("c", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := StageSnapshot()["c"]; s.Count != 8000 || s.Total != 8000*time.Microsecond {
+		t.Fatalf("c=%+v", s)
+	}
+}
+
+func TestStageReportSortedAndReset(t *testing.T) {
+	StageReset()
+	StageAdd("b.stage", time.Millisecond)
+	StageAdd("a.stage", time.Millisecond)
+	var sb strings.Builder
+	StageReport(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "a.stage") || !strings.Contains(out, "b.stage") {
+		t.Fatalf("report missing stages:\n%s", out)
+	}
+	if strings.Index(out, "a.stage") > strings.Index(out, "b.stage") {
+		t.Fatalf("report not sorted:\n%s", out)
+	}
+	StageReset()
+	if len(StageSnapshot()) != 0 {
+		t.Fatal("reset left stages behind")
+	}
+}

@@ -30,6 +30,10 @@ const (
 	numCellTypes
 )
 
+// NumCellTypes is the number of distinct cell types, for dense per-type
+// arrays (e.g. the DSP-graph per-edge path-cell counters).
+const NumCellTypes = int(numCellTypes)
+
 var cellTypeNames = [...]string{
 	LUT: "LUT", LUTRAM: "LUTRAM", FF: "FF", BRAM: "BRAM", DSP: "DSP",
 	Carry: "CARRY", IO: "IO", PSPort: "PSPORT",

@@ -1,0 +1,101 @@
+// Package par provides the shared bounded worker-pool and chunking
+// primitives behind the repository's parallel hot paths: DSP-graph
+// construction, the per-cell candidate/cost phase of the assignment loop,
+// feature extraction sweeps and experiment-row execution.
+//
+// Every helper is deterministic-by-construction: work units are identified
+// by index, results are written to caller-owned per-index (or per-worker)
+// slots, and any merging the caller performs in index order is independent
+// of goroutine scheduling. Callers that need floating-point reductions must
+// either reduce per-index results serially or accumulate integers (whose
+// addition is exactly associative), so that output is bit-identical across
+// worker counts.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the number of workers to use for n independent work
+// units: GOMAXPROCS capped at n, and at least 1.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(i) for every i in [0, n) across Workers(n) goroutines.
+// Indices are handed out dynamically through an atomic cursor so uneven
+// work units balance across workers. fn must only touch per-index state
+// (e.g. slot i of a preallocated result slice); under that contract the
+// result is identical for any worker count.
+func ForEach(n int, fn func(i int)) {
+	ForEachWorker(n, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker id exposed: fn(w, i) is called
+// with w in [0, Workers(n)), and all calls for one w happen sequentially on
+// a single goroutine. This lets callers keep per-worker scratch buffers
+// (BFS queues, IDDFS visit marks, query buffers) that are reused across all
+// items that worker claims.
+func ForEachWorker(n int, fn func(w, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := Workers(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Map runs fn over [0, n) in parallel and returns the results in index
+// order — the deterministic ordered-merge primitive: out[i] depends only on
+// i, never on scheduling.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapWorker is Map with per-worker scratch: make(w) is called once per
+// worker (lazily, on that worker's goroutine) and the scratch value is
+// passed to every fn call that worker executes.
+func MapWorker[T, S any](n int, mk func(w int) S, fn func(scratch S, i int) T) []T {
+	out := make([]T, n)
+	scratch := make([]S, Workers(n))
+	made := make([]bool, Workers(n))
+	ForEachWorker(n, func(w, i int) {
+		if !made[w] {
+			scratch[w] = mk(w)
+			made[w] = true
+		}
+		out[i] = fn(scratch[w], i)
+	})
+	return out
+}

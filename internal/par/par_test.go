@@ -1,0 +1,111 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersBounds(t *testing.T) {
+	if w := Workers(0); w != 1 {
+		t.Fatalf("Workers(0)=%d want 1", w)
+	}
+	if w := Workers(1); w != 1 {
+		t.Fatalf("Workers(1)=%d want 1", w)
+	}
+	max := runtime.GOMAXPROCS(0)
+	if w := Workers(1 << 20); w != max {
+		t.Fatalf("Workers(big)=%d want GOMAXPROCS=%d", w, max)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	const n = 10000
+	hits := make([]int32, n)
+	ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	called := false
+	ForEach(0, func(int) { called = true })
+	ForEach(-3, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachWorkerIdsInRange(t *testing.T) {
+	const n = 1000
+	w := Workers(n)
+	var bad atomic.Int32
+	ForEachWorker(n, func(wk, i int) {
+		if wk < 0 || wk >= w {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d calls with out-of-range worker id", bad.Load())
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	got := Map(1000, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d]=%d want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapWorkerScratchReuse(t *testing.T) {
+	// Each worker's scratch is a counter; the sum over all scratches must
+	// equal n (every index counted exactly once, on its worker's scratch).
+	const n = 500
+	type counter struct{ n int }
+	counters := make([]*counter, Workers(n))
+	Map := MapWorker(n, func(w int) *counter {
+		c := &counter{}
+		counters[w] = c
+		return c
+	}, func(c *counter, i int) int {
+		c.n++
+		return i
+	})
+	total := 0
+	for _, c := range counters {
+		if c != nil {
+			total += c.n
+		}
+	}
+	if total != n {
+		t.Fatalf("scratch counters sum %d want %d", total, n)
+	}
+	for i, v := range Map {
+		if v != i {
+			t.Fatalf("out[%d]=%d", i, v)
+		}
+	}
+}
+
+// TestDeterministicAcrossWorkerCounts runs the same indexed computation at
+// GOMAXPROCS 1 and 8 and requires identical output slices.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func() []int {
+		return Map(4096, func(i int) int { return i*2654435761 ^ i>>3 })
+	}
+	old := runtime.GOMAXPROCS(1)
+	a := run()
+	runtime.GOMAXPROCS(8)
+	b := run()
+	runtime.GOMAXPROCS(old)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("index %d differs across worker counts", i)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package stage is the process-wide registry of named wall-clock
+// accumulators wrapped around the placer's hot paths (dspgraph build, the
+// assignment loop's candidate/flow phases, feature sweeps, experiment
+// rows). It is a dependency-free leaf so the hot paths themselves can
+// record into it; consumers read it through the re-exports in
+// internal/metrics. The counters make parallel-speedup work observable —
+// `go run ./cmd/experiments -stages ...` prints the table — while staying
+// cheap enough to leave enabled: one mutexed map update per stage
+// invocation, never per inner-loop item.
+package stage
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stat is one named accumulator's snapshot.
+type Stat struct {
+	// Count is the number of completed invocations.
+	Count int64
+	// Total is the summed wall-clock time across invocations. For stages
+	// whose invocations overlap in time (parallel rows), Total is CPU-like
+	// aggregate work, not elapsed time.
+	Total time.Duration
+}
+
+var (
+	mu     sync.Mutex
+	stages map[string]*Stat
+)
+
+// Start records the start of one invocation of the named stage and returns
+// the function that stops the clock. Intended usage:
+//
+//	defer stage.Start("dspgraph.build")()
+func Start(name string) func() {
+	t0 := time.Now()
+	return func() { Add(name, time.Since(t0)) }
+}
+
+// Add folds one completed invocation of duration d into the stage.
+func Add(name string, d time.Duration) {
+	mu.Lock()
+	if stages == nil {
+		stages = make(map[string]*Stat)
+	}
+	s := stages[name]
+	if s == nil {
+		s = &Stat{}
+		stages[name] = s
+	}
+	s.Count++
+	s.Total += d
+	mu.Unlock()
+}
+
+// Snapshot returns a copy of every stage accumulator.
+func Snapshot() map[string]Stat {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make(map[string]Stat, len(stages))
+	for k, v := range stages {
+		out[k] = *v
+	}
+	return out
+}
+
+// Reset clears all stage accumulators (tests, repeated experiment runs).
+func Reset() {
+	mu.Lock()
+	stages = nil
+	mu.Unlock()
+}
+
+// Report writes the accumulators as a fixed-width table, sorted by name so
+// output is deterministic.
+func Report(w io.Writer) {
+	snap := Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-32s %8s %14s %14s\n", "stage", "count", "total", "mean")
+	for _, k := range names {
+		s := snap[k]
+		mean := time.Duration(0)
+		if s.Count > 0 {
+			mean = s.Total / time.Duration(s.Count)
+		}
+		fmt.Fprintf(w, "%-32s %8d %14s %14s\n", k, s.Count, s.Total, mean)
+	}
+}
