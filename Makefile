@@ -1,23 +1,32 @@
 # Convenience targets mirroring the commands CI (and the tier-1 verify in
 # ROADMAP.md) runs. Everything is stdlib-only Go; no other tooling needed.
 
-.PHONY: build test ci bench profile
+.PHONY: build test ci bench bench-smoke profile
 
 # Tier-1 verify (ROADMAP.md).
 test:
 	go build ./... && go test ./...
 
 # CI-style check: vet plus the full test suite under the race detector —
-# the parallel hot paths (internal/par users) must stay race-free.
+# the parallel hot paths (internal/par users) must stay race-free — plus a
+# single-iteration pass over every benchmark so bench-only code (bench
+# harnesses, solver warm-start paths) cannot bit-rot unnoticed.
 ci:
-	go vet ./... && go test -race ./...
+	go vet ./... && go test -race ./... && $(MAKE) bench-smoke
 
 build:
 	go build ./...
 
-# Hot-path micro-benchmarks with allocation counts.
+# Compile-and-smoke every benchmark in the repo: one iteration each, with
+# allocation counts. Fast; used as a CI gate.
+bench-smoke:
+	go test -run '^$$' -bench . -benchmem -benchtime=1x ./...
+
+# Hot-path micro-benchmarks with allocation counts (real measurements;
+# compare against BENCH_*.json).
 bench:
-	go test -run '^$$' -bench 'DSPGraphBuild|AssignIteration' -benchmem .
+	go test -run '^$$' -bench 'DSPGraphBuild|AssignIteration|MinCostFlow' -benchmem .  && \
+	go test -run '^$$' -bench . -benchmem ./internal/mcmf/
 
 # CPU-profile one Table II regeneration at mini scale; open with
 # `go tool pprof cpu.pb.gz`.

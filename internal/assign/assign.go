@@ -216,9 +216,14 @@ func Solve(p *Problem) (*Result, error) {
 	kCand := p.Candidates
 	var prevPrev []int // assignment two iterations ago, for 2-cycle detection
 
+	// The bipartite flow network is built once and kept alive across the
+	// linearize-and-solve iterations: each iterate only rewrites arc costs
+	// (and disables/adds candidate arcs as the candidate sets drift).
+	fn := newFlowNet(N, M)
+
 	for iter := 1; iter <= p.Iterations; iter++ {
 		updateCascTargets()
-		assignment, cost, err := solveOnce(p, sidx, locs, cosOf,
+		assignment, cost, err := solveOnce(p, fn, sidx, locs, cosOf,
 			nbrs, lambdaCoeff, prevPos, prevSite, cascTarget, kCand, idx, iter)
 		if err != nil {
 			return nil, err
@@ -253,17 +258,104 @@ func Solve(p *Problem) (*Result, error) {
 	return res, nil
 }
 
-// solveOnce builds and solves one linearized min-cost-flow assignment. The
-// per-cell candidate selection and cost rows are computed in parallel (each
-// cell's row depends only on that cell), then the flow network is assembled
-// and solved serially in cell order, so the result is independent of the
-// worker count.
-func solveOnce(p *Problem, sidx *siteIndex, locs []geom.Point, cosOf []float64,
+// dspArc is one DSP→site candidate arc kept alive inside a flowNet.
+type dspArc struct {
+	site  int32
+	epoch int32 // last update() pass this arc was a candidate in
+	id    mcmf.ArcID
+}
+
+// flowNet keeps the bipartite min-cost-flow network of Eq. 8–9 alive
+// across the linearize-and-solve iterations. Nodes are fixed for the whole
+// solve (0 = source, 1..N = DSPs, N+1..N+M = sites, N+M+1 = sink); the
+// source→DSP arcs are added once, a DSP→site arc is added the first time
+// the pair appears in a candidate set and thereafter only re-costed
+// (UpdateCost) or capacity-toggled (SetCap 1/0) as the candidate sets
+// drift between iterations, and a site→sink arc is added at a site's
+// first-ever use. The solver recompiles its CSR only on iterations that
+// actually grow the arc set; every other iteration is pure cost rewriting
+// plus a Reset — no allocation, no graph assembly.
+//
+// This replaces the historical per-iteration rebuild (fresh mcmf graph,
+// `arcs` slice and `usedSite` map every solveOnce call): the per-DSP arc
+// lists double as the arc↔(dsp,site) directory the extraction step needs,
+// and sinkArc is the []bool-style used-site registry indexed by site id.
+type flowNet struct {
+	solver *mcmf.Solver
+	N, M   int
+	src    int
+	sink   int
+	epoch  int32
+	arcAt  []int32      // (i*M+j) → index into arcs[i], -1 when absent
+	arcs   [][]dspArc   // per DSP, in first-insertion order
+	sinkAt []mcmf.ArcID // site j → site→sink arc, -1 when absent
+}
+
+func newFlowNet(n, m int) *flowNet {
+	fn := &flowNet{
+		solver: mcmf.NewSolver(n + m + 2),
+		N:      n, M: m,
+		src: 0, sink: n + m + 1,
+		arcAt:  make([]int32, n*m),
+		arcs:   make([][]dspArc, n),
+		sinkAt: make([]mcmf.ArcID, m),
+	}
+	for i := range fn.arcAt {
+		fn.arcAt[i] = -1
+	}
+	for j := range fn.sinkAt {
+		fn.sinkAt[j] = -1
+	}
+	for i := 0; i < n; i++ {
+		fn.solver.AddEdge(fn.src, 1+i, 1, 0)
+	}
+	return fn
+}
+
+// update makes the live arc set match this iteration's candidate sets:
+// costs rewritten for retained pairs, new pairs added, stale pairs
+// disabled via zero capacity (the solver skips them before any float
+// math, so the solve is identical to one over the candidate arcs alone).
+func (fn *flowNet) update(cands [][]int, costs [][]float64) {
+	fn.epoch++
+	for i := range cands {
+		row := fn.arcAt[i*fn.M : (i+1)*fn.M]
+		for x, j := range cands[i] {
+			if a := row[j]; a >= 0 {
+				rec := &fn.arcs[i][a]
+				rec.epoch = fn.epoch
+				fn.solver.UpdateCost(rec.id, costs[i][x])
+				fn.solver.SetCap(rec.id, 1)
+				continue
+			}
+			id := fn.solver.AddEdge(1+i, 1+fn.N+j, 1, costs[i][x])
+			row[j] = int32(len(fn.arcs[i]))
+			fn.arcs[i] = append(fn.arcs[i], dspArc{site: int32(j), epoch: fn.epoch, id: id})
+			if fn.sinkAt[j] < 0 {
+				fn.sinkAt[j] = fn.solver.AddEdge(1+fn.N+j, fn.sink, 1, 0)
+			}
+		}
+	}
+	for i := range fn.arcs {
+		for k := range fn.arcs[i] {
+			if rec := &fn.arcs[i][k]; rec.epoch != fn.epoch {
+				fn.solver.SetCap(rec.id, 0)
+			}
+		}
+	}
+}
+
+// solveOnce solves one linearized min-cost-flow assignment over the live
+// network. The per-cell candidate selection and cost rows are computed in
+// parallel (each cell's row depends only on that cell), then the network
+// update and the flow solve run serially in cell order, so the result is
+// independent of the worker count.
+func solveOnce(p *Problem, fn *flowNet, sidx *siteIndex, locs []geom.Point, cosOf []float64,
 	nbrs [][]neighbor, lambdaCoeff []float64, prevPos []geom.Point,
 	prevSite []int, cascTarget []*geom.Point, kCand int, idx map[int]int, iter int) ([]int, float64, error) {
 
-	N := len(p.DSPs)
-	M := len(locs)
+	N := fn.N
+	M := fn.M
 
 	for ; ; kCand *= 2 {
 		if kCand > M {
@@ -280,38 +372,25 @@ func solveOnce(p *Problem, sidx *siteIndex, locs []geom.Point, cosOf []float64,
 			return row
 		})
 		stopCand()
+		stopUpd := stage.Start("assign.costUpdate")
+		fn.update(cands, costs)
+		stopUpd()
 		stopFlow := stage.Start("assign.flow")
-		// Bipartite flow: 0 = source, 1..N = DSPs, N+1..N+M = sites, N+M+1 = sink.
-		g := mcmf.NewGraph(N + M + 2)
-		src, sink := 0, N+M+1
-		type arc struct {
-			ref  mcmf.EdgeRef
-			dsp  int
-			site int
-		}
-		var arcs []arc
-		usedSite := make(map[int]bool)
-		for i := 0; i < N; i++ {
-			g.AddEdge(src, 1+i, 1, 0)
-			for x, j := range cands[i] {
-				ref := g.AddEdge(1+i, 1+N+j, 1, costs[i][x])
-				arcs = append(arcs, arc{ref: ref, dsp: i, site: j})
-				if !usedSite[j] {
-					usedSite[j] = true
-					g.AddEdge(1+N+j, sink, 1, 0)
-				}
-			}
-		}
-		flow, cost := g.MinCostFlow(src, sink, int64(N))
+		fn.solver.Reset()
+		flow, cost := fn.solver.Solve(fn.src, fn.sink, int64(N))
 		stopFlow()
 		if flow == int64(N) {
 			assignment := make([]int, N)
 			for i := range assignment {
 				assignment[i] = -1
 			}
-			for _, a := range arcs {
-				if g.Flow(a.ref) == 1 {
-					assignment[a.dsp] = a.site
+			for i := range fn.arcs {
+				// Disabled arcs cannot carry flow, so scanning the full
+				// per-DSP list is safe.
+				for _, rec := range fn.arcs[i] {
+					if fn.solver.Flow(rec.id) == 1 {
+						assignment[i] = int(rec.site)
+					}
 				}
 			}
 			for i, j := range assignment {

@@ -90,7 +90,7 @@ func TestMatchesMCMF(t *testing.T) {
 			return false
 		}
 		// MCMF oracle.
-		g := mcmf.NewGraph(n + m + 2)
+		g := mcmf.NewSolver(n + m + 2)
 		src, sink := 0, n+m+1
 		for i := 0; i < n; i++ {
 			g.AddEdge(src, 1+i, 1, 0)
@@ -101,7 +101,7 @@ func TestMatchesMCMF(t *testing.T) {
 		for j := 0; j < m; j++ {
 			g.AddEdge(1+n+j, sink, 1, 0)
 		}
-		flow, mcmfCost := g.MinCostFlow(src, sink, int64(n))
+		flow, mcmfCost := g.Solve(src, sink, int64(n))
 		return flow == int64(n) && math.Abs(mcmfCost-total) < 1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {

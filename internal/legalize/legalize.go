@@ -280,10 +280,10 @@ func interColumnILP(groups []*group, colX []float64, colCap []int) ([]int, error
 func interColumnFlow(groups []*group, colX []float64, colCap []int) ([]int, error) {
 	nG, nC := len(groups), len(colX)
 	// Nodes: 0 source, 1..nG groups, nG+1..nG+nC columns, sink.
-	g := mcmf.NewGraph(nG + nC + 2)
+	g := mcmf.NewSolver(nG + nC + 2)
 	src, sink := 0, nG+nC+1
 	type ref struct {
-		r    mcmf.EdgeRef
+		r    mcmf.ArcID
 		i, j int
 	}
 	var refs []ref
@@ -302,7 +302,7 @@ func interColumnFlow(groups []*group, colX []float64, colCap []int) ([]int, erro
 	for _, gr := range groups {
 		want += int64(gr.size())
 	}
-	flow, _ := g.MinCostFlow(src, sink, want)
+	flow, _ := g.Solve(src, sink, want)
 	if flow < want {
 		return nil, fmt.Errorf("legalize: flow %d < demand %d", flow, want)
 	}

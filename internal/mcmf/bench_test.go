@@ -1,0 +1,93 @@
+package mcmf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// benchInstance builds a reproducible assignment-shaped transportation
+// instance (n DSPs × m sites, k candidate arcs per DSP) mirroring the
+// bipartite networks assign.solveOnce assembles: source 0, DSPs 1..n,
+// sites n+1..n+m, sink n+m+1, unit capacities, λ-scaled quadratic costs.
+type benchArc struct {
+	dsp, site int
+	cost      float64
+}
+
+func benchInstance(n, m, k int, seed int64) []benchArc {
+	rng := rand.New(rand.NewSource(seed))
+	arcs := make([]benchArc, 0, n*k)
+	for i := 0; i < n; i++ {
+		base := rng.Intn(m)
+		for x := 0; x < k; x++ {
+			j := (base + x*7) % m
+			d := float64(i-j*3) / float64(m)
+			arcs = append(arcs, benchArc{dsp: i, site: j,
+				cost: 100*d*d + rng.Float64()})
+		}
+	}
+	return arcs
+}
+
+func buildBench(n, m int, arcs []benchArc) (*Solver, []ArcID) {
+	g := NewSolver(n + m + 2)
+	src, sink := 0, n+m+1
+	siteUsed := make([]bool, m)
+	for i := 0; i < n; i++ {
+		g.AddEdge(src, 1+i, 1, 0)
+	}
+	refs := make([]ArcID, len(arcs))
+	for x, a := range arcs {
+		refs[x] = g.AddEdge(1+a.dsp, 1+n+a.site, 1, a.cost)
+		if !siteUsed[a.site] {
+			siteUsed[a.site] = true
+			g.AddEdge(1+n+a.site, sink, 1, 0)
+		}
+	}
+	return g, refs
+}
+
+// BenchmarkMinCostFlow measures one cold bipartite assignment solve at a
+// size representative of a mini-benchmark iteration (240 DSPs, 630 sites,
+// 24 candidates each): network build + CSR compile + solve, as the first
+// placement iteration pays it.
+func BenchmarkMinCostFlow(b *testing.B) {
+	const n, m, k = 240, 630, 24
+	arcs := benchInstance(n, m, k, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		g, _ := buildBench(n, m, arcs)
+		flow, cost := g.Solve(0, n+m+1, int64(n))
+		if flow != int64(n) || math.IsNaN(cost) {
+			b.Fatalf("flow=%d cost=%v", flow, cost)
+		}
+	}
+}
+
+// BenchmarkMinCostFlowWarm measures the steady-state placement iteration:
+// the network is kept alive, every candidate-arc cost is rewritten, the
+// flow state is Reset, and the same compiled CSR is solved again — the
+// path iterations 2..50 of assign.Solve take.
+func BenchmarkMinCostFlowWarm(b *testing.B) {
+	const n, m, k = 240, 630, 24
+	arcs := benchInstance(n, m, k, 1)
+	g, refs := buildBench(n, m, arcs)
+	if flow, _ := g.Solve(0, n+m+1, int64(n)); flow != int64(n) {
+		b.Fatal("warmup solve incomplete")
+	}
+	perturb := benchInstance(n, m, k, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		for x, r := range refs {
+			g.UpdateCost(r, perturb[x].cost+float64(it&1))
+		}
+		g.Reset()
+		flow, cost := g.Solve(0, n+m+1, int64(n))
+		if flow != int64(n) || math.IsNaN(cost) {
+			b.Fatalf("flow=%d cost=%v", flow, cost)
+		}
+	}
+}

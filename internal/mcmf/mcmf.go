@@ -3,186 +3,383 @@
 // uses: the linearized DSP-assignment model (Eq. 8–9) is a transportation
 // problem whose constraint matrix is totally unimodular, so the optimal flow
 // is integral and encodes a DSP→site assignment directly.
+//
+// The solver is built for the placement loop's access pattern: the
+// assignment network is solved once per linearization iterate (50 per
+// pass), with the same node set and a slowly-growing arc set whose costs
+// change every iterate. A Solver therefore separates the network's
+// *structure* from its *state*:
+//
+//   - AddEdge stages arcs; Finish compiles them into flat CSR arrays
+//     (head/to/cost/cap/flow/rev) — no per-node slices, no pointer chasing.
+//   - UpdateCost and SetCap rewrite a staged arc in place; Reset restores
+//     capacities and zeroes flow so the same compiled network solves the
+//     next iterate without re-allocating anything.
+//   - Adding arcs after Finish marks the solver dirty; the next
+//     Finish/Reset/Solve recompiles the CSR (an O(nodes+arcs) pass), so the
+//     caller only pays for structure changes when the arc set actually
+//     grows.
+//
+// Dijkstra runs on an index-based non-boxing binary heap (internal/heapq)
+// whose pop order — ties included — replicates container/heap, keeping
+// augmenting-path selection, and therefore every downstream placement,
+// bit-identical to the historical slice-of-slices solver. The
+// Bellman–Ford potential pass is skipped entirely when every arc cost is
+// non-negative (detected at Finish; true for the λ-scaled distance costs
+// the assignment loop produces) and the network carries no flow: zero
+// potentials are then already valid, and after the first search the
+// shortest-path distances take over, exactly as Bellman–Ford's would.
 package mcmf
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"time"
+
+	"dsplacer/internal/heapq"
+	"dsplacer/internal/stage"
 )
 
-// Edge is one directed arc with residual bookkeeping.
-type Edge struct {
-	To   int
-	Cap  int64 // remaining capacity
-	Cost float64
-	rev  int // index of the reverse edge in adj[To]
-	flow int64
+// ArcID is the stable handle AddEdge returns: the arc's staging index. It
+// survives Finish, cost/capacity updates and CSR recompilations.
+type ArcID int32
+
+// Solver is a reusable min-cost-flow network over nodes 0..n-1.
+// The zero value is not usable; call NewSolver.
+type Solver struct {
+	n int
+
+	// Staged arcs, one entry per AddEdge in insertion order. Kept after
+	// Finish so the CSR can be recompiled when the network grows.
+	eFrom, eTo []int32
+	eCap       []int64
+	eCost      []float64
+	negArcs    int // staged arcs with negative cost
+
+	// Compiled CSR: two directed arcs per staged edge, grouped by tail
+	// node, per-node order = staging order (matching the historical
+	// adjacency-list append order).
+	head []int32   // node -> first arc; len n+1
+	to   []int32   // arc -> head node
+	cost []float64 // arc cost (reverse arcs negated)
+	cap0 []int64   // residual-capacity template (reverse arcs 0)
+	caps []int64   // working residual capacity
+	flow []int64   // units pushed (negative on reverse arcs)
+	rev  []int32   // arc -> its reverse arc
+	pos  []int32   // ArcID -> CSR index of the forward arc
+
+	dirty     bool // arcs staged since the last Finish
+	needReset bool // cost/cap templates edited since the last Reset
+	hasFlow   bool // augmentations applied since the last Reset
+
+	// Per-solve scratch, sized at Finish and reused across Solve calls.
+	h, dist []float64
+	prevArc []int32
+	pq      heapq.Heap
 }
 
-// Flow returns the units currently pushed through the edge.
-func (e *Edge) Flow() int64 { return e.flow }
-
-// Graph is a flow network over nodes 0..n-1.
-type Graph struct {
-	n   int
-	adj [][]Edge
-}
-
-// NewGraph returns an empty network with n nodes.
-func NewGraph(n int) *Graph {
-	return &Graph{n: n, adj: make([][]Edge, n)}
+// NewSolver returns an empty network with n nodes.
+func NewSolver(n int) *Solver {
+	return &Solver{n: n, dirty: true}
 }
 
 // N returns the node count.
-func (g *Graph) N() int { return g.n }
+func (s *Solver) N() int { return s.n }
 
-// AddEdge inserts an arc u→v with the given capacity and per-unit cost and
-// returns a stable handle (u, index) for querying its flow after solving.
-func (g *Graph) AddEdge(u, v int, cap int64, cost float64) EdgeRef {
-	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+// NumArcs returns the number of staged forward arcs.
+func (s *Solver) NumArcs() int { return len(s.eFrom) }
+
+// AddEdge stages an arc u→v with the given capacity and per-unit cost and
+// returns its handle. Arcs may be added after Finish; the structure is
+// recompiled on the next Finish, Reset or Solve, which also clears any
+// flow on the network.
+func (s *Solver) AddEdge(u, v int, cap int64, cost float64) ArcID {
+	if u < 0 || u >= s.n || v < 0 || v >= s.n {
 		panic(fmt.Sprintf("mcmf: edge (%d,%d) out of range", u, v))
 	}
 	if cap < 0 {
 		panic("mcmf: negative capacity")
 	}
-	g.adj[u] = append(g.adj[u], Edge{To: v, Cap: cap, Cost: cost, rev: len(g.adj[v])})
-	g.adj[v] = append(g.adj[v], Edge{To: u, Cap: 0, Cost: -cost, rev: len(g.adj[u]) - 1})
-	return EdgeRef{u: u, idx: len(g.adj[u]) - 1}
+	s.eFrom = append(s.eFrom, int32(u))
+	s.eTo = append(s.eTo, int32(v))
+	s.eCap = append(s.eCap, cap)
+	s.eCost = append(s.eCost, cost)
+	if cost < 0 {
+		s.negArcs++
+	}
+	s.dirty = true
+	return ArcID(len(s.eFrom) - 1)
 }
 
-// EdgeRef identifies an edge added via AddEdge.
-type EdgeRef struct {
-	u, idx int
+// UpdateCost rewrites the cost of a staged arc (its reverse arc follows
+// with the negated cost). The current flow becomes meaningless; call Reset
+// (or let Solve auto-reset a flow-free network) before solving again.
+func (s *Solver) UpdateCost(e ArcID, cost float64) {
+	if s.eCost[e] < 0 {
+		s.negArcs--
+	}
+	if cost < 0 {
+		s.negArcs++
+	}
+	s.eCost[e] = cost
+	if !s.dirty {
+		f := s.pos[e]
+		s.cost[f] = cost
+		s.cost[s.rev[f]] = -cost
+	}
+	s.needReset = true
 }
 
-// Flow returns the flow pushed through the referenced edge.
-func (g *Graph) Flow(r EdgeRef) int64 { return g.adj[r.u][r.idx].flow }
-
-// priority queue for Dijkstra
-type pqItem struct {
-	node int
-	dist float64
-}
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+// SetCap rewrites the capacity of a staged arc. A capacity of zero
+// disables the arc without recompiling the network — Dijkstra skips it
+// before touching any float math, exactly as if it were absent. Takes
+// effect at the next Reset.
+func (s *Solver) SetCap(e ArcID, cap int64) {
+	if cap < 0 {
+		panic("mcmf: negative capacity")
+	}
+	s.eCap[e] = cap
+	if !s.dirty {
+		s.cap0[s.pos[e]] = cap
+	}
+	s.needReset = true
 }
 
-// MinCostFlow pushes up to maxFlow units from s to t along successively
+// Flow returns the units currently pushed through the referenced arc.
+func (s *Solver) Flow(e ArcID) int64 {
+	if s.dirty {
+		panic("mcmf: Flow on a dirty solver; Finish or Solve first")
+	}
+	return s.flow[s.pos[e]]
+}
+
+// Finish compiles the staged arcs into the flat CSR arrays and resets the
+// network to its pristine state (template capacities, zero flow). Calling
+// it on a clean solver is equivalent to Reset.
+func (s *Solver) Finish() {
+	if !s.dirty {
+		s.applyTemplates()
+		return
+	}
+	nArcs := 2 * len(s.eFrom)
+	deg := make([]int32, s.n+1)
+	for i := range s.eFrom {
+		deg[s.eFrom[i]+1]++
+		deg[s.eTo[i]+1]++
+	}
+	s.head = deg // head[u+1] currently holds deg(u+1); prefix-sum in place
+	for u := 0; u < s.n; u++ {
+		s.head[u+1] += s.head[u]
+	}
+	next := make([]int32, s.n)
+	for u := 0; u < s.n; u++ {
+		next[u] = s.head[u]
+	}
+	s.to = make([]int32, nArcs)
+	s.cost = make([]float64, nArcs)
+	s.cap0 = make([]int64, nArcs)
+	s.caps = make([]int64, nArcs)
+	s.flow = make([]int64, nArcs)
+	s.rev = make([]int32, nArcs)
+	s.pos = make([]int32, len(s.eFrom))
+	for i := range s.eFrom {
+		u, v := s.eFrom[i], s.eTo[i]
+		f := next[u]
+		next[u]++
+		r := next[v]
+		next[v]++
+		s.to[f] = v
+		s.cost[f] = s.eCost[i]
+		s.cap0[f] = s.eCap[i]
+		s.rev[f] = r
+		s.to[r] = u
+		s.cost[r] = -s.eCost[i]
+		s.rev[r] = f
+		s.pos[i] = f
+	}
+	s.h = make([]float64, s.n)
+	s.dist = make([]float64, s.n)
+	s.prevArc = make([]int32, s.n)
+	s.pq.Grow(s.n)
+	s.dirty = false
+	s.applyTemplates()
+}
+
+// applyTemplates restores working capacities from the templates and clears
+// all flow.
+func (s *Solver) applyTemplates() {
+	copy(s.caps, s.cap0)
+	for i := range s.flow {
+		s.flow[i] = 0
+	}
+	s.hasFlow = false
+	s.needReset = false
+}
+
+// Reset returns the network to its pristine state — template capacities,
+// zero flow — keeping the compiled structure (recompiling it first if arcs
+// were staged since the last Finish). This is the warm-start entry point:
+// Reset + Solve on an unchanged structure allocates nothing.
+func (s *Solver) Reset() {
+	if s.dirty {
+		s.Finish()
+		return
+	}
+	s.applyTemplates()
+}
+
+// Solve pushes up to maxFlow units from src to dst along successively
 // cheapest augmenting paths and returns the amount shipped and its total
-// cost. Pass math.MaxInt64 as maxFlow for min-cost *max*-flow. Negative edge
-// costs are supported through an initial Bellman-Ford potential pass.
-func (g *Graph) MinCostFlow(s, t int, maxFlow int64) (flow int64, cost float64) {
-	if s == t {
+// cost. Pass math.MaxInt64 as maxFlow for min-cost *max*-flow. Negative
+// arc costs are supported through an initial Bellman–Ford potential pass;
+// when every cost is non-negative and the network is flow-free the pass is
+// skipped (zero potentials are already valid).
+//
+// Calling Solve again without Reset continues augmenting on the residual
+// network, as the historical solver did. Calling it after UpdateCost or
+// SetCap on a network that still carries flow panics — the residual state
+// would be inconsistent with the new costs; Reset first.
+func (s *Solver) Solve(src, dst int, maxFlow int64) (flow int64, cost float64) {
+	if src == dst {
 		return 0, 0
 	}
-	h := g.bellmanFordPotentials(s)
-	dist := make([]float64, g.n)
-	prevNode := make([]int, g.n)
-	prevEdge := make([]int, g.n)
+	if s.dirty {
+		s.Finish()
+	} else if s.needReset {
+		if s.hasFlow {
+			panic("mcmf: Solve after UpdateCost/SetCap on a network with flow; call Reset first")
+		}
+		s.applyTemplates()
+	}
 
+	tPot := time.Now()
+	if s.negArcs > 0 || s.hasFlow {
+		// Residual graphs carry negated reverse costs even when the
+		// forward costs are non-negative, so a continued solve needs real
+		// potentials too.
+		s.bellmanFord(src)
+	} else {
+		for i := range s.h {
+			s.h[i] = 0
+		}
+	}
+	stage.Add("mcmf.potentials", time.Since(tPot))
+
+	var tDij, tAug time.Duration
 	for flow < maxFlow {
-		// Dijkstra on reduced costs.
-		for i := range dist {
-			dist[i] = math.Inf(1)
-			prevNode[i] = -1
+		t0 := time.Now()
+		s.dijkstra(src)
+		tDij += time.Since(t0)
+		if math.IsInf(s.dist[dst], 1) {
+			break // dst no longer reachable
 		}
-		dist[s] = 0
-		q := &pq{{node: s, dist: 0}}
-		for q.Len() > 0 {
-			it := heap.Pop(q).(pqItem)
-			if it.dist > dist[it.node] {
-				continue
-			}
-			u := it.node
-			for ei := range g.adj[u] {
-				e := &g.adj[u][ei]
-				if e.Cap <= 0 || math.IsInf(h[u], 1) {
-					continue
-				}
-				// Reduced cost. With valid potentials it is non-negative up
-				// to floating-point noise; clamp the noise at zero or
-				// Dijkstra can cycle forever on micro-negative edges when
-				// raw costs are large (λ-scaled quadratic distances).
-				rc := e.Cost + h[u] - h[e.To]
-				if rc < 0 {
-					rc = 0
-				}
-				nd := dist[u] + rc
-				eps := 1e-12 * (1 + math.Abs(nd))
-				if nd < dist[e.To]-eps {
-					dist[e.To] = nd
-					prevNode[e.To] = u
-					prevEdge[e.To] = ei
-					heap.Push(q, pqItem{node: e.To, dist: nd})
-				}
+		t0 = time.Now()
+		for i, d := range s.dist {
+			if !math.IsInf(d, 1) {
+				s.h[i] += d
 			}
 		}
-		if math.IsInf(dist[t], 1) {
-			break // t no longer reachable
-		}
-		for i := range h {
-			if !math.IsInf(dist[i], 1) {
-				h[i] += dist[i]
-			}
-		}
-		// Bottleneck along the path.
+		// Bottleneck along the path, then apply.
 		push := maxFlow - flow
-		for v := t; v != s; v = prevNode[v] {
-			e := &g.adj[prevNode[v]][prevEdge[v]]
-			if e.Cap < push {
-				push = e.Cap
+		for v := dst; v != src; {
+			a := s.prevArc[v]
+			if s.caps[a] < push {
+				push = s.caps[a]
 			}
+			v = int(s.to[s.rev[a]])
 		}
-		for v := t; v != s; v = prevNode[v] {
-			e := &g.adj[prevNode[v]][prevEdge[v]]
-			e.Cap -= push
-			e.flow += push
-			rev := &g.adj[v][e.rev]
-			rev.Cap += push
-			rev.flow -= push
-			cost += float64(push) * e.Cost
+		for v := dst; v != src; {
+			a := s.prevArc[v]
+			s.caps[a] -= push
+			s.flow[a] += push
+			r := s.rev[a]
+			s.caps[r] += push
+			s.flow[r] -= push
+			cost += float64(push) * s.cost[a]
+			v = int(s.to[r])
 		}
 		flow += push
+		s.hasFlow = true
+		tAug += time.Since(t0)
 	}
+	stage.Add("mcmf.dijkstra", tDij)
+	stage.Add("mcmf.augment", tAug)
 	return flow, cost
 }
 
-// bellmanFordPotentials returns shortest-path potentials from s over the
+// dijkstra runs the reduced-cost shortest-path search from src, filling
+// dist and prevArc.
+func (s *Solver) dijkstra(src int) {
+	for i := range s.dist {
+		s.dist[i] = math.Inf(1)
+		s.prevArc[i] = -1
+	}
+	s.dist[src] = 0
+	s.pq.Reset()
+	s.pq.Push(heapq.Item{Dist: 0, ID: int32(src)})
+	for s.pq.Len() > 0 {
+		it := s.pq.Pop()
+		u := int(it.ID)
+		if it.Dist > s.dist[u] {
+			continue // stale entry
+		}
+		if math.IsInf(s.h[u], 1) {
+			// Loop-invariant for every arc out of u: a node without a
+			// finite potential cannot relax anything (checked once per
+			// popped node, not once per arc).
+			continue
+		}
+		hu := s.h[u]
+		du := s.dist[u]
+		for a := s.head[u]; a < s.head[u+1]; a++ {
+			if s.caps[a] <= 0 {
+				continue
+			}
+			v := s.to[a]
+			// Reduced cost. With valid potentials it is non-negative up
+			// to floating-point noise; clamp the noise at zero or
+			// Dijkstra can cycle forever on micro-negative edges when
+			// raw costs are large (λ-scaled quadratic distances).
+			rc := s.cost[a] + hu - s.h[v]
+			if rc < 0 {
+				rc = 0
+			}
+			nd := du + rc
+			eps := 1e-12 * (1 + math.Abs(nd))
+			if nd < s.dist[v]-eps {
+				s.dist[v] = nd
+				s.prevArc[v] = a
+				s.pq.Push(heapq.Item{Dist: nd, ID: v})
+			}
+		}
+	}
+}
+
+// bellmanFord fills h with shortest-path potentials from src over the
 // residual graph so Dijkstra's reduced costs are non-negative even when
-// original costs are negative. Unreachable nodes keep +Inf.
-func (g *Graph) bellmanFordPotentials(s int) []float64 {
-	h := make([]float64, g.n)
+// residual costs are negative. Unreachable nodes keep +Inf.
+func (s *Solver) bellmanFord(src int) {
+	h := s.h
 	for i := range h {
 		h[i] = math.Inf(1)
 	}
-	h[s] = 0
-	for iter := 0; iter < g.n; iter++ {
+	h[src] = 0
+	for iter := 0; iter < s.n; iter++ {
 		changed := false
-		for u := 0; u < g.n; u++ {
-			if math.IsInf(h[u], 1) {
+		for u := 0; u < s.n; u++ {
+			hu := h[u]
+			if math.IsInf(hu, 1) {
 				continue
 			}
-			for ei := range g.adj[u] {
-				e := &g.adj[u][ei]
-				if e.Cap > 0 && h[u]+e.Cost < h[e.To]-1e-12 {
-					h[e.To] = h[u] + e.Cost
+			for a := s.head[u]; a < s.head[u+1]; a++ {
+				if s.caps[a] > 0 && hu+s.cost[a] < h[s.to[a]]-1e-12 {
+					h[s.to[a]] = hu + s.cost[a]
 					changed = true
 				}
 			}
 		}
 		if !changed {
-			return h
+			return
 		}
 	}
 	panic("mcmf: negative cycle in cost graph")

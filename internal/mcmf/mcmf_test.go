@@ -5,13 +5,15 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"dsplacer/internal/hungarian"
 )
 
 func TestSimplePath(t *testing.T) {
-	g := NewGraph(3)
+	g := NewSolver(3)
 	e0 := g.AddEdge(0, 1, 5, 2)
 	e1 := g.AddEdge(1, 2, 3, 1)
-	flow, cost := g.MinCostFlow(0, 2, math.MaxInt64)
+	flow, cost := g.Solve(0, 2, math.MaxInt64)
 	if flow != 3 || cost != 9 {
 		t.Fatalf("flow=%d cost=%v, want 3/9", flow, cost)
 	}
@@ -22,52 +24,52 @@ func TestSimplePath(t *testing.T) {
 
 func TestChoosesCheaperPath(t *testing.T) {
 	// Two parallel 0→1 routes through intermediates; cheaper one first.
-	g := NewGraph(4)
+	g := NewSolver(4)
 	g.AddEdge(0, 1, 1, 10) // expensive direct
 	g.AddEdge(0, 2, 1, 1)
 	g.AddEdge(2, 1, 1, 1) // cheap via 2
 	g.AddEdge(1, 3, 2, 0)
-	flow, cost := g.MinCostFlow(0, 3, 1)
+	flow, cost := g.Solve(0, 3, 1)
 	if flow != 1 || cost != 2 {
 		t.Fatalf("flow=%d cost=%v, want 1/2", flow, cost)
 	}
-	flow, cost = g.MinCostFlow(0, 3, 1) // second unit takes the dear route
+	flow, cost = g.Solve(0, 3, 1) // second unit takes the dear route
 	if flow != 1 || cost != 10 {
 		t.Fatalf("flow=%d cost=%v, want 1/10", flow, cost)
 	}
 }
 
 func TestNegativeCosts(t *testing.T) {
-	g := NewGraph(3)
+	g := NewSolver(3)
 	g.AddEdge(0, 1, 2, -5)
 	g.AddEdge(1, 2, 2, 3)
-	flow, cost := g.MinCostFlow(0, 2, math.MaxInt64)
+	flow, cost := g.Solve(0, 2, math.MaxInt64)
 	if flow != 2 || cost != -4 {
 		t.Fatalf("flow=%d cost=%v, want 2/-4", flow, cost)
 	}
 }
 
 func TestMaxFlowCap(t *testing.T) {
-	g := NewGraph(2)
+	g := NewSolver(2)
 	g.AddEdge(0, 1, 100, 1)
-	flow, cost := g.MinCostFlow(0, 1, 7)
+	flow, cost := g.Solve(0, 1, 7)
 	if flow != 7 || cost != 7 {
 		t.Fatalf("flow=%d cost=%v", flow, cost)
 	}
 }
 
 func TestDisconnected(t *testing.T) {
-	g := NewGraph(3)
+	g := NewSolver(3)
 	g.AddEdge(0, 1, 4, 1)
-	flow, cost := g.MinCostFlow(0, 2, math.MaxInt64)
+	flow, cost := g.Solve(0, 2, math.MaxInt64)
 	if flow != 0 || cost != 0 {
 		t.Fatalf("flow=%d cost=%v, want 0/0", flow, cost)
 	}
 }
 
 func TestSourceEqualsSink(t *testing.T) {
-	g := NewGraph(1)
-	if f, c := g.MinCostFlow(0, 0, 10); f != 0 || c != 0 {
+	g := NewSolver(1)
+	if f, c := g.Solve(0, 0, 10); f != 0 || c != 0 {
 		t.Fatalf("f=%d c=%v", f, c)
 	}
 }
@@ -115,18 +117,18 @@ func TestAssignmentOptimality(t *testing.T) {
 			}
 		}
 		// Build bipartite flow: s=0, workers 1..n, jobs n+1..2n, t=2n+1.
-		g := NewGraph(2*n + 2)
+		g := NewSolver(2*n + 2)
 		s, tt := 0, 2*n+1
-		refs := make([][]EdgeRef, n)
+		refs := make([][]ArcID, n)
 		for i := 0; i < n; i++ {
 			g.AddEdge(s, 1+i, 1, 0)
-			refs[i] = make([]EdgeRef, n)
+			refs[i] = make([]ArcID, n)
 			for j := 0; j < n; j++ {
 				refs[i][j] = g.AddEdge(1+i, n+1+j, 1, cost[i][j])
 			}
 			g.AddEdge(n+1+i, tt, 1, 0)
 		}
-		flow, got := g.MinCostFlow(s, tt, math.MaxInt64)
+		flow, got := g.Solve(s, tt, math.MaxInt64)
 		if flow != int64(n) {
 			return false
 		}
@@ -166,21 +168,20 @@ func TestFlowConservation(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 6
-		g := NewGraph(n)
+		g := NewSolver(n)
+		var refs []ArcID
 		for i := 0; i < 12; i++ {
 			u, v := rng.Intn(n), rng.Intn(n)
 			if u != v {
-				g.AddEdge(u, v, int64(1+rng.Intn(4)), float64(rng.Intn(9)))
+				refs = append(refs, g.AddEdge(u, v, int64(1+rng.Intn(4)), float64(rng.Intn(9))))
 			}
 		}
-		g.MinCostFlow(0, n-1, math.MaxInt64)
+		g.Solve(0, n-1, math.MaxInt64)
 		net := make([]int64, n)
-		for u := 0; u < n; u++ {
-			for _, e := range g.adj[u] {
-				if e.flow > 0 { // only count forward edges
-					net[u] -= e.flow
-					net[e.To] += e.flow
-				}
+		for _, r := range refs {
+			if fl := g.Flow(r); fl > 0 {
+				net[g.eFrom[r]] -= fl
+				net[g.eTo[r]] += fl
 			}
 		}
 		for v := 1; v < n-1; v++ {
@@ -196,7 +197,7 @@ func TestFlowConservation(t *testing.T) {
 }
 
 func TestPanics(t *testing.T) {
-	g := NewGraph(2)
+	g := NewSolver(2)
 	func() {
 		defer func() {
 			if recover() == nil {
@@ -213,4 +214,231 @@ func TestPanics(t *testing.T) {
 		}()
 		g.AddEdge(0, 1, -1, 0)
 	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Solve with stale flow after UpdateCost accepted")
+			}
+		}()
+		e := g.AddEdge(0, 1, 2, 1)
+		g.Solve(0, 1, 1)
+		g.UpdateCost(e, 5)
+		g.Solve(0, 1, 1) // must panic: flow present, costs changed, no Reset
+	}()
+}
+
+// randomTransportation builds an n-rows × m-cols (n ≤ m) assignment
+// instance with float costs (optionally shifted negative) and returns the
+// cost matrix.
+func randomTransportation(rng *rand.Rand, allowNegative bool) [][]float64 {
+	n := 1 + rng.Intn(8)
+	m := n + rng.Intn(5)
+	shift := 0.0
+	if allowNegative {
+		shift = -20
+	}
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, m)
+		for j := range cost[i] {
+			cost[i][j] = rng.Float64()*100 + shift
+		}
+	}
+	return cost
+}
+
+// solveBipartite runs the solver on the standard bipartite network for a
+// cost matrix and extracts the assignment.
+func solveBipartite(t *testing.T, cost [][]float64) ([]int, float64) {
+	t.Helper()
+	n := len(cost)
+	m := len(cost[0])
+	g := NewSolver(n + m + 2)
+	src, sink := 0, n+m+1
+	refs := make([][]ArcID, n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(src, 1+i, 1, 0)
+		refs[i] = make([]ArcID, m)
+		for j := 0; j < m; j++ {
+			refs[i][j] = g.AddEdge(1+i, 1+n+j, 1, cost[i][j])
+		}
+	}
+	for j := 0; j < m; j++ {
+		g.AddEdge(1+n+j, sink, 1, 0)
+	}
+	flow, total := g.Solve(src, sink, int64(n))
+	if flow != int64(n) {
+		t.Fatalf("flow %d < %d", flow, n)
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+		for j := 0; j < m; j++ {
+			if g.Flow(refs[i][j]) == 1 {
+				if assign[i] != -1 {
+					t.Fatalf("row %d assigned twice", i)
+				}
+				assign[i] = j
+			}
+		}
+		if assign[i] == -1 {
+			t.Fatalf("row %d unassigned", i)
+		}
+	}
+	return assign, total
+}
+
+// TestEquivalenceVsHungarian cross-checks the flow solver against the
+// Hungarian solver on ~200 random transportation instances: the optimal
+// costs must agree and the flow must encode a valid integral assignment.
+func TestEquivalenceVsHungarian(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		cost := randomTransportation(rng, trial%3 == 0)
+		assign, total, err := hungarian.Solve(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = assign
+		got, gotTotal := solveBipartite(t, cost)
+		if math.Abs(gotTotal-total) > 1e-9 {
+			t.Fatalf("trial %d: mcmf cost %v, hungarian %v", trial, gotTotal, total)
+		}
+		// Valid injection.
+		used := make(map[int]bool)
+		check := 0.0
+		for i, j := range got {
+			if used[j] {
+				t.Fatalf("trial %d: column %d used twice", trial, j)
+			}
+			used[j] = true
+			check += cost[i][j]
+		}
+		if math.Abs(check-gotTotal) > 1e-9 {
+			t.Fatalf("trial %d: reported cost %v, recomputed %v", trial, gotTotal, check)
+		}
+	}
+}
+
+// TestWarmStartEqualsColdSolve proves the warm-start contract: solving,
+// rewriting every arc cost with UpdateCost, Reset-ing and solving again
+// yields bit-identical flows and cost to a cold solver built directly with
+// the second cost set. A third round additionally grows the candidate arc
+// set, forcing a CSR recompile, and must again match a cold build with the
+// same staging order.
+func TestWarmStartEqualsColdSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		m := n + rng.Intn(4)
+		costA := make([][]float64, n)
+		costB := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			costA[i] = make([]float64, m)
+			costB[i] = make([]float64, m)
+			for j := 0; j < m; j++ {
+				costA[i][j] = rng.Float64() * 100
+				costB[i][j] = rng.Float64() * 100
+			}
+		}
+		build := func(cost [][]float64) (*Solver, [][]ArcID) {
+			g := NewSolver(n + m + 2)
+			refs := make([][]ArcID, n)
+			for i := 0; i < n; i++ {
+				g.AddEdge(0, 1+i, 1, 0)
+				refs[i] = make([]ArcID, m)
+				for j := 0; j < m; j++ {
+					refs[i][j] = g.AddEdge(1+i, 1+n+j, 1, cost[i][j])
+				}
+			}
+			for j := 0; j < m; j++ {
+				g.AddEdge(1+n+j, n+m+1, 1, 0)
+			}
+			return g, refs
+		}
+
+		warm, warmRefs := build(costA)
+		if f, _ := warm.Solve(0, n+m+1, int64(n)); f != int64(n) {
+			t.Fatalf("trial %d: first solve flow %d", trial, f)
+		}
+		// Warm path: rewrite costs, Reset, re-solve.
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				warm.UpdateCost(warmRefs[i][j], costB[i][j])
+			}
+		}
+		warm.Reset()
+		wf, wc := warm.Solve(0, n+m+1, int64(n))
+
+		cold, coldRefs := build(costB)
+		cf, cc := cold.Solve(0, n+m+1, int64(n))
+
+		if wf != cf || wc != cc {
+			t.Fatalf("trial %d: warm (%d,%v) != cold (%d,%v)", trial, wf, wc, cf, cc)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				if warm.Flow(warmRefs[i][j]) != cold.Flow(coldRefs[i][j]) {
+					t.Fatalf("trial %d: arc (%d,%d) flow differs", trial, i, j)
+				}
+			}
+		}
+
+		// Growth path: add one extra row-to-col arc per row after the fact;
+		// the cold reference stages the same arcs in the same final order.
+		extraCost := make([]float64, n)
+		for i := 0; i < n; i++ {
+			extraCost[i] = rng.Float64() * 10 // cheap, likely to matter
+		}
+		// Grown network needs an extra site column to stay feasible? No —
+		// arcs go to existing columns; just duplicate arcs are fine.
+		warmExtra := make([]ArcID, n)
+		for i := 0; i < n; i++ {
+			warmExtra[i] = warm.AddEdge(1+i, 1+n+(i%m), 1, extraCost[i])
+		}
+		warm.Reset()
+		wf, wc = warm.Solve(0, n+m+1, int64(n))
+
+		cold2, cold2Refs := build(costB)
+		cold2Extra := make([]ArcID, n)
+		for i := 0; i < n; i++ {
+			cold2Extra[i] = cold2.AddEdge(1+i, 1+n+(i%m), 1, extraCost[i])
+		}
+		cf, cc = cold2.Solve(0, n+m+1, int64(n))
+		if wf != cf || wc != cc {
+			t.Fatalf("trial %d: grown warm (%d,%v) != cold (%d,%v)", trial, wf, wc, cf, cc)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				if warm.Flow(warmRefs[i][j]) != cold2.Flow(cold2Refs[i][j]) {
+					t.Fatalf("trial %d: grown arc (%d,%d) flow differs", trial, i, j)
+				}
+			}
+			if warm.Flow(warmExtra[i]) != cold2.Flow(cold2Extra[i]) {
+				t.Fatalf("trial %d: extra arc %d flow differs", trial, i)
+			}
+		}
+	}
+}
+
+// TestSetCapDisablesArc checks that SetCap(…, 0) makes an arc behave as if
+// absent and that re-enabling restores it.
+func TestSetCapDisablesArc(t *testing.T) {
+	g := NewSolver(3)
+	cheap := g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(0, 2, 1, 50)
+	g.AddEdge(1, 2, 1, 1)
+	if _, cost := g.Solve(0, 2, 1); cost != 2 {
+		t.Fatalf("cost=%v, want 2 via cheap path", cost)
+	}
+	g.SetCap(cheap, 0)
+	g.Reset()
+	if _, cost := g.Solve(0, 2, 1); cost != 50 {
+		t.Fatalf("cost=%v, want 50 with cheap arc disabled", cost)
+	}
+	g.SetCap(cheap, 1)
+	g.Reset()
+	if _, cost := g.Solve(0, 2, 1); cost != 2 {
+		t.Fatalf("cost=%v, want 2 after re-enabling", cost)
+	}
 }

@@ -1,8 +1,9 @@
 package route
 
 import (
-	"container/heap"
 	"math"
+
+	"dsplacer/internal/heapq"
 )
 
 // mazeRoute finds a congestion-aware shortest path between bins a and b
@@ -44,43 +45,41 @@ func (g *grid) mazeRoute(a, b [2]int, margin int) []segment {
 	start := idx(a[0], a[1])
 	goal := idx(b[0], b[1])
 	dist[start] = 0
-	q := &pqBins{{bin: start, dist: 0}}
+	var q heapq.Heap
+	q.Push(heapq.Item{Dist: 0, ID: int32(start)})
+	relax := func(bin int, d float64, nx, ny int, cost float64) {
+		ni := idx(nx, ny)
+		nd := d + cost
+		if nd < dist[ni] {
+			dist[ni] = nd
+			prev[ni] = bin
+			q.Push(heapq.Item{Dist: nd, ID: int32(ni)})
+		}
+	}
 	for q.Len() > 0 {
-		it := heap.Pop(q).(binItem)
-		if it.dist > dist[it.bin] {
+		it := q.Pop()
+		bin := int(it.ID)
+		if it.Dist > dist[bin] {
 			continue
 		}
-		if it.bin == goal {
+		if bin == goal {
 			break
 		}
-		x := it.bin%w + loX
-		y := it.bin/w + loY
-		// Four neighbors; edge cost from the directional usage arrays.
-		type step struct {
-			nx, ny int
-			cost   float64
-		}
-		var steps []step
+		x := bin%w + loX
+		y := bin/w + loY
+		// Four neighbors in fixed order (+x, −x, +y, −y); edge cost from
+		// the directional usage arrays.
 		if x+1 <= hiX {
-			steps = append(steps, step{x + 1, y, g.edgeCost(g.hUse[y*g.nx+x], g.hHist[y*g.nx+x])})
+			relax(bin, it.Dist, x+1, y, g.edgeCost(g.hUse[y*g.nx+x], g.hHist[y*g.nx+x]))
 		}
 		if x-1 >= loX {
-			steps = append(steps, step{x - 1, y, g.edgeCost(g.hUse[y*g.nx+x-1], g.hHist[y*g.nx+x-1])})
+			relax(bin, it.Dist, x-1, y, g.edgeCost(g.hUse[y*g.nx+x-1], g.hHist[y*g.nx+x-1]))
 		}
 		if y+1 <= hiY {
-			steps = append(steps, step{x, y + 1, g.edgeCost(g.vUse[y*g.nx+x], g.vHist[y*g.nx+x])})
+			relax(bin, it.Dist, x, y+1, g.edgeCost(g.vUse[y*g.nx+x], g.vHist[y*g.nx+x]))
 		}
 		if y-1 >= loY {
-			steps = append(steps, step{x, y - 1, g.edgeCost(g.vUse[(y-1)*g.nx+x], g.vHist[(y-1)*g.nx+x])})
-		}
-		for _, s := range steps {
-			ni := idx(s.nx, s.ny)
-			nd := it.dist + s.cost
-			if nd < dist[ni] {
-				dist[ni] = nd
-				prev[ni] = it.bin
-				heap.Push(q, binItem{bin: ni, dist: nd})
-			}
+			relax(bin, it.Dist, x, y-1, g.edgeCost(g.vUse[(y-1)*g.nx+x], g.vHist[(y-1)*g.nx+x]))
 		}
 	}
 	if math.IsInf(dist[goal], 1) {
@@ -129,22 +128,4 @@ func maxI(a, b int) int {
 		return a
 	}
 	return b
-}
-
-type binItem struct {
-	bin  int
-	dist float64
-}
-type pqBins []binItem
-
-func (q pqBins) Len() int            { return len(q) }
-func (q pqBins) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pqBins) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pqBins) Push(x interface{}) { *q = append(*q, x.(binItem)) }
-func (q *pqBins) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
 }
