@@ -1,7 +1,7 @@
 # Convenience targets mirroring the commands CI (and the tier-1 verify in
 # ROADMAP.md) runs. Everything is stdlib-only Go; no other tooling needed.
 
-.PHONY: build test ci bench bench-smoke profile
+.PHONY: build test ci bench bench-smoke fuzz-smoke profile
 
 # Tier-1 verify (ROADMAP.md).
 test:
@@ -10,9 +10,25 @@ test:
 # CI-style check: vet plus the full test suite under the race detector —
 # the parallel hot paths (internal/par users) must stay race-free — plus a
 # single-iteration pass over every benchmark so bench-only code (bench
-# harnesses, solver warm-start paths) cannot bit-rot unnoticed.
+# harnesses, solver warm-start paths) cannot bit-rot unnoticed, plus a
+# short run of every native fuzz target over its seed corpus.
 ci:
-	go vet ./... && go test -race ./... && $(MAKE) bench-smoke
+	go vet ./... && go test -race ./... && $(MAKE) bench-smoke && $(MAKE) fuzz-smoke
+
+# Seconds of coverage-guided fuzzing per target in fuzz-smoke. Raise for a
+# real fuzzing session: make fuzz-smoke FUZZTIME=5m
+FUZZTIME ?= 10s
+
+# Run every native fuzz target briefly (go test -fuzz accepts one target
+# per invocation, hence one line each). The f.Add seeds plus the committed
+# corpora under testdata/fuzz always run even with FUZZTIME=0s.
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzNetlistJSON$$' -fuzztime $(FUZZTIME) ./internal/netlist/
+	go test -run '^$$' -fuzz '^FuzzVerilogWrite$$' -fuzztime $(FUZZTIME) ./internal/verilog/
+	go test -run '^$$' -fuzz '^FuzzXDCWrite$$' -fuzztime $(FUZZTIME) ./internal/xdc/
+	go test -run '^$$' -fuzz '^FuzzSiteName$$' -fuzztime $(FUZZTIME) ./internal/xdc/
+	go test -run '^$$' -fuzz '^FuzzGenerate$$' -fuzztime $(FUZZTIME) ./internal/gen/
+	go test -run '^$$' -fuzz '^FuzzNewDevice$$' -fuzztime $(FUZZTIME) ./internal/fpga/
 
 build:
 	go build ./...

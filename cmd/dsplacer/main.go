@@ -13,9 +13,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
+	"dsplacer/internal/cli"
 	"dsplacer/internal/core"
 	"dsplacer/internal/dspgraph"
 	"dsplacer/internal/features"
@@ -42,6 +42,7 @@ func main() {
 	congestion := flag.Bool("congestion", false, "print a routing congestion heatmap")
 	xdcPath := flag.String("xdc", "", "write Vivado LOC constraints for the DSP placement to this path")
 	jsonOut := flag.Bool("json", false, "print the report as JSON instead of text")
+	validate := flag.String("validate", "final", "stage-boundary DRC gating: off, final or stages")
 	flag.Parse()
 
 	if *path == "" {
@@ -50,17 +51,18 @@ func main() {
 	}
 	nl, err := netlist.LoadFile(*path)
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(err)
 	}
 	dev := fpga.NewZCU104()
 	cfg := core.Config{
 		ClockMHz: *freq, Lambda: *lambda,
 		MCFIterations: *mcfIters, Rounds: *rounds, Seed: *seed,
+		Validate: cli.ParseValidate(*validate),
 	}
 	if *modelPath != "" {
 		model, err := gcn.LoadFile(*modelPath)
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal(err)
 		}
 		cfg.Identifier = &core.GCNIdentifier{Model: model, FeatureCfg: features.Config{Seed: *seed + 13}}
 	}
@@ -74,10 +76,10 @@ func main() {
 	case "amf":
 		res, err = core.RunBaseline(dev, nl, placer.ModeAMF, cfg)
 	default:
-		log.Fatalf("unknown -flow %q", *flow)
+		cli.Fatal(fmt.Errorf("unknown -flow %q", *flow))
 	}
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(err)
 	}
 
 	if *jsonOut {
@@ -97,7 +99,7 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
-			log.Fatal(err)
+			cli.Fatal(err)
 		}
 		return
 	}
@@ -115,7 +117,7 @@ func main() {
 
 	if *xdcPath != "" {
 		if err := xdc.SaveFile(*xdcPath, dev, nl, res.SiteOfDSP); err != nil {
-			log.Fatal(err)
+			cli.Fatal(err)
 		}
 		fmt.Printf("constraints %s (%d DSPs)\n", *xdcPath, len(res.SiteOfDSP))
 	}
@@ -143,7 +145,7 @@ func main() {
 				}
 			}
 			if err := os.WriteFile(*svgPath, []byte(viz.SVG(dev, nl, res.Pos, datapath, edges)), 0o644); err != nil {
-				log.Fatal(err)
+				cli.Fatal(err)
 			}
 			fmt.Printf("layout   %s\n", *svgPath)
 		}

@@ -21,11 +21,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"runtime"
 	"runtime/pprof"
 
+	"dsplacer/internal/cli"
 	"dsplacer/internal/experiments"
 	"dsplacer/internal/gen"
 	"dsplacer/internal/metrics"
@@ -50,6 +50,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	stages := flag.Bool("stages", false, "print the hot-path stage-timing counters on exit")
+	validate := flag.String("validate", "off", "stage-boundary DRC gating for every run: off, final or stages")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -88,6 +89,7 @@ func main() {
 	suite := experiments.NewSuite(specs)
 	cfg := experiments.TableIIConfig{
 		MCFIterations: *mcfIters, Rounds: *rounds, Lambda: 100, Seed: *seed,
+		Validate: cli.ParseValidate(*validate),
 	}
 	f7 := experiments.Fig7Config{Epochs: *epochs, Seed: *seed}
 	w := os.Stdout
@@ -145,6 +147,6 @@ func section(w *os.File, name string) {
 
 func check(err error) {
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(err)
 	}
 }

@@ -9,10 +9,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 
+	"dsplacer/internal/cli"
 	"dsplacer/internal/experiments"
 	"dsplacer/internal/fpga"
 	"dsplacer/internal/gen"
@@ -32,7 +32,7 @@ func main() {
 	}
 	dev := fpga.NewZCU104()
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
+		cli.Fatal(err)
 	}
 	emitted := 0
 	for _, spec := range specs {
@@ -41,11 +41,11 @@ func main() {
 		}
 		nl, err := gen.Generate(spec, dev)
 		if err != nil {
-			log.Fatalf("%s: %v", spec.Name, err)
+			cli.Fatal(fmt.Errorf("%s: %w", spec.Name, err))
 		}
 		path := filepath.Join(*out, spec.Name+".json")
 		if err := nl.SaveFile(path); err != nil {
-			log.Fatalf("%s: %v", path, err)
+			cli.Fatal(fmt.Errorf("%s: %w", path, err))
 		}
 		st := nl.Stats()
 		fmt.Printf("%-16s → %s (%d cells, %d nets, %d DSP, %d macros, %.1f MHz)\n",
@@ -53,13 +53,13 @@ func main() {
 		if *emitVerilog {
 			vpath := filepath.Join(*out, spec.Name+".v")
 			if err := verilog.SaveFile(vpath, nl); err != nil {
-				log.Fatalf("%s: %v", vpath, err)
+				cli.Fatal(fmt.Errorf("%s: %w", vpath, err))
 			}
 			fmt.Printf("%-16s → %s\n", "", vpath)
 		}
 		emitted++
 	}
 	if emitted == 0 {
-		log.Fatalf("no benchmark matched -only=%q", *only)
+		cli.Fatal(fmt.Errorf("no benchmark matched -only=%q", *only))
 	}
 }

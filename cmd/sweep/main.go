@@ -11,11 +11,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strconv"
 	"strings"
 
+	"dsplacer/internal/cli"
 	"dsplacer/internal/core"
 	"dsplacer/internal/experiments"
 	"dsplacer/internal/fpga"
@@ -55,6 +55,7 @@ func main() {
 	iters := flag.String("iters", "50", "comma-separated MCF iteration budgets")
 	rounds := flag.Int("rounds", 1, "incremental rounds")
 	seed := flag.Int64("seed", 1, "random seed")
+	validate := flag.String("validate", "final", "stage-boundary DRC gating: off, final or stages")
 	flag.Parse()
 
 	dev := fpga.NewZCU104()
@@ -72,7 +73,7 @@ func main() {
 			}
 		}
 		if nl == nil && err == nil {
-			log.Fatalf("no mini benchmark matches %q", *mini)
+			cli.Fatal(fmt.Errorf("no mini benchmark matches %q", *mini))
 		}
 	case *path != "":
 		nl, err = netlist.LoadFile(*path)
@@ -81,20 +82,20 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(err)
 	}
 
 	ls, err := parseFloats(*lambdas)
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(err)
 	}
 	es, err := parseFloats(*etas)
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(err)
 	}
 	is, err := parseInts(*iters)
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(err)
 	}
 
 	fmt.Println("lambda,eta,mcf_iters,rounds,wns_ns,tns_ns,hpwl,routed_wl,runtime_s")
@@ -104,10 +105,11 @@ func main() {
 				cfg := core.Config{
 					ClockMHz: clock, Lambda: nz(l), Eta: nz(e),
 					MCFIterations: it, Rounds: *rounds, Seed: *seed,
+					Validate: cli.ParseValidate(*validate),
 				}
 				res, err := core.Run(dev, nl, cfg)
 				if err != nil {
-					log.Fatalf("λ=%v η=%v iters=%d: %v", l, e, it, err)
+					cli.Fatal(fmt.Errorf("λ=%v η=%v iters=%d: %w", l, e, it, err))
 				}
 				fmt.Printf("%g,%g,%d,%d,%.4f,%.4f,%.0f,%.0f,%.2f\n",
 					l, e, it, *rounds, res.WNS, res.TNS, res.HPWL, res.RoutedWL,

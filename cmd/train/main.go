@@ -10,11 +10,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
+	"dsplacer/internal/cli"
 	"dsplacer/internal/core"
 	"dsplacer/internal/experiments"
 	"dsplacer/internal/features"
@@ -36,19 +37,19 @@ func main() {
 
 	if *evalPath != "" {
 		if *modelPath == "" {
-			log.Fatal("-eval requires -model")
+			cli.Fatal(errors.New("-eval requires -model"))
 		}
 		model, err := gcn.LoadFile(*modelPath)
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal(err)
 		}
 		nl, err := netlist.LoadFile(*evalPath)
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal(err)
 		}
 		sample, err := core.BuildSample(nl, fcfg)
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal(err)
 		}
 		fmt.Printf("%s: datapath DSP accuracy %.1f%% over %d DSPs\n",
 			nl.Name, model.Accuracy(sample)*100, len(sample.Mask))
@@ -61,11 +62,11 @@ func main() {
 		for _, spec := range suite.Specs {
 			nl, err := suite.Netlist(spec)
 			if err != nil {
-				log.Fatal(err)
+				cli.Fatal(err)
 			}
 			s, err := core.BuildSample(nl, fcfg)
 			if err != nil {
-				log.Fatal(err)
+				cli.Fatal(err)
 			}
 			samples = append(samples, s)
 		}
@@ -73,11 +74,11 @@ func main() {
 	for _, path := range flag.Args() {
 		nl, err := netlist.LoadFile(path)
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal(err)
 		}
 		s, err := core.BuildSample(nl, fcfg)
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal(err)
 		}
 		samples = append(samples, s)
 	}
@@ -96,7 +97,7 @@ func main() {
 			last.Epoch, len(samples), last.TrainAcc*100, last.Loss)
 	}
 	if err := model.SaveFile(*out); err != nil {
-		log.Fatal(err)
+		cli.Fatal(err)
 	}
 	fmt.Printf("model saved to %s\n", *out)
 }

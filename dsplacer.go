@@ -41,6 +41,11 @@ type (
 	OracleIdentifier = core.OracleIdentifier
 	// GCNIdentifier classifies DSPs with a trained GCN model.
 	GCNIdentifier = core.GCNIdentifier
+	// ValidateLevel selects stage-boundary DRC gating (Config.Validate).
+	ValidateLevel = core.ValidateLevel
+	// ValidationError is the stage-tagged DRC failure; recover it with
+	// errors.As, or match the class with errors.Is(err, ErrDRC).
+	ValidationError = core.ValidationError
 
 	// Device models a column-heterogeneous FPGA fabric.
 	Device = fpga.Device
@@ -59,6 +64,16 @@ const (
 	ModeVivado = placer.ModeVivado
 	ModeAMF    = placer.ModeAMF
 )
+
+// Stage-boundary DRC gating levels for Config.Validate.
+const (
+	ValidateOff        = core.ValidateOff
+	ValidateFinal      = core.ValidateFinal
+	ValidateEveryStage = core.ValidateEveryStage
+)
+
+// ErrDRC is the sentinel every stage-boundary DRC failure wraps.
+var ErrDRC = core.ErrDRC
 
 // Run executes the complete DSPlacer flow on nl. See core.Run.
 func Run(dev *Device, nl *Netlist, cfg Config) (*Result, error) {

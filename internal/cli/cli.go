@@ -1,0 +1,48 @@
+// Package cli holds the small amount of behaviour the five commands share:
+// fatal-error reporting that understands the flow's structured errors, and
+// parsing of the -validate flag. A stage-boundary DRC failure is rendered as
+// a violation report on stderr instead of a single opaque log line, and the
+// process exits non-zero either way.
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"dsplacer/internal/core"
+)
+
+// exit is swapped out by tests.
+var exit = os.Exit
+
+// Fatal reports err on stderr and exits with status 1. A wrapped
+// *core.ValidationError is expanded into its stage-tagged violation report;
+// every other error prints as-is.
+func Fatal(err error) {
+	var ve *core.ValidationError
+	if errors.As(err, &ve) {
+		fmt.Fprintf(os.Stderr, "error: design-rule check failed\n")
+		fmt.Fprintf(os.Stderr, "  flow %s, stage %q: %d violation(s)\n", ve.Flow, ve.Stage, ve.Total)
+		for _, v := range ve.Violations {
+			fmt.Fprintf(os.Stderr, "    %s\n", v.String())
+		}
+		if ve.Total > len(ve.Violations) {
+			fmt.Fprintf(os.Stderr, "    ... and %d more\n", ve.Total-len(ve.Violations))
+		}
+		exit(1)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "error: %v\n", err)
+	exit(1)
+}
+
+// ParseValidate converts a -validate flag value to a core.ValidateLevel,
+// treating an unknown value as a fatal usage error.
+func ParseValidate(s string) core.ValidateLevel {
+	level, err := core.ParseValidateLevel(s)
+	if err != nil {
+		Fatal(err)
+	}
+	return level
+}

@@ -1,0 +1,51 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dsplacer/internal/core"
+	"dsplacer/internal/drc"
+)
+
+// capture swaps the exit hook and records the status Fatal chose.
+func capture(t *testing.T) *int {
+	t.Helper()
+	status := -1
+	old := exit
+	exit = func(code int) { status = code }
+	t.Cleanup(func() { exit = old })
+	return &status
+}
+
+func TestFatalExitsNonZeroOnValidationError(t *testing.T) {
+	status := capture(t)
+	err := fmt.Errorf("core: %w", &core.ValidationError{
+		Flow: "dsplacer", Stage: "final", Total: 3,
+		Violations: []drc.Violation{{Rule: "dsp-overlap", Cell: 1, Msg: "x"}},
+	})
+	Fatal(err)
+	if *status != 1 {
+		t.Fatalf("exit status %d, want 1", *status)
+	}
+}
+
+func TestFatalExitsNonZeroOnPlainError(t *testing.T) {
+	status := capture(t)
+	Fatal(errors.New("boom"))
+	if *status != 1 {
+		t.Fatalf("exit status %d, want 1", *status)
+	}
+}
+
+func TestParseValidate(t *testing.T) {
+	if got := ParseValidate("stages"); got != core.ValidateEveryStage {
+		t.Fatalf("got %v", got)
+	}
+	status := capture(t)
+	ParseValidate("bogus")
+	if *status != 1 {
+		t.Fatalf("exit status %d, want 1", *status)
+	}
+}

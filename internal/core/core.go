@@ -125,6 +125,15 @@ type Config struct {
 	BaselineGPIters, PrototypeGPIters, ReplaceGPIters int
 	// RouteOpts configures the global router.
 	RouteOpts route.Options
+	// Validate gates stage boundaries with drc.Check: ValidateOff (default)
+	// skips checking, ValidateFinal checks the flow's final placement,
+	// ValidateEveryStage checks every intermediate artifact too. Failures
+	// surface as *ValidationError wrapping ErrDRC.
+	Validate ValidateLevel
+	// corruptHook is test-only fault injection: when non-nil it may mutate
+	// the stage artifact just before each gate runs, so tests can prove
+	// corruption surfaces as a stage-tagged error end to end.
+	corruptHook func(stage string, pos []geom.Point, siteOf map[int]int)
 }
 
 func (c Config) withDefaults() Config {
@@ -190,6 +199,7 @@ func Run(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error) {
 	period := 1000.0 / cfg.ClockMHz
 	restore := snapshotWeights(nl)
 	defer restore()
+	gate := &gater{level: cfg.Validate, dev: dev, nl: nl, flow: "dsplacer", corrupt: cfg.corruptHook}
 
 	total0 := time.Now()
 
@@ -199,6 +209,9 @@ func Run(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error) {
 		GPIterations: cfg.PrototypeGPIters})
 	if err != nil {
 		return nil, fmt.Errorf("core: prototype placement: %w", err)
+	}
+	if err := gate.placement(ValidateEveryStage, "prototype", proto.Pos, proto.SiteOfDSP); err != nil {
+		return nil, err
 	}
 	if cfg.TimingDriven {
 		if err := reweight(nl, proto.Pos, period); err != nil {
@@ -238,6 +251,9 @@ func Run(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: legalization: %w", err)
 		}
+		if err := gate.assignment(ValidateEveryStage, fmt.Sprintf("legalize[%d]", round), legal); err != nil {
+			return nil, err
+		}
 		profile.DSPPlace += time.Since(t2)
 
 		// (b) fix datapath DSPs, re-place the remaining components.
@@ -251,7 +267,13 @@ func Run(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error) {
 		}
 		pos = res.Pos
 		siteOf = res.SiteOfDSP
+		if err := gate.placement(ValidateEveryStage, fmt.Sprintf("replace[%d]", round), pos, siteOf); err != nil {
+			return nil, err
+		}
 		profile.OtherPlace += time.Since(t3)
+	}
+	if err := gate.placement(ValidateFinal, "final", pos, siteOf); err != nil {
+		return nil, err
 	}
 
 	// --- Routing + timing ----------------------------------------------------
@@ -284,6 +306,7 @@ func RunBaseline(dev *fpga.Device, nl *netlist.Netlist, mode placer.Mode, cfg Co
 	period := 1000.0 / cfg.ClockMHz
 	restore := snapshotWeights(nl)
 	defer restore()
+	gate := &gater{level: cfg.Validate, dev: dev, nl: nl, flow: mode.String(), corrupt: cfg.corruptHook}
 
 	total0 := time.Now()
 	t0 := time.Now()
@@ -291,6 +314,9 @@ func RunBaseline(dev *fpga.Device, nl *netlist.Netlist, mode placer.Mode, cfg Co
 		GPIterations: cfg.BaselineGPIters})
 	if err != nil {
 		return nil, fmt.Errorf("core: %v placement: %w", mode, err)
+	}
+	if err := gate.placement(ValidateEveryStage, "placement", res.Pos, res.SiteOfDSP); err != nil {
+		return nil, err
 	}
 	if cfg.TimingDriven {
 		if err := reweight(nl, res.Pos, period); err != nil {
@@ -305,6 +331,9 @@ func RunBaseline(dev *fpga.Device, nl *netlist.Netlist, mode placer.Mode, cfg Co
 		GPIterations: cfg.ReplaceGPIters, Warm: res.Pos})
 	if err != nil {
 		return nil, fmt.Errorf("core: %v refinement placement: %w", mode, err)
+	}
+	if err := gate.placement(ValidateFinal, "final", res.Pos, res.SiteOfDSP); err != nil {
+		return nil, err
 	}
 	profile := Profile{Prototype: time.Since(t0)}
 
@@ -381,6 +410,7 @@ func RunRSAD(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error)
 	period := 1000.0 / cfg.ClockMHz
 	restore := snapshotWeights(nl)
 	defer restore()
+	gate := &gater{level: cfg.Validate, dev: dev, nl: nl, flow: "rsad", corrupt: cfg.corruptHook}
 
 	total0 := time.Now()
 	t0 := time.Now()
@@ -389,12 +419,18 @@ func RunRSAD(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error)
 	if err != nil {
 		return nil, fmt.Errorf("core: rsad prototype: %w", err)
 	}
+	if err := gate.placement(ValidateEveryStage, "prototype", proto.Pos, proto.SiteOfDSP); err != nil {
+		return nil, err
+	}
 	profile := Profile{Prototype: time.Since(t0)}
 
 	t1 := time.Now()
 	siteOf, err := rsad.Place(dev, nl, proto.Pos)
 	if err != nil {
 		return nil, fmt.Errorf("core: rsad lattice: %w", err)
+	}
+	if err := gate.assignment(ValidateEveryStage, "lattice", siteOf); err != nil {
+		return nil, err
 	}
 	profile.DSPPlace = time.Since(t1)
 
@@ -405,6 +441,9 @@ func RunRSAD(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: rsad re-placement: %w", err)
+	}
+	if err := gate.placement(ValidateFinal, "final", res.Pos, res.SiteOfDSP); err != nil {
+		return nil, err
 	}
 	profile.OtherPlace = time.Since(t2)
 

@@ -1,17 +1,28 @@
 // Package drc checks placement design rules: every cell on a site of its
 // resource type, per-site capacity respected, DSP sites uniquely assigned,
-// cascade macros on consecutive sites of one column, fixed cells untouched.
-// It is the single source of truth the integration tests (and users
-// validating external placements) run against.
+// cascade macros on consecutive sites of one column, fixed cells untouched
+// and on the die. It is the single source of truth the stage-boundary
+// gates in internal/core, the integration tests and users validating
+// external placements all run against.
 package drc
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"dsplacer/internal/fpga"
 	"dsplacer/internal/geom"
 	"dsplacer/internal/netlist"
 )
+
+// xTol is the largest |x - column.X| still attributed to a column. Positions
+// produced by arithmetic (spreading, warm starts, site math) rather than
+// copied verbatim from the column may differ from the column x by float
+// noise; matching by nearest column within this tolerance keeps the grid,
+// bounds and capacity rules in force for them instead of misfiling every
+// such cell under a bare "resource" violation keyed on an exact float.
+const xTol = 1e-6
 
 // Violation is one design-rule failure.
 type Violation struct {
@@ -27,6 +38,38 @@ func (v Violation) String() string {
 	return fmt.Sprintf("%s: %s", v.Rule, v.Msg)
 }
 
+// columnFor locates the column owning x by binary search over the strictly
+// increasing column x coordinates (a Device.Validate invariant), accepting
+// a mismatch up to xTol. Returns nil when no column is close enough.
+func columnFor(dev *fpga.Device, x float64) *fpga.Column {
+	cols := dev.Columns
+	i := sort.Search(len(cols), func(i int) bool { return cols[i].X >= x })
+	best := -1
+	if i < len(cols) {
+		best = i
+	}
+	if i > 0 && (best < 0 || x-cols[i-1].X < cols[best].X-x) {
+		best = i - 1
+	}
+	if best < 0 || math.Abs(cols[best].X-x) > xTol {
+		return nil
+	}
+	return &cols[best]
+}
+
+// resFor maps a cell type to the column resource it must sit on.
+func resFor(t netlist.CellType) (fpga.Resource, bool) {
+	switch t {
+	case netlist.LUT, netlist.LUTRAM, netlist.FF, netlist.Carry:
+		return fpga.CLB, true
+	case netlist.DSP:
+		return fpga.DSPRes, true
+	case netlist.BRAM:
+		return fpga.BRAMRes, true
+	}
+	return 0, false // IO/PSPort are fixed, not site-bound
+}
+
 // Check validates the placement and returns every violation found (empty =
 // clean). siteOfDSP may be nil when only position rules should be checked.
 func Check(dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point, siteOfDSP map[int]int) []Violation {
@@ -39,26 +82,9 @@ func Check(dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point, siteOfDSP ma
 		return out
 	}
 
-	// Column lookup by x coordinate.
-	colAt := make(map[float64]*fpga.Column, len(dev.Columns))
-	for i := range dev.Columns {
-		colAt[dev.Columns[i].X] = &dev.Columns[i]
-	}
-	resFor := func(t netlist.CellType) (fpga.Resource, bool) {
-		switch t {
-		case netlist.LUT, netlist.LUTRAM, netlist.FF, netlist.Carry:
-			return fpga.CLB, true
-		case netlist.DSP:
-			return fpga.DSPRes, true
-		case netlist.BRAM:
-			return fpga.BRAMRes, true
-		}
-		return 0, false // IO/PSPort are fixed, not site-bound
-	}
-
-	// Per-site load for capacity rules.
+	// Per-site load for capacity rules, keyed by column index (not raw x).
 	type key struct {
-		x   float64
+		col int
 		row int
 	}
 	load := make(map[key]int)
@@ -68,6 +94,8 @@ func Check(dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point, siteOfDSP ma
 		if c.Fixed {
 			if p != c.FixedAt {
 				add("fixed", i, "fixed cell moved from %v to %v", c.FixedAt, p)
+			} else if p.X < 0 || p.X > dev.Width || p.Y < 0 || p.Y > dev.Height {
+				add("fixed-bounds", i, "fixed cell at %v outside the %gx%g die", p, dev.Width, dev.Height)
 			}
 			continue
 		}
@@ -75,8 +103,8 @@ func Check(dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point, siteOfDSP ma
 		if !bound {
 			continue
 		}
-		col, ok := colAt[p.X]
-		if !ok || col.Res != res {
+		col := columnFor(dev, p.X)
+		if col == nil || col.Res != res {
 			add("resource", i, "%v cell at x=%v is not on a %v column", c.Type, p.X, res)
 			continue
 		}
@@ -90,9 +118,32 @@ func Check(dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point, siteOfDSP ma
 			add("bounds", i, "row %d outside column of %d sites", row, col.NumSites)
 			continue
 		}
-		load[key{p.X, row}]++
-		if load[key{p.X, row}] > col.Capacity {
-			add("capacity", i, "site (%v, row %d) exceeds capacity %d", p.X, row, col.Capacity)
+		load[key{col.Index, row}]++
+		if load[key{col.Index, row}] > col.Capacity {
+			add("capacity", i, "site (%v, row %d) exceeds capacity %d", col.X, row, col.Capacity)
+		}
+	}
+
+	// Cascade macro chains must occupy consecutive sites of one DSP column in
+	// macro order. Checked from positions alone so a corrupt chain is caught
+	// even when no site map is supplied (e.g. after a placement-only stage).
+	for mid, m := range nl.Macros {
+		if len(m) == 0 {
+			continue
+		}
+		head := pos[m[0]]
+		col := columnFor(dev, head.X)
+		if col == nil || col.Res != fpga.DSPRes {
+			add("cascade-chain", m[0], "macro %d head at %v is not on a DSP column", mid, head)
+			continue
+		}
+		for k := 1; k < len(m); k++ {
+			want := geom.Point{X: col.X, Y: head.Y + float64(k)*col.YPitch}
+			got := pos[m[k]]
+			if math.Abs(got.X-want.X) > xTol || math.Abs(got.Y-want.Y) > 1e-6 {
+				add("cascade-chain", m[k], "macro %d member %d at %v, want %v (consecutive site of column x=%v)",
+					mid, k, got, want, col.X)
+			}
 		}
 	}
 
@@ -124,10 +175,68 @@ func Check(dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point, siteOfDSP ma
 			if !okP || !okS {
 				continue // already reported above
 			}
+			if jp < 0 || jp >= len(sites) || js < 0 || js >= len(sites) {
+				continue // already reported above
+			}
 			sp, ss := sites[jp], sites[js]
 			if sp.Col != ss.Col || ss.Row != sp.Row+1 {
 				add("cascade", pair[1], "pair %v not on consecutive rows of one column", pair)
 			}
+		}
+	}
+	return out
+}
+
+// CheckAssignment validates a possibly partial DSP site assignment (cell id
+// → device DSP site index) on its own, before positions exist: cells must
+// be in-range DSPs, sites in-range and uniquely used, and cascade pairs
+// whose two ends are both assigned must land on consecutive rows of one
+// column. This is the stage gate for the assign+legalize boundary, where
+// only the datapath subset of the DSPs carries sites yet.
+func CheckAssignment(dev *fpga.Device, nl *netlist.Netlist, siteOf map[int]int) []Violation {
+	var out []Violation
+	add := func(rule string, cell int, format string, args ...interface{}) {
+		out = append(out, Violation{Rule: rule, Cell: cell, Msg: fmt.Sprintf(format, args...)})
+	}
+	sites := dev.DSPSites()
+	cells := make([]int, 0, len(siteOf))
+	for c := range siteOf {
+		cells = append(cells, c)
+	}
+	sort.Ints(cells) // deterministic violation order
+	used := make(map[int]int, len(cells))
+	for _, c := range cells {
+		if c < 0 || c >= nl.NumCells() {
+			add("dsp-assign", c, "cell id out of range")
+			continue
+		}
+		if nl.Cells[c].Type != netlist.DSP {
+			add("dsp-assign", c, "assigned cell is %v, not DSP", nl.Cells[c].Type)
+			continue
+		}
+		j := siteOf[c]
+		if j < 0 || j >= len(sites) {
+			add("dsp-assign", c, "site %d out of range [0,%d)", j, len(sites))
+			continue
+		}
+		if prev, dup := used[j]; dup {
+			add("dsp-overlap", c, "site %d already used by cell %d", j, prev)
+			continue
+		}
+		used[j] = c
+	}
+	for _, pair := range nl.CascadePairs() {
+		jp, okP := siteOf[pair[0]]
+		js, okS := siteOf[pair[1]]
+		if !okP || !okS {
+			continue // partial assignments are allowed here
+		}
+		if jp < 0 || jp >= len(sites) || js < 0 || js >= len(sites) {
+			continue // already reported above
+		}
+		sp, ss := sites[jp], sites[js]
+		if sp.Col != ss.Col || ss.Row != sp.Row+1 {
+			add("cascade", pair[1], "pair %v not on consecutive rows of one column", pair)
 		}
 	}
 	return out

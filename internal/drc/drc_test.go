@@ -126,6 +126,117 @@ func TestCatchesMovedFixedCell(t *testing.T) {
 	}
 }
 
+// TestColumnLookupTolerantOfArithmeticJitter is the regression test for the
+// float-keyed column lookup: a position whose x was produced by arithmetic
+// (off by ~1 ulp from the column x) must still be attributed to the column,
+// so the capacity rule keeps firing instead of the cell being misfiled as a
+// bare resource violation.
+func TestColumnLookupTolerantOfArithmeticJitter(t *testing.T) {
+	dev := setup(t)
+	nl := netlist.New("jit")
+	col := &dev.Columns[dev.ColumnsOf(fpga.CLB)[1]]
+	// x arrived at by summing increments rather than copying col.X.
+	x := 0.0
+	for i := 0; i < 3; i++ {
+		x += col.X / 3
+	}
+	if x == col.X {
+		x = col.X + 1e-12 // force the jitter if the sum happened to be exact
+	}
+	var prev int = -1
+	var pos []geom.Point
+	for i := 0; i < col.Capacity+1; i++ {
+		c := nl.AddCell("l", netlist.LUT)
+		if prev >= 0 {
+			nl.AddNet("n", prev, c.ID)
+		}
+		prev = c.ID
+		pos = append(pos, geom.Point{X: x, Y: 0})
+	}
+	vs := Check(dev, nl, pos, nil)
+	if hasRule(vs, "resource") {
+		t.Fatalf("jittered x misfiled as resource violation: %v", vs)
+	}
+	if !hasRule(vs, "capacity") {
+		t.Fatalf("capacity rule skipped for jittered x: %v", vs)
+	}
+}
+
+// TestCatchesBrokenCascadeChainFromPositions exercises the position-only
+// cascade rule: with no site map at all, a macro whose members are not on
+// consecutive sites of one DSP column must still be flagged.
+func TestCatchesBrokenCascadeChainFromPositions(t *testing.T) {
+	dev := setup(t)
+	nl := netlist.New("chain")
+	a := nl.AddCell("a", netlist.DSP)
+	b := nl.AddCell("b", netlist.DSP)
+	c := nl.AddCell("c", netlist.DSP)
+	nl.AddNet("n", a.ID, b.ID)
+	nl.AddNet("m", b.ID, c.ID)
+	nl.AddMacro([]int{a.ID, b.ID, c.ID})
+	sites := dev.DSPSites()
+	// a,b consecutive, c skips a row.
+	pos := []geom.Point{dev.Loc(sites[0]), dev.Loc(sites[1]), dev.Loc(sites[3])}
+	vs := Check(dev, nl, pos, nil)
+	if !hasRule(vs, "cascade-chain") {
+		t.Fatalf("broken chain not caught from positions: %v", vs)
+	}
+	// Consecutive chain is clean.
+	pos[2] = dev.Loc(sites[2])
+	if vs := Check(dev, nl, pos, nil); len(vs) != 0 {
+		t.Fatalf("violations on clean chain: %v", vs)
+	}
+}
+
+func TestCatchesFixedCellOffDie(t *testing.T) {
+	dev := setup(t)
+	nl := netlist.New("fb")
+	io := nl.AddFixedCell("io", netlist.IO, geom.Point{X: -3, Y: 1})
+	nl.AddNet("n", io.ID, nl.AddCell("l", netlist.LUT).ID)
+	clbX := dev.Columns[dev.ColumnsOf(fpga.CLB)[0]].X
+	pos := []geom.Point{{X: -3, Y: 1}, {X: clbX, Y: 0}}
+	vs := Check(dev, nl, pos, nil)
+	if !hasRule(vs, "fixed-bounds") {
+		t.Fatalf("off-die fixed cell not caught: %v", vs)
+	}
+}
+
+func TestCheckAssignment(t *testing.T) {
+	dev := setup(t)
+	nl := netlist.New("asg")
+	a := nl.AddCell("a", netlist.DSP)
+	b := nl.AddCell("b", netlist.DSP)
+	lut := nl.AddCell("l", netlist.LUT)
+	nl.AddNet("n", a.ID, b.ID)
+	nl.AddNet("m", b.ID, lut.ID)
+	nl.AddMacro([]int{a.ID, b.ID})
+
+	if vs := CheckAssignment(dev, nl, map[int]int{a.ID: 0, b.ID: 1}); len(vs) != 0 {
+		t.Fatalf("violations on clean assignment: %v", vs)
+	}
+	// Partial assignment is fine (the other end of the pair is unplaced).
+	if vs := CheckAssignment(dev, nl, map[int]int{a.ID: 0}); len(vs) != 0 {
+		t.Fatalf("violations on partial assignment: %v", vs)
+	}
+	cases := []struct {
+		name   string
+		siteOf map[int]int
+		rule   string
+	}{
+		{"overlap", map[int]int{a.ID: 0, b.ID: 0}, "dsp-overlap"},
+		{"broken-pair", map[int]int{a.ID: 0, b.ID: 2}, "cascade"},
+		{"site-range", map[int]int{a.ID: dev.NumDSPSites()}, "dsp-assign"},
+		{"negative-site", map[int]int{a.ID: -1}, "dsp-assign"},
+		{"cell-range", map[int]int{99: 0}, "dsp-assign"},
+		{"non-dsp", map[int]int{lut.ID: 0}, "dsp-assign"},
+	}
+	for _, tc := range cases {
+		if vs := CheckAssignment(dev, nl, tc.siteOf); !hasRule(vs, tc.rule) {
+			t.Errorf("%s: %s not caught: %v", tc.name, tc.rule, vs)
+		}
+	}
+}
+
 func TestViolationString(t *testing.T) {
 	v := Violation{Rule: "capacity", Cell: 7, Msg: "x"}
 	if !strings.Contains(v.String(), "cell 7") {

@@ -36,6 +36,10 @@ type TableIIConfig struct {
 	Rounds        int
 	Lambda        float64 // paper: 100
 	Seed          int64
+	// Validate sets the stage-boundary DRC gating level for every flow the
+	// experiment runs (off by default: the experiments measure quality, and
+	// the integration tests already gate every stage).
+	Validate core.ValidateLevel
 }
 
 func (c TableIIConfig) coreConfig(spec gen.Spec) core.Config {
@@ -45,6 +49,7 @@ func (c TableIIConfig) coreConfig(spec gen.Spec) core.Config {
 		MCFIterations: c.MCFIterations,
 		Rounds:        c.Rounds,
 		Seed:          c.Seed + spec.Seed,
+		Validate:      c.Validate,
 	}
 }
 

@@ -1,0 +1,49 @@
+package fpga
+
+import (
+	"testing"
+)
+
+// FuzzNewDevice fuzzes the fabric constructor's config surface. Whenever
+// NewDevice accepts a config, the device must pass its own Validate, the
+// DSP site list must be sorted ascending by (column x, row), and every
+// site location must fall inside the die — the invariants the placer,
+// assignment and DRC layers all build on.
+func FuzzNewDevice(f *testing.F) {
+	f.Add("CCDCB", 3, 2, 0, 0, 2.0, 20.0)
+	f.Add("CCCCDCCB", 12, 6, 60, 12, 8.0, 70.0) // the ZCU104 recipe
+	f.Add("D", 1, 1, 1, 1, 0.0, 0.0)
+	f.Add("X", 1, 1, 0, 0, 0.0, 0.0)
+	f.Add("", 5, 5, -3, -3, -1.0, 1.0)
+
+	f.Fuzz(func(t *testing.T, pattern string, repeats, rows, clb, bram int, psW, psH float64) {
+		// Bound fabric size; degenerate shapes, not scale, are the target.
+		if repeats > 64 || rows > 64 || len(pattern) > 32 || clb > 4096 || bram > 4096 {
+			t.Skip()
+		}
+		dev, err := NewDevice(Config{
+			Name: "fz", Pattern: pattern, Repeats: repeats, RegionRows: rows,
+			CLBPerRegion: clb, BRAMPerRegion: bram, PSWidth: psW, PSHeight: psH,
+		})
+		if err != nil {
+			return
+		}
+		if err := dev.Validate(); err != nil {
+			t.Fatalf("accepted device fails Validate: %v", err)
+		}
+		sites := dev.DSPSites()
+		for i, s := range sites {
+			p := dev.Loc(s)
+			if p.X < 0 || p.X > dev.Width || p.Y < 0 || p.Y > dev.Height {
+				t.Fatalf("site %d at %v outside die %vx%v", i, p, dev.Width, dev.Height)
+			}
+			if i == 0 {
+				continue
+			}
+			q := dev.Loc(sites[i-1])
+			if p.X < q.X || (p.X == q.X && p.Y <= q.Y) {
+				t.Fatalf("site order violated at %d: %v after %v", i, p, q)
+			}
+		}
+	})
+}

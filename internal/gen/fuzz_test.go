@@ -1,0 +1,53 @@
+package gen
+
+import (
+	"testing"
+
+	"dsplacer/internal/fpga"
+)
+
+// FuzzGenerate throws arbitrary specs at the benchmark builder. The
+// contract: Generate either returns an error or a netlist that passes
+// Validate with cell counts exactly matching the spec — never a panic
+// (the recover backstop turns builder bugs into errors, but the fuzzer
+// still catches count mismatches and invalid output).
+func FuzzGenerate(f *testing.F) {
+	s := Small()
+	f.Add(s.LUT, s.LUTRAM, s.FF, s.BRAM, s.DSP, s.CascadeLen, s.ControlDSPFrac, s.Seed)
+	f.Add(0, 0, 0, 0, 1, 1, 0.5, int64(1))
+	f.Add(10, 0, 10, 0, 2, 9, 1.0, int64(2)) // all-control: no PE array
+	f.Add(-1, 5, 5, 5, 5, 3, 0.1, int64(3))
+	f.Add(100, 5, 100, 3, 12, 1, 0.0, int64(4)) // length-1 cascades: no macros
+
+	dev, err := fpga.NewDevice(fpga.Config{
+		Name: "fz", Pattern: "CCDCB", Repeats: 3, RegionRows: 2, PSWidth: 2, PSHeight: 20,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, lut, lutram, ff, bram, dsp, cascade int, frac float64, seed int64) {
+		// Bound the build size so each exec stays fast; the interesting
+		// space is shape and degenerate values, not scale.
+		const lim = 2000
+		if lut > lim || lutram > lim || ff > lim || bram > lim || dsp > lim || cascade > lim {
+			t.Skip()
+		}
+		spec := Spec{
+			Name: "fz", LUT: lut, LUTRAM: lutram, FF: ff, BRAM: bram, DSP: dsp,
+			FreqMHz: 100, CascadeLen: cascade, ControlDSPFrac: frac, Seed: seed,
+		}
+		nl, err := Generate(spec, dev)
+		if err != nil {
+			return
+		}
+		if err := nl.Validate(); err != nil {
+			t.Fatalf("generated netlist fails Validate: %v", err)
+		}
+		got := nl.Stats()
+		if got.LUT != lut || got.LUTRAM != lutram || got.FF != ff ||
+			got.BRAM != bram || got.DSP != dsp {
+			t.Fatalf("stats %+v do not match spec %+v", got, spec)
+		}
+	})
+}

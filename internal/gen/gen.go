@@ -11,6 +11,7 @@ package gen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"dsplacer/internal/fpga"
@@ -70,6 +71,37 @@ func (s Spec) withDefaults() Spec {
 		s.ControlDSPFrac = 0.12
 	}
 	return s
+}
+
+// Validate rejects specs the builder cannot realize. It is checked on the
+// post-default spec, so a zero CascadeLen or ControlDSPFrac is fine (the
+// defaults fill them in) but explicit garbage is an error rather than a
+// budget panic deep inside construction.
+func (s Spec) Validate() error {
+	s = s.withDefaults()
+	for _, c := range []struct {
+		name string
+		n    int
+	}{
+		{"LUT", s.LUT}, {"LUTRAM", s.LUTRAM}, {"FF", s.FF}, {"BRAM", s.BRAM},
+	} {
+		if c.n < 0 {
+			return fmt.Errorf("gen %s: negative %s count %d", s.Name, c.name, c.n)
+		}
+	}
+	if s.DSP < 1 {
+		return fmt.Errorf("gen %s: DSP count %d, need at least 1", s.Name, s.DSP)
+	}
+	if s.CascadeLen < 1 {
+		return fmt.Errorf("gen %s: cascade length %d, need at least 1", s.Name, s.CascadeLen)
+	}
+	if math.IsNaN(s.ControlDSPFrac) || s.ControlDSPFrac < 0 || s.ControlDSPFrac > 1 {
+		return fmt.Errorf("gen %s: control DSP fraction %v outside [0,1]", s.Name, s.ControlDSPFrac)
+	}
+	if math.IsNaN(s.FreqMHz) || math.IsInf(s.FreqMHz, 0) || s.FreqMHz < 0 {
+		return fmt.Errorf("gen %s: frequency %v MHz not finite and non-negative", s.Name, s.FreqMHz)
+	}
+	return nil
 }
 
 // budget tracks remaining cells of each type during construction.
@@ -155,6 +187,9 @@ func Generate(spec Spec, dev *fpga.Device) (nl *netlist.Netlist, err error) {
 			err = fmt.Errorf("gen %s: %v", spec.Name, r)
 		}
 	}()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	spec = spec.withDefaults()
 	bl := &builder{
 		nl:  netlist.New(spec.Name),

@@ -1,6 +1,8 @@
 package gen
 
 import (
+	"math"
+	"strings"
 	"testing"
 
 	"dsplacer/internal/fpga"
@@ -8,6 +10,56 @@ import (
 	"dsplacer/internal/netlist"
 	"dsplacer/internal/sta"
 )
+
+func TestSpecValidate(t *testing.T) {
+	base := Small()
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantErr string
+	}{
+		{"valid", func(*Spec) {}, ""},
+		{"zero-defaults-ok", func(s *Spec) { s.CascadeLen = 0; s.ControlDSPFrac = 0 }, ""},
+		{"negative-lut", func(s *Spec) { s.LUT = -1 }, "negative LUT"},
+		{"negative-bram", func(s *Spec) { s.BRAM = -5 }, "negative BRAM"},
+		{"zero-dsp", func(s *Spec) { s.DSP = 0 }, "DSP count"},
+		{"negative-cascade", func(s *Spec) { s.CascadeLen = -2 }, "cascade length"},
+		{"nan-frac", func(s *Spec) { s.ControlDSPFrac = math.NaN() }, "control DSP fraction"},
+		{"frac-above-one", func(s *Spec) { s.ControlDSPFrac = 1.5 }, "control DSP fraction"},
+		{"nan-freq", func(s *Spec) { s.FreqMHz = math.NaN() }, "frequency"},
+		{"inf-freq", func(s *Spec) { s.FreqMHz = math.Inf(1) }, "frequency"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base
+			tc.mutate(&s)
+			err := s.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err=%v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestGenerateRejectsInvalidSpec(t *testing.T) {
+	dev := fpga.NewZCU104()
+	bad := Small()
+	bad.LUT = -3
+	if _, err := Generate(bad, dev); err == nil {
+		t.Fatal("negative-LUT spec accepted")
+	}
+	bad = Small()
+	bad.ControlDSPFrac = math.NaN()
+	if _, err := Generate(bad, dev); err == nil {
+		t.Fatal("NaN control fraction accepted")
+	}
+}
 
 func TestSmallMatchesSpec(t *testing.T) {
 	dev := fpga.NewZCU104()

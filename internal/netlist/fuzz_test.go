@@ -1,0 +1,60 @@
+package netlist
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzNetlistJSON drives the untrusted-input surface of the package: any
+// byte slice handed to UnmarshalJSON must either be rejected with an error
+// or produce a netlist that (a) passes Validate, (b) survives a marshal →
+// unmarshal round trip with identical shape, and (c) converts to a cell
+// graph without panicking. cmd/dsplacer, cmd/sweep and cmd/train all feed
+// user-supplied files through this path.
+func FuzzNetlistJSON(f *testing.F) {
+	small := New("seed")
+	a := small.AddCell("a", DSP)
+	b := small.AddCell("b", DSP)
+	c := small.AddCell("c", LUT)
+	small.AddNet("n0", a.ID, b.ID)
+	small.AddNet("n1", c.ID, a.ID)
+	small.AddMacro([]int{a.ID, b.ID})
+	if data, err := json.Marshal(small); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","cells":[{"name":"a","type":"DSP"}],"nets":[],"macros":[[0,7]]}`))
+	f.Add([]byte(`{"name":"x","cells":[{"name":"a","type":"DSP"},{"name":"b","type":"DSP"}],` +
+		`"nets":[{"name":"n","driver":0,"sinks":[1]}],"macros":[[1,0],[0,1]]}`))
+	f.Add([]byte(`{"cells":[{"name":"f","type":"LUT","fixed":true,"x":1,"y":2}],` +
+		`"nets":[{"name":"n","driver":0,"sinks":[0]}]}`))
+	f.Add([]byte(`{"nets":[{"name":"n","driver":-1,"sinks":[9],"weight":-3}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nl := &Netlist{}
+		if err := nl.UnmarshalJSON(data); err != nil {
+			return // rejected input is fine; panics are the bug
+		}
+		if err := nl.Validate(); err != nil {
+			t.Fatalf("accepted netlist fails Validate: %v", err)
+		}
+		out, err := nl.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted netlist fails to marshal: %v", err)
+		}
+		back := &Netlist{}
+		if err := back.UnmarshalJSON(out); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Name != nl.Name || back.NumCells() != nl.NumCells() ||
+			back.NumNets() != nl.NumNets() || len(back.Macros) != len(nl.Macros) {
+			t.Fatalf("round trip changed shape: %d/%d cells, %d/%d nets",
+				back.NumCells(), nl.NumCells(), back.NumNets(), nl.NumNets())
+		}
+		if back.Stats() != nl.Stats() {
+			t.Fatalf("round trip changed stats: %+v vs %+v", back.Stats(), nl.Stats())
+		}
+		nl.ToGraph()
+		nl.CascadePairs()
+	})
+}

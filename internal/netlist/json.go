@@ -79,7 +79,15 @@ func (nl *Netlist) UnmarshalJSON(data []byte) error {
 			n.Weight = jn.Weight
 		}
 	}
-	for _, m := range doc.Macros {
+	for mid, m := range doc.Macros {
+		// AddMacro stamps back-references into the member cells, so member
+		// ids must be range-checked before it runs — a hostile document must
+		// produce an error, not an index panic.
+		for _, cid := range m {
+			if cid < 0 || cid >= len(nl.Cells) {
+				return fmt.Errorf("netlist %s: macro %d member %d out of range", nl.Name, mid, cid)
+			}
+		}
 		nl.AddMacro(m)
 	}
 	return nl.Validate()
@@ -95,17 +103,19 @@ func (nl *Netlist) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
-// SaveFile writes the netlist to path as JSON.
+// SaveFile writes the netlist to path as JSON. The file is closed exactly
+// once, and a close error (the write-back of buffered data) is propagated
+// rather than dropped.
 func (nl *Netlist) SaveFile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if _, err := nl.WriteTo(f); err != nil {
-		return err
+	_, werr := nl.WriteTo(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
 	}
-	return f.Close()
+	return werr
 }
 
 // LoadFile reads a JSON netlist from path.

@@ -59,6 +59,10 @@ func ParseCellType(s string) (CellType, error) {
 // NoMacro marks cells that are not part of a DSP cascade macro.
 const NoMacro = -1
 
+// maxNetWeight bounds net weights in Validate; anything above it (including
+// +Inf) would destabilize the quadratic placer's linear systems.
+const maxNetWeight = 1e18
+
 // Cell is one component instance of the netlist.
 type Cell struct {
 	ID   int
@@ -225,8 +229,9 @@ func (nl *Netlist) ToGraph() *graph.Digraph {
 }
 
 // Validate checks structural invariants and returns the first violation:
-// net endpoints in range, macros composed of DSP cells with consistent
-// back-references, fixed cells only of fixed-capable types.
+// net endpoints in range with no self-loops, positive finite net weights,
+// macros composed of DSP cells with consistent back-references, fixed cells
+// only of fixed-capable types (IO, PSPort).
 func (nl *Netlist) Validate() error {
 	for i, c := range nl.Cells {
 		if c.ID != i {
@@ -234,6 +239,9 @@ func (nl *Netlist) Validate() error {
 		}
 		if c.Type < 0 || c.Type >= numCellTypes {
 			return fmt.Errorf("netlist %s: cell %q has invalid type", nl.Name, c.Name)
+		}
+		if c.Fixed && c.Type != IO && c.Type != PSPort {
+			return fmt.Errorf("netlist %s: cell %q is fixed but of site-bound type %v", nl.Name, c.Name, c.Type)
 		}
 	}
 	for _, n := range nl.Nets {
@@ -247,9 +255,14 @@ func (nl *Netlist) Validate() error {
 			if s < 0 || s >= len(nl.Cells) {
 				return fmt.Errorf("netlist %s: net %q sink %d out of range", nl.Name, n.Name, s)
 			}
+			if s == n.Driver {
+				return fmt.Errorf("netlist %s: net %q drives its own driver %d", nl.Name, n.Name, s)
+			}
 		}
-		if n.Weight <= 0 {
-			return fmt.Errorf("netlist %s: net %q has non-positive weight", nl.Name, n.Name)
+		// Written as a negated > so NaN weights (which fail every
+		// comparison) are rejected too, not silently accepted.
+		if !(n.Weight > 0) || n.Weight > maxNetWeight {
+			return fmt.Errorf("netlist %s: net %q has invalid weight %v", nl.Name, n.Name, n.Weight)
 		}
 	}
 	for mid, m := range nl.Macros {

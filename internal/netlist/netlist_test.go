@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -137,6 +138,52 @@ func TestValidateCatchesErrors(t *testing.T) {
 	nl5.Macros[0] = nl5.Macros[0][:1]
 	if nl5.Validate() == nil {
 		t.Fatal("1-cell macro accepted")
+	}
+
+	// NaN weight: fails every comparison, so a naive <= 0 check passes it.
+	nl6 := New("bad6")
+	p6 := nl6.AddCell("p", FF)
+	q6 := nl6.AddCell("q", FF)
+	nl6.AddNet("n", p6.ID, q6.ID).Weight = math.NaN()
+	if nl6.Validate() == nil {
+		t.Fatal("NaN-weight net accepted")
+	}
+
+	// Self-loop net (driver listed among its own sinks).
+	nl7 := New("bad7")
+	p7 := nl7.AddCell("p", FF)
+	q7 := nl7.AddCell("q", FF)
+	nl7.AddNet("n", p7.ID, q7.ID, p7.ID)
+	if nl7.Validate() == nil {
+		t.Fatal("self-loop net accepted")
+	}
+
+	// Fixed cell of a site-bound type.
+	nl8 := New("bad8")
+	l8 := nl8.AddCell("l", LUT)
+	l8.Fixed = true
+	f8 := nl8.AddCell("f", FF)
+	nl8.AddNet("n", l8.ID, f8.ID)
+	if nl8.Validate() == nil {
+		t.Fatal("fixed LUT accepted")
+	}
+}
+
+// TestUnmarshalRejectsOutOfRangeMacro is the regression test for the macro
+// back-reference stamping panic: a document whose macro names a cell id
+// outside the cell list must produce an error, not an index panic.
+func TestUnmarshalRejectsOutOfRangeMacro(t *testing.T) {
+	docs := []string{
+		`{"name":"x","cells":[{"name":"a","type":"DSP"},{"name":"b","type":"DSP"}],` +
+			`"nets":[{"name":"n","driver":0,"sinks":[1]}],"macros":[[0,7]]}`,
+		`{"name":"x","cells":[{"name":"a","type":"DSP"},{"name":"b","type":"DSP"}],` +
+			`"nets":[{"name":"n","driver":0,"sinks":[1]}],"macros":[[-1,0]]}`,
+	}
+	for _, doc := range docs {
+		nl := &Netlist{}
+		if err := nl.UnmarshalJSON([]byte(doc)); err == nil {
+			t.Fatalf("out-of-range macro accepted: %s", doc)
+		}
 	}
 }
 

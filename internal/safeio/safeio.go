@@ -1,0 +1,52 @@
+// Package safeio provides small I/O helpers for the exporters, whose
+// output is consumed by vendor tooling and must never be silently
+// truncated: a first-error-wins writer that makes "check every Fprintf"
+// a single check at the end, and a close-once file save pattern.
+package safeio
+
+import (
+	"fmt"
+	"io"
+)
+
+// Writer wraps an io.Writer and latches the first write error. Once an
+// error has occurred every subsequent write is a no-op, so exporters can
+// emit their whole document unconditionally and surface the error once via
+// Err — a full disk or closed pipe then yields an error, not a truncated
+// file that parses as complete.
+type Writer struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write implements io.Writer with sticky-error semantics.
+func (sw *Writer) Write(p []byte) (int, error) {
+	if sw.err != nil {
+		return 0, sw.err
+	}
+	n, err := sw.w.Write(p)
+	sw.n += int64(n)
+	if err == nil && n < len(p) {
+		err = io.ErrShortWrite
+	}
+	sw.err = err
+	return n, err
+}
+
+// Printf formats into the underlying writer unless an error is latched.
+func (sw *Writer) Printf(format string, args ...interface{}) {
+	if sw.err != nil {
+		return
+	}
+	fmt.Fprintf(sw, format, args...)
+}
+
+// Err returns the first error any write produced, or nil.
+func (sw *Writer) Err() error { return sw.err }
+
+// Written returns the number of bytes successfully written.
+func (sw *Writer) Written() int64 { return sw.n }

@@ -1,0 +1,66 @@
+package safeio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// failAfter accepts n bytes, then fails every subsequent write.
+type failAfter struct {
+	n   int
+	err error
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, f.err
+	}
+	if len(p) <= f.n {
+		f.n -= len(p)
+		return len(p), nil
+	}
+	n := f.n
+	f.n = 0
+	return n, f.err
+}
+
+func TestWriterPassesThrough(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Printf("a %d", 1)
+	w.Printf("b")
+	if w.Err() != nil || buf.String() != "a 1b" || w.Written() != 4 {
+		t.Fatalf("err=%v out=%q n=%d", w.Err(), buf.String(), w.Written())
+	}
+}
+
+func TestWriterLatchesFirstError(t *testing.T) {
+	sentinel := errors.New("disk full")
+	w := NewWriter(&failAfter{n: 3, err: sentinel})
+	w.Printf("abcdef")
+	w.Printf("ghi") // must be a no-op, not a second error
+	if !errors.Is(w.Err(), sentinel) {
+		t.Fatalf("err=%v", w.Err())
+	}
+	if w.Written() != 3 {
+		t.Fatalf("written=%d", w.Written())
+	}
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, sentinel) {
+		t.Fatalf("write after error: n=%d err=%v", n, err)
+	}
+}
+
+// shortWriter reports fewer bytes than written with a nil error — a buggy
+// writer the wrapper must still flag.
+type shortWriter struct{}
+
+func (shortWriter) Write(p []byte) (int, error) { return len(p) / 2, nil }
+
+func TestWriterFlagsShortWrites(t *testing.T) {
+	w := NewWriter(shortWriter{})
+	w.Printf("abcd")
+	if w.Err() == nil {
+		t.Fatal("short write not flagged")
+	}
+}

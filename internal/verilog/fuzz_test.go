@@ -1,0 +1,67 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dsplacer/internal/netlist"
+)
+
+// FuzzVerilogWrite feeds arbitrary netlist documents through the JSON
+// loader and, for every document the loader accepts, requires Write to
+// produce a well-formed module: no error, exactly one endmodule, one
+// instance per site-bound cell, and no duplicate instance identifiers
+// (duplicates would elaborate as multiple drivers in a real tool).
+func FuzzVerilogWrite(f *testing.F) {
+	small := tiny()
+	if data, err := small.MarshalJSON(); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"0bad name","cells":[{"name":"cell_1","type":"DSP"},` +
+		`{"name":"","type":"DSP"}],"nets":[{"name":"n","driver":0,"sinks":[1]}]}`))
+	f.Add([]byte(`{"cells":[{"name":"io","type":"IO","fixed":true,"x":1,"y":2},` +
+		`{"name":"l","type":"LUT"}],"nets":[{"name":"n","driver":0,"sinks":[1]}]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nl := &netlist.Netlist{}
+		if err := nl.UnmarshalJSON(data); err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, nl); err != nil {
+			t.Fatalf("valid netlist rejected by Write: %v", err)
+		}
+		out := buf.String()
+		if strings.Count(out, "endmodule") != 1 {
+			t.Fatalf("want exactly one endmodule:\n%s", out)
+		}
+		instances := 0
+		names := map[string]bool{}
+		for _, line := range strings.Split(out, "\n") {
+			line = strings.TrimSpace(line)
+			fields := strings.Fields(line)
+			if len(fields) < 3 || !strings.HasSuffix(line, ");") {
+				continue
+			}
+			switch fields[0] {
+			case "LUT6", "RAM64M8", "FDRE", "RAMB36E2", "DSP48E2", "CARRY8":
+				instances++
+				if names[fields[1]] {
+					t.Fatalf("duplicate instance name %q:\n%s", fields[1], out)
+				}
+				names[fields[1]] = true
+			}
+		}
+		want := 0
+		for _, c := range nl.Cells {
+			if _, ok := primitive(c.Type); ok {
+				want++
+			}
+		}
+		if instances != want {
+			t.Fatalf("%d instances for %d site-bound cells:\n%s", instances, want, out)
+		}
+	})
+}

@@ -2,6 +2,9 @@ package verilog
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -81,6 +84,57 @@ func TestSaveFileAndInvalid(t *testing.T) {
 	bad.AddNet("n", c.ID, 99)
 	if err := Write(&bytes.Buffer{}, bad); err == nil {
 		t.Fatal("invalid netlist accepted")
+	}
+}
+
+// failAfter accepts n bytes, then fails every subsequent write — a stand-in
+// for a full disk or closed pipe partway through the file.
+type failAfter struct {
+	n   int
+	err error
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, f.err
+	}
+	if len(p) <= f.n {
+		f.n -= len(p)
+		return len(p), nil
+	}
+	n := f.n
+	f.n = 0
+	return n, f.err
+}
+
+// TestWriteSurfacesWriterErrors is the regression test for Write dropping
+// every Fprintf error: a writer that fails at any point must make Write
+// return that error instead of nil over a truncated module.
+func TestWriteSurfacesWriterErrors(t *testing.T) {
+	nl := tiny()
+	var full bytes.Buffer
+	if err := Write(&full, nl); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("disk full")
+	for _, cut := range []int{0, 1, 10, full.Len() / 2, full.Len() - 1} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			if err := Write(&failAfter{n: cut, err: sentinel}, nl); !errors.Is(err, sentinel) {
+				t.Fatalf("cut=%d: err=%v, want %v", cut, err, sentinel)
+			}
+		})
+	}
+}
+
+// TestSaveFileSurfacesFullDisk drives the whole save path against a device
+// file that accepts opens but fails every write: SaveFile must report the
+// failure instead of returning nil over an empty output file.
+func TestSaveFileSurfacesFullDisk(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	if err := SaveFile("/dev/full", tiny()); err == nil {
+		t.Fatal("write to full device reported success")
 	}
 }
 

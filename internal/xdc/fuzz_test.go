@@ -1,0 +1,83 @@
+package xdc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/netlist"
+)
+
+// FuzzXDCWrite fuzzes the two inputs the exporter cannot control: cell
+// names (arbitrary user strings, including ones that sanitize to "" or to
+// each other) and site indices. Whenever Write succeeds the constraints
+// must target exactly one distinct get_cells name per cell, each appearing
+// on exactly two lines (LOC + IS_LOC_FIXED).
+func FuzzXDCWrite(f *testing.F) {
+	f.Add("cell_1", "", 0, 1)
+	f.Add("pe[0]/mul", "pe[1]/mul", 0, 3)
+	f.Add("a b;c", "a b;c", 1, 1)
+	f.Add("x", "y", -1, 999)
+
+	dev, err := fpga.NewDevice(fpga.Config{Name: "x", Pattern: "CDCD", Repeats: 2, RegionRows: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, nameA, nameB string, siteA, siteB int) {
+		nl := netlist.New("fz")
+		a := nl.AddCell(nameA, netlist.DSP)
+		b := nl.AddCell(nameB, netlist.DSP)
+		nl.AddNet("n", a.ID, b.ID)
+		var buf bytes.Buffer
+		err := Write(&buf, dev, nl, map[int]int{a.ID: siteA, b.ID: siteB})
+		if err != nil {
+			return // out-of-range sites are rejected; that's the contract
+		}
+		names := map[string]int{}
+		for _, line := range strings.Split(buf.String(), "\n") {
+			i := strings.Index(line, "[get_cells {")
+			if i < 0 {
+				continue
+			}
+			j := strings.LastIndex(line, "}]")
+			if j < i {
+				t.Fatalf("malformed constraint line %q", line)
+			}
+			names[line[i+len("[get_cells {"):j]]++
+		}
+		if len(names) != 2 {
+			t.Fatalf("want 2 distinct names, got %v:\n%s", names, buf.String())
+		}
+		for name, n := range names {
+			if n != 2 {
+				t.Fatalf("name %q on %d lines, want 2:\n%s", name, n, buf.String())
+			}
+		}
+	})
+}
+
+// FuzzSiteName checks the index → Vivado name mapping over the real ZCU104
+// device: every in-range index yields a DSP48E2_X#Y# name, every
+// out-of-range index an error, never a panic.
+func FuzzSiteName(f *testing.F) {
+	f.Add(0)
+	f.Add(-1)
+	f.Add(1 << 20)
+	dev := fpga.NewZCU104()
+	n := dev.NumDSPSites()
+	f.Add(n - 1)
+	f.Add(n)
+
+	f.Fuzz(func(t *testing.T, idx int) {
+		name, err := SiteName(dev, idx)
+		inRange := idx >= 0 && idx < n
+		if inRange != (err == nil) {
+			t.Fatalf("idx=%d (n=%d): err=%v", idx, n, err)
+		}
+		if err == nil && !strings.HasPrefix(name, "DSP48E2_X") {
+			t.Fatalf("idx=%d: malformed name %q", idx, name)
+		}
+	})
+}

@@ -2,6 +2,9 @@ package xdc
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -88,11 +91,96 @@ func TestDuplicateNamesFallBack(t *testing.T) {
 	}
 }
 
+// TestFallbackNameCollision is the regression test for the fallback name
+// colliding with a real cell: a cell literally named "cell_1" plus an
+// empty-named cell with id 1 previously produced two sets of constraints
+// targeting the same get_cells pattern, silently double-constraining one
+// instance and leaving the other unplaced.
+func TestFallbackNameCollision(t *testing.T) {
+	dev, _ := setup(t)
+	nl := netlist.New("clash")
+	a := nl.AddCell("cell_1", netlist.DSP) // id 0, sorts first
+	b := nl.AddCell("", netlist.DSP)       // id 1, falls back to cell_1
+	nl.AddNet("n", a.ID, b.ID)
+	var buf bytes.Buffer
+	if err := Write(&buf, dev, nl, map[int]int{a.ID: 0, b.ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	names := map[string]int{}
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.Index(line, "[get_cells {"); i >= 0 {
+			name := line[i+len("[get_cells {") : strings.LastIndex(line, "}]")]
+			names[name]++
+		}
+	}
+	// Two cells, two constraint lines each (LOC + IS_LOC_FIXED).
+	if len(names) != 2 {
+		t.Fatalf("want 2 distinct constraint names, got %v in:\n%s", names, out)
+	}
+	for name, n := range names {
+		if n != 2 {
+			t.Fatalf("name %q used %d times, want 2:\n%s", name, n, out)
+		}
+	}
+}
+
+// failAfter accepts n bytes, then fails every subsequent write.
+type failAfter struct {
+	n   int
+	err error
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, f.err
+	}
+	if len(p) <= f.n {
+		f.n -= len(p)
+		return len(p), nil
+	}
+	n := f.n
+	f.n = 0
+	return n, f.err
+}
+
+// TestWriteSurfacesWriterErrors: a writer that fails at any point must make
+// Write return that error instead of nil over a truncated constraints file.
+func TestWriteSurfacesWriterErrors(t *testing.T) {
+	dev, nl := setup(t)
+	siteOf := map[int]int{0: 0, 1: 1}
+	var full bytes.Buffer
+	if err := Write(&full, dev, nl, siteOf); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("disk full")
+	for _, cut := range []int{0, 1, 10, full.Len() / 2, full.Len() - 1} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			err := Write(&failAfter{n: cut, err: sentinel}, dev, nl, siteOf)
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("cut=%d: err=%v, want %v", cut, err, sentinel)
+			}
+		})
+	}
+}
+
 func TestSaveFile(t *testing.T) {
 	dev, nl := setup(t)
 	path := filepath.Join(t.TempDir(), "dsp.xdc")
 	if err := SaveFile(path, dev, nl, map[int]int{0: 3}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSaveFileSurfacesFullDisk: a device file that fails every write must
+// make SaveFile report the failure, not silently emit nothing.
+func TestSaveFileSurfacesFullDisk(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	dev, nl := setup(t)
+	if err := SaveFile("/dev/full", dev, nl, map[int]int{0: 0, 1: 1}); err == nil {
+		t.Fatal("write to full device reported success")
 	}
 }
 
