@@ -1,19 +1,30 @@
 # Convenience targets mirroring the commands CI (and the tier-1 verify in
 # ROADMAP.md) runs. Everything is stdlib-only Go; no other tooling needed.
 
-.PHONY: build test ci bench bench-smoke fuzz-smoke profile
+.PHONY: build test ci fmt-check serve-smoke bench bench-smoke fuzz-smoke profile
 
 # Tier-1 verify (ROADMAP.md).
 test:
 	go build ./... && go test ./...
 
-# CI-style check: vet plus the full test suite under the race detector —
-# the parallel hot paths (internal/par users) must stay race-free — plus a
-# single-iteration pass over every benchmark so bench-only code (bench
-# harnesses, solver warm-start paths) cannot bit-rot unnoticed, plus a
-# short run of every native fuzz target over its seed corpus.
+# CI-style check: formatting gate, vet, the full test suite under the race
+# detector — the parallel hot paths (internal/par users) and the dsplacerd
+# service must stay race-free — plus a single-iteration pass over every
+# benchmark so bench-only code (bench harnesses, solver warm-start paths)
+# cannot bit-rot unnoticed, a short run of every native fuzz target over
+# its seed corpus, and an end-to-end smoke of the placement service.
 ci:
-	go vet ./... && go test -race ./... && $(MAKE) bench-smoke && $(MAKE) fuzz-smoke
+	$(MAKE) fmt-check && go vet ./... && go test -race ./... && $(MAKE) bench-smoke && $(MAKE) fuzz-smoke && $(MAKE) serve-smoke
+
+# Fail if any file is not gofmt-clean (gofmt -l prints offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# End-to-end service smoke: dsplacerd serves on a random loopback port,
+# places the quickstart netlist with final DRC gating through the real
+# HTTP API, and checks /metrics reports the completed job.
+serve-smoke:
+	go run ./cmd/dsplacerd -smoke
 
 # Seconds of coverage-guided fuzzing per target in fuzz-smoke. Raise for a
 # real fuzzing session: make fuzz-smoke FUZZTIME=5m

@@ -7,6 +7,7 @@
 package dsplacer
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -115,7 +116,7 @@ func BenchmarkAssignIteration(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := assign.Solve(p)
+		res, err := assign.Solve(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}

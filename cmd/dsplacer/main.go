@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"dsplacer/internal/cli"
 	"dsplacer/internal/core"
@@ -35,20 +38,26 @@ func main() {
 	lambda := flag.Float64("lambda", 100, "datapath penalty λ (Eq. 6/7)")
 	mcfIters := flag.Int("mcf-iters", 50, "MCF linearization iterations")
 	rounds := flag.Int("rounds", 2, "incremental placement rounds (Fig. 6)")
-	seed := flag.Int64("seed", 1, "random seed")
 	modelPath := flag.String("model", "", "trained GCN model (cmd/train) for datapath identification; default: generator ground truth")
 	svgPath := flag.String("svg", "", "write an SVG layout to this path")
 	ascii := flag.Bool("ascii", false, "print an ASCII layout")
 	congestion := flag.Bool("congestion", false, "print a routing congestion heatmap")
 	xdcPath := flag.String("xdc", "", "write Vivado LOC constraints for the DSP placement to this path")
 	jsonOut := flag.Bool("json", false, "print the report as JSON instead of text")
-	validate := flag.String("validate", "final", "stage-boundary DRC gating: off, final or stages")
+	common := cli.RegisterCommon(flag.CommandLine, 1, "final")
 	flag.Parse()
+	stop := common.Start()
+	defer stop()
 
 	if *path == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Ctrl-C / SIGTERM cancels the flow at the next stage boundary (or
+	// assignment iteration) instead of killing the process mid-write.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	nl, err := netlist.LoadFile(*path)
 	if err != nil {
 		cli.Fatal(err)
@@ -56,29 +65,30 @@ func main() {
 	dev := fpga.NewZCU104()
 	cfg := core.Config{
 		ClockMHz: *freq, Lambda: *lambda,
-		MCFIterations: *mcfIters, Rounds: *rounds, Seed: *seed,
-		Validate: cli.ParseValidate(*validate),
+		MCFIterations: *mcfIters, Rounds: *rounds, Seed: common.Seed,
+		Validate: common.Validate(),
 	}
 	if *modelPath != "" {
 		model, err := gcn.LoadFile(*modelPath)
 		if err != nil {
 			cli.Fatal(err)
 		}
-		cfg.Identifier = &core.GCNIdentifier{Model: model, FeatureCfg: features.Config{Seed: *seed + 13}}
+		cfg.Identifier = &core.GCNIdentifier{Model: model, FeatureCfg: features.Config{Seed: common.Seed + 13}}
 	}
 
 	var res *core.Result
 	switch *flow {
 	case "dsplacer":
-		res, err = core.Run(dev, nl, cfg)
+		res, err = core.Run(ctx, dev, nl, cfg)
 	case "vivado":
-		res, err = core.RunBaseline(dev, nl, placer.ModeVivado, cfg)
+		res, err = core.RunBaseline(ctx, dev, nl, placer.ModeVivado, cfg)
 	case "amf":
-		res, err = core.RunBaseline(dev, nl, placer.ModeAMF, cfg)
+		res, err = core.RunBaseline(ctx, dev, nl, placer.ModeAMF, cfg)
 	default:
 		cli.Fatal(fmt.Errorf("unknown -flow %q", *flow))
 	}
 	if err != nil {
+		stop()
 		cli.Fatal(err)
 	}
 

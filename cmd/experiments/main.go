@@ -22,13 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
 	"dsplacer/internal/cli"
 	"dsplacer/internal/experiments"
 	"dsplacer/internal/gen"
-	"dsplacer/internal/metrics"
 )
 
 func main() {
@@ -46,33 +43,10 @@ func main() {
 	epochs := flag.Int("epochs", 40, "GCN training epochs for Fig 7 (paper: 300)")
 	mcfIters := flag.Int("mcf-iters", 50, "MCF iterations (paper: 50)")
 	rounds := flag.Int("rounds", 2, "incremental rounds")
-	seed := flag.Int64("seed", 1, "random seed")
-	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-	stages := flag.Bool("stages", false, "print the hot-path stage-timing counters on exit")
-	validate := flag.String("validate", "off", "stage-boundary DRC gating for every run: off, final or stages")
+	common := cli.RegisterCommon(flag.CommandLine, 1, "off")
 	flag.Parse()
-
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		check(err)
-		check(pprof.StartCPUProfile(f))
-		defer f.Close()
-		defer pprof.StopCPUProfile()
-	}
-	defer func() {
-		if *stages {
-			section(os.Stdout, "Stage timings")
-			metrics.StageReport(os.Stdout)
-		}
-		if *memprofile != "" {
-			f, err := os.Create(*memprofile)
-			check(err)
-			defer f.Close()
-			runtime.GC()
-			check(pprof.WriteHeapProfile(f))
-		}
-	}()
+	stop := common.Start()
+	defer stop()
 
 	if *all {
 		*table1, *table2, *fig7a, *fig7b, *fig8, *fig9, *ablations, *extension = true, true, true, true, true, true, true, true
@@ -88,10 +62,10 @@ func main() {
 	}
 	suite := experiments.NewSuite(specs)
 	cfg := experiments.TableIIConfig{
-		MCFIterations: *mcfIters, Rounds: *rounds, Lambda: 100, Seed: *seed,
-		Validate: cli.ParseValidate(*validate),
+		MCFIterations: *mcfIters, Rounds: *rounds, Lambda: 100, Seed: common.Seed,
+		Validate: common.Validate(),
 	}
-	f7 := experiments.Fig7Config{Epochs: *epochs, Seed: *seed}
+	f7 := experiments.Fig7Config{Epochs: *epochs, Seed: common.Seed}
 	w := os.Stdout
 
 	if *table1 {

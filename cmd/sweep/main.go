@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -54,9 +55,10 @@ func main() {
 	etas := flag.String("etas", "50", "comma-separated η values")
 	iters := flag.String("iters", "50", "comma-separated MCF iteration budgets")
 	rounds := flag.Int("rounds", 1, "incremental rounds")
-	seed := flag.Int64("seed", 1, "random seed")
-	validate := flag.String("validate", "final", "stage-boundary DRC gating: off, final or stages")
+	common := cli.RegisterCommon(flag.CommandLine, 1, "final")
 	flag.Parse()
+	stop := common.Start()
+	defer stop()
 
 	dev := fpga.NewZCU104()
 	var nl *netlist.Netlist
@@ -104,10 +106,10 @@ func main() {
 			for _, it := range is {
 				cfg := core.Config{
 					ClockMHz: clock, Lambda: nz(l), Eta: nz(e),
-					MCFIterations: it, Rounds: *rounds, Seed: *seed,
-					Validate: cli.ParseValidate(*validate),
+					MCFIterations: it, Rounds: *rounds, Seed: common.Seed,
+					Validate: common.Validate(),
 				}
-				res, err := core.Run(dev, nl, cfg)
+				res, err := core.Run(context.Background(), dev, nl, cfg)
 				if err != nil {
 					cli.Fatal(fmt.Errorf("λ=%v η=%v iters=%d: %w", l, e, it, err))
 				}

@@ -27,13 +27,15 @@ func main() {
 	out := flag.String("out", "model.json", "path for the trained model")
 	mini := flag.Bool("mini", false, "train on the built-in mini benchmark suite")
 	epochs := flag.Int("epochs", 120, "training epochs")
-	seed := flag.Int64("seed", 1, "random seed")
 	pivots := flag.Int("pivots", 96, "centrality sampling pivots")
 	evalPath := flag.String("eval", "", "evaluate -model on this netlist instead of training")
 	modelPath := flag.String("model", "", "model to evaluate (with -eval)")
+	common := cli.RegisterCommon(flag.CommandLine, 1, "off")
 	flag.Parse()
+	stop := common.Start()
+	defer stop()
 
-	fcfg := features.Config{Pivots: *pivots, Seed: *seed + 13}
+	fcfg := features.Config{Pivots: *pivots, Seed: common.Seed + 13}
 
 	if *evalPath != "" {
 		if *modelPath == "" {
@@ -89,7 +91,7 @@ func main() {
 
 	cfg := gcn.Defaults(features.NumFeatures)
 	cfg.Epochs = *epochs
-	cfg.Seed = *seed
+	cfg.Seed = common.Seed
 	model, hist := gcn.Train(cfg, samples, nil)
 	if len(hist) > 0 {
 		last := hist[len(hist)-1]

@@ -1,6 +1,7 @@
 package dsplacer
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"runtime"
@@ -66,7 +67,7 @@ func TestParallelDeterminism(t *testing.T) {
 			keep[c] = true
 		}
 		dp := dg.Filter(func(id int) bool { return keep[id] })
-		res, err := assign.Solve(&assign.Problem{
+		res, err := assign.Solve(context.Background(), &assign.Problem{
 			Device: dev, Netlist: nl, Graph: dp, DSPs: ids,
 			Pos: pos, Iterations: 5,
 		})

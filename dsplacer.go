@@ -20,6 +20,8 @@
 package dsplacer
 
 import (
+	"context"
+
 	"dsplacer/internal/core"
 	"dsplacer/internal/fpga"
 	"dsplacer/internal/gen"
@@ -75,14 +77,30 @@ const (
 // ErrDRC is the sentinel every stage-boundary DRC failure wraps.
 var ErrDRC = core.ErrDRC
 
+// ErrCanceled is the sentinel every cancellation-driven early return wraps
+// (context canceled or deadline exceeded); match it with errors.Is.
+var ErrCanceled = core.ErrCanceled
+
 // Run executes the complete DSPlacer flow on nl. See core.Run.
 func Run(dev *Device, nl *Netlist, cfg Config) (*Result, error) {
-	return core.Run(dev, nl, cfg)
+	return core.Run(context.Background(), dev, nl, cfg)
+}
+
+// RunContext is Run under a context: the flow stops at the next stage
+// boundary (or assignment iteration) once ctx is done, returning an error
+// matching ErrCanceled.
+func RunContext(ctx context.Context, dev *Device, nl *Netlist, cfg Config) (*Result, error) {
+	return core.Run(ctx, dev, nl, cfg)
 }
 
 // RunBaseline executes a Vivado-like or AMF-like comparison flow.
 func RunBaseline(dev *Device, nl *Netlist, mode Mode, cfg Config) (*Result, error) {
-	return core.RunBaseline(dev, nl, mode, cfg)
+	return core.RunBaseline(context.Background(), dev, nl, mode, cfg)
+}
+
+// RunBaselineContext is RunBaseline under a context; see RunContext.
+func RunBaselineContext(ctx context.Context, dev *Device, nl *Netlist, mode Mode, cfg Config) (*Result, error) {
+	return core.RunBaseline(ctx, dev, nl, mode, cfg)
 }
 
 // NewZCU104 builds the ZCU104-like evaluation device (1728 DSP sites).

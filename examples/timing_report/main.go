@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := core.Run(dev, nl, core.Config{
+	res, err := core.Run(context.Background(), dev, nl, core.Config{
 		ClockMHz: spec.FreqMHz, MCFIterations: 10, Rounds: 1, Seed: 4,
 	})
 	if err != nil {

@@ -8,6 +8,7 @@
 package assign
 
 import (
+	"context"
 	"fmt"
 
 	"dsplacer/internal/dspgraph"
@@ -52,6 +53,10 @@ type Problem struct {
 	// the objective; stopping early keeps the Fig. 8 runtime profile in
 	// line with the paper's fast C++ MCF.
 	ConvergedFrac float64
+	// Stages receives the solve's phase timings (assign.solve, candidates,
+	// costUpdate, flow, and the mcmf.* phases underneath); nil records into
+	// the process-wide default recorder.
+	Stages *stage.Recorder
 }
 
 // Result is the outcome of Solve.
@@ -96,9 +101,12 @@ type neighbor struct {
 	weight float64
 }
 
-// Solve runs the iterative linearized assignment.
-func Solve(p *Problem) (*Result, error) {
-	defer stage.Start("assign.solve")()
+// Solve runs the iterative linearized assignment. ctx is consulted at the
+// top of every linearization iteration: once it is done, Solve returns
+// ctx.Err() (wrapped) within one iteration, so a canceled placement job
+// stops paying for the 50-iteration budget almost immediately.
+func Solve(ctx context.Context, p *Problem) (*Result, error) {
+	defer p.Stages.Start("assign.solve")()
 	p = p.withDefaults()
 	sites := p.Device.DSPSites()
 	M := len(sites)
@@ -220,8 +228,12 @@ func Solve(p *Problem) (*Result, error) {
 	// linearize-and-solve iterations: each iterate only rewrites arc costs
 	// (and disables/adds candidate arcs as the candidate sets drift).
 	fn := newFlowNet(N, M)
+	fn.solver.Stages = p.Stages
 
 	for iter := 1; iter <= p.Iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("assign: canceled before iteration %d: %w", iter, err)
+		}
 		updateCascTargets()
 		assignment, cost, err := solveOnce(p, fn, sidx, locs, cosOf,
 			nbrs, lambdaCoeff, prevPos, prevSite, cascTarget, kCand, idx, iter)
@@ -361,7 +373,7 @@ func solveOnce(p *Problem, fn *flowNet, sidx *siteIndex, locs []geom.Point, cosO
 		if kCand > M {
 			kCand = M
 		}
-		stopCand := stage.Start("assign.candidates")
+		stopCand := p.Stages.Start("assign.candidates")
 		cands := candidateSites(p, sidx, nbrs, prevPos, cascTarget, kCand, idx)
 		costs := par.Map(N, func(i int) []float64 {
 			row := make([]float64, len(cands[i]))
@@ -372,10 +384,10 @@ func solveOnce(p *Problem, fn *flowNet, sidx *siteIndex, locs []geom.Point, cosO
 			return row
 		})
 		stopCand()
-		stopUpd := stage.Start("assign.costUpdate")
+		stopUpd := p.Stages.Start("assign.costUpdate")
 		fn.update(cands, costs)
 		stopUpd()
-		stopFlow := stage.Start("assign.flow")
+		stopFlow := p.Stages.Start("assign.flow")
 		fn.solver.Reset()
 		flow, cost := fn.solver.Solve(fn.src, fn.sink, int64(N))
 		stopFlow()

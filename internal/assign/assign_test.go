@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"testing"
 
 	"dsplacer/internal/dspgraph"
@@ -56,7 +57,7 @@ func TestSolveAssignsUniqueSites(t *testing.T) {
 	dev := smallDevice(t)
 	nl, ids := anchoredDSPs(6, geom.Point{X: 2, Y: 10}, geom.Point{X: 10, Y: 30})
 	dg := dspgraph.Build(nl, dspgraph.Config{})
-	res, err := Solve(&Problem{
+	res, err := Solve(context.Background(), &Problem{
 		Device: dev, Netlist: nl, Graph: dg, DSPs: ids,
 		Pos: positions(nl, geom.Point{X: 6, Y: 20}), Iterations: 10,
 	})
@@ -84,7 +85,7 @@ func TestSolvePullsTowardAnchors(t *testing.T) {
 	// right of the device.
 	nl, ids := anchoredDSPs(3, geom.Point{X: 1, Y: 5}, geom.Point{X: 3, Y: 10})
 	dg := dspgraph.Build(nl, dspgraph.Config{})
-	res, err := Solve(&Problem{
+	res, err := Solve(context.Background(), &Problem{
 		Device: dev, Netlist: nl, Graph: dg, DSPs: ids,
 		Pos: positions(nl, geom.Point{X: 2, Y: 8}), Iterations: 10, Lambda: 0.001,
 	})
@@ -104,7 +105,7 @@ func TestConvergence(t *testing.T) {
 	dev := smallDevice(t)
 	nl, ids := anchoredDSPs(4, geom.Point{X: 2, Y: 10}, geom.Point{X: 6, Y: 20})
 	dg := dspgraph.Build(nl, dspgraph.Config{})
-	res, err := Solve(&Problem{
+	res, err := Solve(context.Background(), &Problem{
 		Device: dev, Netlist: nl, Graph: dg, DSPs: ids,
 		Pos: positions(nl, geom.Point{X: 4, Y: 15}), Iterations: 50,
 	})
@@ -133,7 +134,7 @@ func TestLambdaOrdersDatapath(t *testing.T) {
 		t.Fatalf("edges=%v", dg.Edges)
 	}
 	pos := []geom.Point{{X: 8, Y: 30}, {X: 8, Y: 30}}
-	res, err := Solve(&Problem{
+	res, err := Solve(context.Background(), &Problem{
 		Device: dev, Netlist: nl, Graph: dg, DSPs: ids,
 		Pos: pos, Iterations: 20, Lambda: 10000, Candidates: dev.NumDSPSites(),
 	})
@@ -154,14 +155,14 @@ func TestEtaEncouragesCascadeAdjacency(t *testing.T) {
 	nl, ids := anchoredDSPs(4, geom.Point{X: 4, Y: 20}, geom.Point{X: 4, Y: 30})
 	nl.AddMacro(ids) // 4-cell cascade macro
 	dg := dspgraph.Build(nl, dspgraph.Config{})
-	withEta, err := Solve(&Problem{
+	withEta, err := Solve(context.Background(), &Problem{
 		Device: dev, Netlist: nl, Graph: dg, DSPs: ids,
 		Pos: positions(nl, geom.Point{X: 4, Y: 25}), Iterations: 30, Eta: 500,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	noEta, err := Solve(&Problem{
+	noEta, err := Solve(context.Background(), &Problem{
 		Device: dev, Netlist: nl, Graph: dg, DSPs: ids,
 		Pos: positions(nl, geom.Point{X: 4, Y: 25}), Iterations: 30, Eta: 1e-9,
 	})
@@ -187,7 +188,7 @@ func TestTooManyDSPs(t *testing.T) {
 		ids = append(ids, d.ID)
 	}
 	dg := dspgraph.Build(nl, dspgraph.Config{})
-	_, err := Solve(&Problem{
+	_, err := Solve(context.Background(), &Problem{
 		Device: dev, Netlist: nl, Graph: dg, DSPs: ids,
 		Pos: positions(nl, geom.Point{}),
 	})
@@ -203,7 +204,7 @@ func TestEmptyProblem(t *testing.T) {
 	b := nl.AddCell("b", netlist.LUT)
 	nl.AddNet("n", a.ID, b.ID)
 	dg := dspgraph.Build(nl, dspgraph.Config{})
-	res, err := Solve(&Problem{Device: dev, Netlist: nl, Graph: dg, DSPs: nil,
+	res, err := Solve(context.Background(), &Problem{Device: dev, Netlist: nl, Graph: dg, DSPs: nil,
 		Pos: positions(nl, geom.Point{})})
 	if err != nil {
 		t.Fatal(err)
@@ -219,7 +220,7 @@ func TestObjectiveDecreasesVsRandom(t *testing.T) {
 	dg := dspgraph.Build(nl, dspgraph.Config{})
 	p := &Problem{Device: dev, Netlist: nl, Graph: dg, DSPs: ids,
 		Pos: positions(nl, geom.Point{X: 4, Y: 20}), Iterations: 20}
-	res, err := Solve(p)
+	res, err := Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

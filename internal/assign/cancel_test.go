@@ -1,0 +1,90 @@
+package assign
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dsplacer/internal/dspgraph"
+	"dsplacer/internal/geom"
+)
+
+// countingCtx reports itself canceled after Err has been consulted n
+// times. Solve checks ctx.Err() once per linearization iteration, so this
+// pins exactly which iteration observes the cancellation.
+type countingCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *countingCtx) Err() error {
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+func TestSolveCanceledBeforeFirstIteration(t *testing.T) {
+	dev := smallDevice(t)
+	nl, ids := anchoredDSPs(4, geom.Point{X: 2, Y: 10}, geom.Point{X: 10, Y: 30})
+	dg := dspgraph.Build(nl, dspgraph.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Solve(ctx, &Problem{
+		Device: dev, Netlist: nl, Graph: dg, DSPs: ids,
+		Pos: positions(nl, geom.Point{X: 6, Y: 20}), Iterations: 10,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v does not wrap context.Canceled", err)
+	}
+}
+
+func TestSolveCancelStopsMidIteration(t *testing.T) {
+	dev := smallDevice(t)
+	nl, ids := anchoredDSPs(6, geom.Point{X: 2, Y: 10}, geom.Point{X: 10, Y: 30})
+	dg := dspgraph.Build(nl, dspgraph.Config{})
+	// Allow exactly one iteration check, then cancel: iteration 1 runs
+	// (neither convergence test can fire that early), and Solve must abort
+	// at the check guarding iteration 2 — one iteration after the cancel,
+	// never the full budget. ConvergedFrac below zero disables the
+	// changed-fraction exit for good measure.
+	ctx := &countingCtx{Context: context.Background(), remaining: 1}
+	_, err := Solve(ctx, &Problem{
+		Device: dev, Netlist: nl, Graph: dg, DSPs: ids,
+		Pos: positions(nl, geom.Point{X: 6, Y: 20}), Iterations: 50,
+		ConvergedFrac: -1,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v does not wrap context.Canceled", err)
+	}
+	want := "canceled before iteration 2"
+	if err == nil || !contains(err.Error(), want) {
+		t.Fatalf("err %q, want it to contain %q", err, want)
+	}
+}
+
+func TestSolveDeadlineExceeded(t *testing.T) {
+	dev := smallDevice(t)
+	nl, ids := anchoredDSPs(4, geom.Point{X: 2, Y: 10}, geom.Point{X: 10, Y: 30})
+	dg := dspgraph.Build(nl, dspgraph.Config{})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := Solve(ctx, &Problem{
+		Device: dev, Netlist: nl, Graph: dg, DSPs: ids,
+		Pos: positions(nl, geom.Point{X: 6, Y: 20}), Iterations: 10,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v does not wrap context.DeadlineExceeded", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

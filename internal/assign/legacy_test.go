@@ -10,6 +10,7 @@ package assign_test
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"reflect"
@@ -496,7 +497,7 @@ func lgSolve(p *assign.Problem) (*assign.Result, error) {
 
 func compareToSeed(t *testing.T, name string, p *assign.Problem) {
 	t.Helper()
-	got, err := assign.Solve(p)
+	got, err := assign.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatalf("%s: new solver: %v", name, err)
 	}
@@ -619,7 +620,7 @@ func TestBitIdenticalToSeedSmall(t *testing.T) {
 	// tied iteration.
 	p12b := build(12, geom.Point{X: 1, Y: 5}, geom.Point{X: 12, Y: 40}, false)
 	p12b.Iterations = 2
-	got, err := assign.Solve(p12b)
+	got, err := assign.Solve(context.Background(), p12b)
 	if err != nil {
 		t.Fatal(err)
 	}

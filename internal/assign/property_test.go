@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -41,7 +42,7 @@ func TestSolveRandomPerfectMatching(t *testing.T) {
 			pos[i] = geom.Point{X: rng.Float64() * dev.Width, Y: rng.Float64() * dev.Height}
 		}
 		dg := dspgraph.Build(nl, dspgraph.Config{})
-		res, err := Solve(&Problem{
+		res, err := Solve(context.Background(), &Problem{
 			Device: dev, Netlist: nl, Graph: dg, DSPs: ids, Pos: pos,
 			Lambda: rng.Float64() * 200, Eta: rng.Float64() * 100,
 			Iterations: 1 + rng.Intn(6), Candidates: 4 + rng.Intn(10),
@@ -87,7 +88,7 @@ func TestCandidateGrowthFallback(t *testing.T) {
 		pos[i] = geom.Point{X: 1, Y: 1} // all stacked at one corner
 	}
 	dg := dspgraph.Build(nl, dspgraph.Config{})
-	res, err := Solve(&Problem{
+	res, err := Solve(context.Background(), &Problem{
 		Device: dev, Netlist: nl, Graph: dg, DSPs: ids, Pos: pos,
 		Iterations: 3, Candidates: 2, // deliberately far too few
 	})

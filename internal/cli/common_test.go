@@ -1,0 +1,76 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dsplacer/internal/core"
+)
+
+func TestRegisterCommonDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c := RegisterCommon(fs, 42, "final")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 42 {
+		t.Fatalf("seed %d, want default 42", c.Seed)
+	}
+	if got := c.Validate(); got != core.ValidateFinal {
+		t.Fatalf("validate %v, want ValidateFinal", got)
+	}
+	stop := c.Start() // no profiling requested: must be a cheap no-op
+	stop()
+}
+
+func TestRegisterCommonParsesFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c := RegisterCommon(fs, 1, "off")
+	if err := fs.Parse([]string{"-seed", "9", "-validate", "stages"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 9 {
+		t.Fatalf("seed %d, want 9", c.Seed)
+	}
+	if got := c.Validate(); got != core.ValidateEveryStage {
+		t.Fatalf("validate %v, want ValidateEveryStage", got)
+	}
+}
+
+func TestCommonUnknownValidateIsFatal(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c := RegisterCommon(fs, 1, "off")
+	if err := fs.Parse([]string{"-validate", "bogus"}); err != nil {
+		t.Fatal(err)
+	}
+	status := capture(t)
+	c.Validate()
+	if *status != 1 {
+		t.Fatalf("exit status %d, want 1", *status)
+	}
+}
+
+func TestCommonWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	mem := filepath.Join(dir, "mem.pb.gz")
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c := RegisterCommon(fs, 1, "off")
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	stop := c.Start()
+	for i := 0; i < 1000; i++ {
+		_ = i * i
+	}
+	stop()
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err %v)", p, err)
+		}
+	}
+	// stop is idempotent: the CPU profile handle is cleared on first call.
+	stop()
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestConfigWithDefaults pins every default withDefaults fills in, so an
+// accidental change to the paper-derived constants fails loudly.
+func TestConfigWithDefaults(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    Config
+		check func(t *testing.T, c Config)
+	}{
+		{
+			name: "zero config gets paper defaults",
+			in:   Config{},
+			check: func(t *testing.T, c Config) {
+				if c.ClockMHz != 150 {
+					t.Errorf("ClockMHz %v, want 150", c.ClockMHz)
+				}
+				if c.Lambda != 100 {
+					t.Errorf("Lambda %v, want 100 (paper λ)", c.Lambda)
+				}
+				if c.Eta != 50 {
+					t.Errorf("Eta %v, want 50", c.Eta)
+				}
+				if c.MCFIterations != 50 {
+					t.Errorf("MCFIterations %v, want 50 (paper)", c.MCFIterations)
+				}
+				if c.Rounds != 2 {
+					t.Errorf("Rounds %v, want 2", c.Rounds)
+				}
+				if c.MaxDSPGraphDepth != 8 {
+					t.Errorf("MaxDSPGraphDepth %v, want 8", c.MaxDSPGraphDepth)
+				}
+				if c.BaselineGPIters != 12 {
+					t.Errorf("BaselineGPIters %v, want 12", c.BaselineGPIters)
+				}
+				if c.PrototypeGPIters != 6 {
+					t.Errorf("PrototypeGPIters %v, want 6", c.PrototypeGPIters)
+				}
+				if c.ReplaceGPIters != 6 {
+					t.Errorf("ReplaceGPIters %v, want 6", c.ReplaceGPIters)
+				}
+				if _, ok := c.Identifier.(OracleIdentifier); !ok {
+					t.Errorf("Identifier %T, want OracleIdentifier", c.Identifier)
+				}
+			},
+		},
+		{
+			name: "explicit values survive",
+			in: Config{
+				ClockMHz: 200, Lambda: 10, Eta: 5, MCFIterations: 7,
+				Rounds: 3, MaxDSPGraphDepth: 4,
+				BaselineGPIters: 1, PrototypeGPIters: 2, ReplaceGPIters: 3,
+				Seed: 99,
+			},
+			check: func(t *testing.T, c Config) {
+				if c.ClockMHz != 200 || c.Lambda != 10 || c.Eta != 5 ||
+					c.MCFIterations != 7 || c.Rounds != 3 || c.MaxDSPGraphDepth != 4 ||
+					c.BaselineGPIters != 1 || c.PrototypeGPIters != 2 || c.ReplaceGPIters != 3 {
+					t.Errorf("explicit values overwritten: %+v", c)
+				}
+				if c.Seed != 99 {
+					t.Errorf("Seed %v, want 99", c.Seed)
+				}
+			},
+		},
+		{
+			name: "custom identifier kept",
+			in:   Config{Identifier: &GCNIdentifier{}},
+			check: func(t *testing.T, c Config) {
+				if _, ok := c.Identifier.(*GCNIdentifier); !ok {
+					t.Errorf("Identifier %T, want *GCNIdentifier", c.Identifier)
+				}
+			},
+		},
+		{
+			name: "validate level and recorder pass through untouched",
+			in:   Config{Validate: ValidateEveryStage},
+			check: func(t *testing.T, c Config) {
+				if c.Validate != ValidateEveryStage {
+					t.Errorf("Validate %v, want ValidateEveryStage", c.Validate)
+				}
+				if c.Stages != nil {
+					t.Errorf("Stages %v, want nil (nil means default recorder)", c.Stages)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.check(t, tc.in.withDefaults())
+		})
+	}
+}

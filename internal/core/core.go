@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"dsplacer/internal/route"
 	"dsplacer/internal/rsad"
 	"dsplacer/internal/sta"
+	"dsplacer/internal/stage"
 )
 
 // Identifier selects the datapath DSPs from a netlist (§III-A). The GCN
@@ -130,6 +132,12 @@ type Config struct {
 	// ValidateEveryStage checks every intermediate artifact too. Failures
 	// surface as *ValidationError wrapping ErrDRC.
 	Validate ValidateLevel
+	// Stages receives this run's hot-path timings (dspgraph build, the
+	// assignment loop's phases) plus the per-stage flow profile
+	// (core.prototype, core.extraction, ...). nil records into the
+	// process-wide default recorder; concurrent jobs pass their own
+	// recorder so timings stay isolated per run.
+	Stages *stage.Recorder
 	// corruptHook is test-only fault injection: when non-nil it may mutate
 	// the stage artifact just before each gate runs, so tests can prove
 	// corruption surfaces as a stage-tagged error end to end.
@@ -193,8 +201,10 @@ type Result struct {
 	Profile      Profile
 }
 
-// Run executes the complete DSPlacer flow on nl.
-func Run(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error) {
+// Run executes the complete DSPlacer flow on nl. ctx is consulted at every
+// stage boundary and inside the assignment loop; once it is done, Run
+// returns an error wrapping both ErrCanceled and the context's error.
+func Run(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	period := 1000.0 / cfg.ClockMHz
 	restore := snapshotWeights(nl)
@@ -202,6 +212,9 @@ func Run(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error) {
 	gate := &gater{level: cfg.Validate, dev: dev, nl: nl, flow: "dsplacer", corrupt: cfg.corruptHook}
 
 	total0 := time.Now()
+	if err := checkCtx(ctx, "dsplacer", "prototype"); err != nil {
+		return nil, err
+	}
 
 	// --- Prototype placement (off-the-shelf engine, no datapath info) ----
 	t0 := time.Now()
@@ -221,12 +234,15 @@ func Run(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error) {
 	profile := Profile{Prototype: time.Since(t0)}
 
 	// --- Datapath DSP extraction (§III) -----------------------------------
+	if err := checkCtx(ctx, "dsplacer", "extraction"); err != nil {
+		return nil, err
+	}
 	t1 := time.Now()
 	datapath, err := cfg.Identifier.Identify(nl)
 	if err != nil {
 		return nil, fmt.Errorf("core: identify: %w", err)
 	}
-	dg := dspgraph.Build(nl, dspgraph.Config{MaxDepth: cfg.MaxDSPGraphDepth})
+	dg := dspgraph.Build(nl, dspgraph.Config{MaxDepth: cfg.MaxDSPGraphDepth, Stages: cfg.Stages})
 	keep := make(map[int]bool, len(datapath))
 	for _, c := range datapath {
 		keep[c] = true
@@ -238,14 +254,18 @@ func Run(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error) {
 	pos := proto.Pos
 	var siteOf map[int]int
 	for round := 0; round < cfg.Rounds; round++ {
+		if err := checkCtx(ctx, "dsplacer", fmt.Sprintf("assign[%d]", round)); err != nil {
+			return nil, err
+		}
 		// (a) fix other components, place datapath DSPs.
 		t2 := time.Now()
-		ar, err := assign.Solve(&assign.Problem{
+		ar, err := assign.Solve(ctx, &assign.Problem{
 			Device: dev, Netlist: nl, Graph: dg, DSPs: datapath, Pos: pos,
 			Lambda: cfg.Lambda, Eta: cfg.Eta, Iterations: cfg.MCFIterations,
+			Stages: cfg.Stages,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: MCF assignment: %w", err)
+			return nil, stageErr("MCF assignment", err)
 		}
 		legal, err := legalize.Legalize(dev, nl, ar.SiteOf, legalize.Options{})
 		if err != nil {
@@ -256,6 +276,9 @@ func Run(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error) {
 		}
 		profile.DSPPlace += time.Since(t2)
 
+		if err := checkCtx(ctx, "dsplacer", fmt.Sprintf("replace[%d]", round)); err != nil {
+			return nil, err
+		}
 		// (b) fix datapath DSPs, re-place the remaining components.
 		t3 := time.Now()
 		res, err := placer.Place(dev, nl, placer.Options{
@@ -277,6 +300,9 @@ func Run(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error) {
 	}
 
 	// --- Routing + timing ----------------------------------------------------
+	if err := checkCtx(ctx, "dsplacer", "routing"); err != nil {
+		return nil, err
+	}
 	t4 := time.Now()
 	rr := route.Route(dev, nl, pos, cfg.RouteOpts)
 	profile.Routing = time.Since(t4)
@@ -285,6 +311,7 @@ func Run(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: STA: %w", err)
 	}
 	profile.Total = time.Since(total0)
+	recordProfile(cfg.Stages, profile)
 
 	return &Result{
 		Flow:         "dsplacer",
@@ -300,8 +327,9 @@ func Run(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error) {
 	}, nil
 }
 
-// RunBaseline executes the Vivado-like or AMF-like comparison flow.
-func RunBaseline(dev *fpga.Device, nl *netlist.Netlist, mode placer.Mode, cfg Config) (*Result, error) {
+// RunBaseline executes the Vivado-like or AMF-like comparison flow. ctx is
+// consulted at every stage boundary, as in Run.
+func RunBaseline(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, mode placer.Mode, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	period := 1000.0 / cfg.ClockMHz
 	restore := snapshotWeights(nl)
@@ -309,6 +337,9 @@ func RunBaseline(dev *fpga.Device, nl *netlist.Netlist, mode placer.Mode, cfg Co
 	gate := &gater{level: cfg.Validate, dev: dev, nl: nl, flow: mode.String(), corrupt: cfg.corruptHook}
 
 	total0 := time.Now()
+	if err := checkCtx(ctx, mode.String(), "placement"); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	res, err := placer.Place(dev, nl, placer.Options{Mode: mode, Seed: cfg.Seed,
 		GPIterations: cfg.BaselineGPIters})
@@ -327,6 +358,9 @@ func RunBaseline(dev *fpga.Device, nl *netlist.Netlist, mode placer.Mode, cfg Co
 	// flows run detailed-placement refinement after global placement; this
 	// keeps the baselines' general-logic quality on par with DSPlacer's
 	// incremental loop so Table II differences isolate DSP handling.
+	if err := checkCtx(ctx, mode.String(), "refinement"); err != nil {
+		return nil, err
+	}
 	res, err = placer.Place(dev, nl, placer.Options{Mode: mode, Seed: cfg.Seed + 1,
 		GPIterations: cfg.ReplaceGPIters, Warm: res.Pos})
 	if err != nil {
@@ -337,6 +371,9 @@ func RunBaseline(dev *fpga.Device, nl *netlist.Netlist, mode placer.Mode, cfg Co
 	}
 	profile := Profile{Prototype: time.Since(t0)}
 
+	if err := checkCtx(ctx, mode.String(), "routing"); err != nil {
+		return nil, err
+	}
 	t1 := time.Now()
 	rr := route.Route(dev, nl, res.Pos, cfg.RouteOpts)
 	profile.Routing = time.Since(t1)
@@ -345,6 +382,7 @@ func RunBaseline(dev *fpga.Device, nl *netlist.Netlist, mode placer.Mode, cfg Co
 		return nil, fmt.Errorf("core: STA: %w", err)
 	}
 	profile.Total = time.Since(total0)
+	recordProfile(cfg.Stages, profile)
 
 	return &Result{
 		Flow:      mode.String(),
@@ -357,6 +395,18 @@ func RunBaseline(dev *fpga.Device, nl *netlist.Netlist, mode placer.Mode, cfg Co
 		Overflow:  rr.OverflowEdges,
 		Profile:   profile,
 	}, nil
+}
+
+// recordProfile folds a completed flow's per-stage wall times into rec
+// under the core.* stage names, so a flow's Fig. 8 decomposition is
+// observable through the same recorder as the hot-path counters.
+func recordProfile(rec *stage.Recorder, p Profile) {
+	rec.Add("core.prototype", p.Prototype)
+	rec.Add("core.extraction", p.Extraction)
+	rec.Add("core.dsp_place", p.DSPPlace)
+	rec.Add("core.other_place", p.OtherPlace)
+	rec.Add("core.routing", p.Routing)
+	rec.Add("core.total", p.Total)
 }
 
 // reweight applies one pass of criticality-based net weighting.
@@ -405,7 +455,7 @@ func hpwlUnit(nl *netlist.Netlist, pos []geom.Point) float64 {
 // components, routing and timing. The extension experiment uses it to test
 // the paper's claim that array-specialized placement does not generalize to
 // diverse accelerator architectures.
-func RunRSAD(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error) {
+func RunRSAD(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	period := 1000.0 / cfg.ClockMHz
 	restore := snapshotWeights(nl)
@@ -413,6 +463,9 @@ func RunRSAD(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error)
 	gate := &gater{level: cfg.Validate, dev: dev, nl: nl, flow: "rsad", corrupt: cfg.corruptHook}
 
 	total0 := time.Now()
+	if err := checkCtx(ctx, "rsad", "prototype"); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	proto, err := placer.Place(dev, nl, placer.Options{Mode: placer.ModeVivado, Seed: cfg.Seed,
 		GPIterations: cfg.PrototypeGPIters})
@@ -424,6 +477,9 @@ func RunRSAD(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error)
 	}
 	profile := Profile{Prototype: time.Since(t0)}
 
+	if err := checkCtx(ctx, "rsad", "lattice"); err != nil {
+		return nil, err
+	}
 	t1 := time.Now()
 	siteOf, err := rsad.Place(dev, nl, proto.Pos)
 	if err != nil {
@@ -434,6 +490,9 @@ func RunRSAD(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error)
 	}
 	profile.DSPPlace = time.Since(t1)
 
+	if err := checkCtx(ctx, "rsad", "replace"); err != nil {
+		return nil, err
+	}
 	t2 := time.Now()
 	res, err := placer.Place(dev, nl, placer.Options{
 		Mode: placer.ModeDSPlacer, Seed: cfg.Seed + 1,
@@ -447,6 +506,9 @@ func RunRSAD(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error)
 	}
 	profile.OtherPlace = time.Since(t2)
 
+	if err := checkCtx(ctx, "rsad", "routing"); err != nil {
+		return nil, err
+	}
 	t3 := time.Now()
 	rr := route.Route(dev, nl, res.Pos, cfg.RouteOpts)
 	profile.Routing = time.Since(t3)
@@ -455,6 +517,7 @@ func RunRSAD(dev *fpga.Device, nl *netlist.Netlist, cfg Config) (*Result, error)
 		return nil, fmt.Errorf("core: rsad STA: %w", err)
 	}
 	profile.Total = time.Since(total0)
+	recordProfile(cfg.Stages, profile)
 	return &Result{
 		Flow:      "rsad",
 		Pos:       res.Pos,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"dsplacer/internal/features"
@@ -40,7 +41,7 @@ func TestOracleIdentifier(t *testing.T) {
 func TestRunDSPlacerFlow(t *testing.T) {
 	dev, nl := miniSetup(t)
 	cfg := Config{ClockMHz: gen.Small().FreqMHz, MCFIterations: 8, Rounds: 1, Seed: 1}
-	res, err := Run(dev, nl, cfg)
+	res, err := Run(context.Background(), dev, nl, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestRunBaselines(t *testing.T) {
 	dev, nl := miniSetup(t)
 	cfg := Config{ClockMHz: gen.Small().FreqMHz, Seed: 2}
 	for _, mode := range []placer.Mode{placer.ModeVivado, placer.ModeAMF} {
-		res, err := RunBaseline(dev, nl, mode, cfg)
+		res, err := RunBaseline(context.Background(), dev, nl, mode, cfg)
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
@@ -102,7 +103,7 @@ func TestWeightsRestoredAfterRun(t *testing.T) {
 	for i, n := range nl.Nets {
 		before[i] = n.Weight
 	}
-	_, err := Run(dev, nl, Config{ClockMHz: 150, MCFIterations: 4, Rounds: 1, TimingDriven: true})
+	_, err := Run(context.Background(), dev, nl, Config{ClockMHz: 150, MCFIterations: 4, Rounds: 1, TimingDriven: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestGCNIdentifierNilModel(t *testing.T) {
 
 func TestRunRSADFlow(t *testing.T) {
 	dev, nl := miniSetup(t)
-	res, err := RunRSAD(dev, nl, Config{ClockMHz: gen.Small().FreqMHz, Seed: 5})
+	res, err := RunRSAD(context.Background(), dev, nl, Config{ClockMHz: gen.Small().FreqMHz, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,38 @@
+// Cancellation contract: Run/RunBaseline/RunRSAD consult their context at
+// every stage boundary (and assign.Solve consults it inside the
+// linearization loop), so a canceled or deadline-exceeded placement stops
+// within one stage / one assign iteration. All such early returns wrap the
+// ErrCanceled sentinel — the cancellation analogue of the ErrDRC contract —
+// and also keep the originating context error in the chain, so callers can
+// distinguish explicit cancellation (context.Canceled) from a blown
+// deadline (context.DeadlineExceeded) with errors.Is.
+
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is the sentinel every cancellation-driven early return wraps;
+// match it with errors.Is. The originating context error stays in the chain.
+var ErrCanceled = errors.New("placement canceled")
+
+// checkCtx gates one stage boundary on the context.
+func checkCtx(ctx context.Context, flow, stage string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %s flow canceled at stage %q: %w: %w", flow, stage, ErrCanceled, err)
+	}
+	return nil
+}
+
+// stageErr wraps a stage's error, attaching ErrCanceled when the failure
+// was the context's doing (e.g. assign.Solve observing cancellation
+// mid-loop) so errors.Is(err, ErrCanceled) holds end to end.
+func stageErr(what string, err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("core: %s: %w: %w", what, ErrCanceled, err)
+	}
+	return fmt.Errorf("core: %s: %w", what, err)
+}

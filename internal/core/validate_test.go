@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -38,13 +39,13 @@ func TestRunEveryStagePassesOnExample(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := Config{ClockMHz: 200, MCFIterations: 4, Rounds: 2, Seed: 5, Validate: ValidateEveryStage}
-	if _, err := Run(dev, nl, cfg); err != nil {
+	if _, err := Run(context.Background(), dev, nl, cfg); err != nil {
 		t.Fatalf("every-stage validation failed on clean flow: %v", err)
 	}
-	if _, err := RunBaseline(dev, nl, placer.ModeVivado, cfg); err != nil {
+	if _, err := RunBaseline(context.Background(), dev, nl, placer.ModeVivado, cfg); err != nil {
 		t.Fatalf("every-stage validation failed on vivado baseline: %v", err)
 	}
-	if _, err := RunRSAD(dev, nl, cfg); err != nil {
+	if _, err := RunRSAD(context.Background(), dev, nl, cfg); err != nil {
 		t.Fatalf("every-stage validation failed on rsad flow: %v", err)
 	}
 }
@@ -71,7 +72,7 @@ func TestRunSurfacesInjectedOverfullSite(t *testing.T) {
 			siteOf[b] = siteOf[a]
 		}
 	}
-	_, err = Run(dev, nl, cfg)
+	_, err = Run(context.Background(), dev, nl, cfg)
 	if err == nil {
 		t.Fatal("corrupted placement passed validation")
 	}
@@ -101,7 +102,7 @@ func TestValidateOffSkipsGates(t *testing.T) {
 	stages := map[string]int{}
 	cfg := Config{ClockMHz: 200, MCFIterations: 4, Rounds: 1, Seed: 5}
 	cfg.corruptHook = func(stage string, pos []geom.Point, siteOf map[int]int) { stages[stage]++ }
-	if _, err := Run(dev, nl, cfg); err != nil {
+	if _, err := Run(context.Background(), dev, nl, cfg); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"prototype", "legalize[0]", "replace[0]", "final"} {

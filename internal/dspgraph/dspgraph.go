@@ -50,6 +50,9 @@ type Config struct {
 	// MaxDepth bounds the IDDFS depth (netlist hops); DSP pairs further
 	// apart are not considered directly connected. Default 8.
 	MaxDepth int
+	// Stages receives the build's timing (dspgraph.build); nil records into
+	// the process-wide default recorder.
+	Stages *stage.Recorder
 }
 
 // Build runs the construction procedure on nl.
@@ -74,7 +77,7 @@ func Build(nl *netlist.Netlist, cfg Config) *Graph {
 	// the merged slice is already in (From, To) order and — map iteration
 	// having been removed from the output path — identical for any worker
 	// count.
-	defer stage.Start("dspgraph.build")()
+	defer cfg.Stages.Start("dspgraph.build")()
 	perSrc := par.MapWorker(len(dsp),
 		func(int) *graph.IDDFSScratch { return new(graph.IDDFSScratch) },
 		func(sc *graph.IDDFSScratch, i int) []Edge {

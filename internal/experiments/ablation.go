@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -30,7 +31,7 @@ func (s *Suite) AblationLambda(w io.Writer, spec gen.Spec, lambdas []float64, cf
 		if l == 0 {
 			ccfg.Lambda = 1e-9 // zero means "default" elsewhere; force off
 		}
-		res, err := core.Run(s.Dev, nl, ccfg)
+		res, err := core.Run(context.Background(), s.Dev, nl, ccfg)
 		if err != nil {
 			return err
 		}
@@ -50,7 +51,7 @@ func (s *Suite) AblationMCFIterations(w io.Writer, spec gen.Spec, iters []int, c
 	for _, it := range iters {
 		ccfg := cfg.coreConfig(spec)
 		ccfg.MCFIterations = it
-		res, err := core.Run(s.Dev, nl, ccfg)
+		res, err := core.Run(context.Background(), s.Dev, nl, ccfg)
 		if err != nil {
 			return err
 		}
@@ -82,7 +83,7 @@ func (s *Suite) AblationIdentifier(w io.Writer, spec gen.Spec, cfg TableIIConfig
 	for _, id := range []core.Identifier{core.OracleIdentifier{}, allDSPIdentifier{}} {
 		ccfg := cfg.coreConfig(spec)
 		ccfg.Identifier = id
-		res, err := core.Run(s.Dev, nl, ccfg)
+		res, err := core.Run(context.Background(), s.Dev, nl, ccfg)
 		if err != nil {
 			return err
 		}
@@ -108,7 +109,7 @@ func (s *Suite) AblationLegalization(w io.Writer, spec gen.Spec, cfg TableIIConf
 		keep[c] = true
 	}
 	dg := dspgraph.Build(nl, dspgraph.Config{}).Filter(func(id int) bool { return keep[id] })
-	ar, err := assign.Solve(&assign.Problem{
+	ar, err := assign.Solve(context.Background(), &assign.Problem{
 		Device: s.Dev, Netlist: nl, Graph: dg, DSPs: ids, Pos: proto.Pos,
 		Lambda: cfg.Lambda, Iterations: cfg.MCFIterations,
 	})
@@ -170,7 +171,7 @@ func (s *Suite) AblationGCN(w io.Writer, spec gen.Spec, cfg TableIIConfig, f7 Fi
 		}
 		ccfg := cfg.coreConfig(spec)
 		ccfg.Identifier = id
-		res, err := core.Run(s.Dev, nl, ccfg)
+		res, err := core.Run(context.Background(), s.Dev, nl, ccfg)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -29,11 +30,11 @@ func (s *Suite) ExtensionRSAD(w io.Writer, diverse gen.Spec, cfg TableIIConfig) 
 			return err
 		}
 		ccfg := cfg.coreConfig(entry.spec)
-		rsadRes, err := core.RunRSAD(s.Dev, nl, ccfg)
+		rsadRes, err := core.RunRSAD(context.Background(), s.Dev, nl, ccfg)
 		if err != nil {
 			return fmt.Errorf("extension rsad on %s: %w", entry.spec.Name, err)
 		}
-		dspRes, err := core.Run(s.Dev, nl, ccfg)
+		dspRes, err := core.Run(context.Background(), s.Dev, nl, ccfg)
 		if err != nil {
 			return fmt.Errorf("extension dsplacer on %s: %w", entry.spec.Name, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -28,7 +29,7 @@ func (s *Suite) Fig8(w io.Writer, cfg TableIIConfig) error {
 		if err != nil {
 			return err
 		}
-		res, err := core.Run(s.Dev, nl, cfg.coreConfig(spec))
+		res, err := core.Run(context.Background(), s.Dev, nl, cfg.coreConfig(spec))
 		if err != nil {
 			return err
 		}
@@ -91,17 +92,17 @@ func (s *Suite) Fig9(w io.Writer, dir string, cfg TableIIConfig) error {
 		return nil
 	}
 	if err := render("vivado", func() (*core.Result, error) {
-		return core.RunBaseline(s.Dev, nl, placer.ModeVivado, ccfg)
+		return core.RunBaseline(context.Background(), s.Dev, nl, placer.ModeVivado, ccfg)
 	}); err != nil {
 		return err
 	}
 	if err := render("amf", func() (*core.Result, error) {
-		return core.RunBaseline(s.Dev, nl, placer.ModeAMF, ccfg)
+		return core.RunBaseline(context.Background(), s.Dev, nl, placer.ModeAMF, ccfg)
 	}); err != nil {
 		return err
 	}
 	return render("dsplacer", func() (*core.Result, error) {
-		return core.Run(s.Dev, nl, ccfg)
+		return core.Run(context.Background(), s.Dev, nl, ccfg)
 	})
 }
 

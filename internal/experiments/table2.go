@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -77,17 +78,17 @@ func (s *Suite) RunTableIIRow(spec gen.Spec, cfg TableIIConfig) (*TableIIRow, er
 
 	var res *core.Result
 	if row.Vivado, _, err = measure(func() (*core.Result, error) {
-		return core.RunBaseline(s.Dev, nl, placer.ModeVivado, ccfg)
+		return core.RunBaseline(context.Background(), s.Dev, nl, placer.ModeVivado, ccfg)
 	}); err != nil {
 		return nil, fmt.Errorf("%s vivado: %w", spec.Name, err)
 	}
 	if row.AMF, _, err = measure(func() (*core.Result, error) {
-		return core.RunBaseline(s.Dev, nl, placer.ModeAMF, ccfg)
+		return core.RunBaseline(context.Background(), s.Dev, nl, placer.ModeAMF, ccfg)
 	}); err != nil {
 		return nil, fmt.Errorf("%s amf: %w", spec.Name, err)
 	}
 	if row.DSPlacer, res, err = measure(func() (*core.Result, error) {
-		return core.Run(s.Dev, nl, ccfg)
+		return core.Run(context.Background(), s.Dev, nl, ccfg)
 	}); err != nil {
 		return nil, fmt.Errorf("%s dsplacer: %w", spec.Name, err)
 	}

@@ -54,6 +54,9 @@ type Config struct {
 	DSPPivots int
 	// Seed drives pivot selection.
 	Seed int64
+	// Stages receives the extraction's timing (features.avg_dsp_dist); nil
+	// records into the process-wide default recorder.
+	Stages *stage.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -209,7 +212,7 @@ func avgDSPDistances(ug *graph.Digraph, dsp []int, X *mat.Dense, cfg Config) {
 	if len(dsp) < 2 {
 		return
 	}
-	defer stage.Start("features.avg_dsp_dist")()
+	defer cfg.Stages.Start("features.avg_dsp_dist")()
 	sources := dsp
 	if len(sources) > cfg.DSPPivots {
 		rng := rand.New(rand.NewSource(cfg.Seed + 1))

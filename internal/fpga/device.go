@@ -7,6 +7,7 @@ package fpga
 
 import (
 	"fmt"
+	"sync"
 
 	"dsplacer/internal/geom"
 )
@@ -54,7 +55,8 @@ type Device struct {
 	// through the right edge (Fig. 5a).
 	PS geom.Rect
 
-	dspSites []Site // cached sorted DSP site list
+	dspOnce  sync.Once
+	dspSites []Site // cached sorted DSP site list, built once under dspOnce
 }
 
 // Site identifies one site by column index and row.
@@ -82,15 +84,16 @@ func (d *Device) ColumnsOf(r Resource) []int {
 // DSPSites returns every DSP site sorted ascending by (column x, row), so
 // that adjacent sites within one column have consecutive indices — the
 // ordering assumption behind the cascade constraint (5). The slice is cached
-// and must not be mutated.
+// under a sync.Once (a Device is shared across concurrent placement jobs in
+// dsplacerd) and must not be mutated.
 func (d *Device) DSPSites() []Site {
-	if d.dspSites == nil {
+	d.dspOnce.Do(func() {
 		for _, ci := range d.ColumnsOf(DSPRes) {
 			for r := 0; r < d.Columns[ci].NumSites; r++ {
 				d.dspSites = append(d.dspSites, Site{Col: ci, Row: r})
 			}
 		}
-	}
+	})
 	return d.dspSites
 }
 

@@ -1,0 +1,452 @@
+// Package jobs is the bounded-concurrency job scheduler behind the
+// dsplacerd placement service (DESIGN.md §11).
+//
+// Jobs enter a FIFO queue with a configurable depth and are executed by a
+// fixed pool of workers. Each job runs under its own context.Context so it
+// can be canceled individually (DELETE /v1/jobs/{id}) or expired by a
+// per-job deadline; placement flows observe that context at every stage
+// boundary and inside the MCF assignment loop (internal/core, internal/assign).
+//
+// Lifecycle: Queued → Running → Done | Failed | Canceled. Terminal jobs are
+// retained so clients can poll for results, and evicted by a janitor once
+// they have been terminal for Config.ResultTTL.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job's position in the Queued → Running → terminal lifecycle.
+type State int
+
+const (
+	Queued State = iota
+	Running
+	Done     // fn returned a result
+	Failed   // fn returned an error
+	Canceled // canceled while queued, or fn returned with the job context canceled
+)
+
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Canceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+var (
+	// ErrQueueFull is returned by Submit when the FIFO queue is at capacity.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrDraining is returned by Submit after Shutdown has begun.
+	ErrDraining = errors.New("jobs: scheduler draining")
+	// ErrNotFound is returned by Get/Cancel/Wait for an unknown (or evicted) ID.
+	ErrNotFound = errors.New("jobs: no such job")
+)
+
+// Fn is the unit of work. It must return promptly once ctx is done; the
+// scheduler classifies a (nil-or-error, canceled-ctx) return as Canceled.
+type Fn func(ctx context.Context) (any, error)
+
+// Options tune a single submission.
+type Options struct {
+	// Timeout bounds the job's wall time from the moment it starts
+	// running (queue wait does not count). Zero means no deadline.
+	Timeout time.Duration
+}
+
+// Config tunes a Scheduler. Zero values select the documented defaults.
+type Config struct {
+	Workers    int           // concurrent jobs; default 2
+	QueueDepth int           // max jobs waiting to run; default 64
+	ResultTTL  time.Duration // how long terminal jobs stay pollable; default 10m
+
+	// janitorEvery overrides the eviction sweep period (tests only).
+	janitorEvery time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.ResultTTL <= 0 {
+		c.ResultTTL = 10 * time.Minute
+	}
+	if c.janitorEvery <= 0 {
+		c.janitorEvery = c.ResultTTL / 4
+		if c.janitorEvery > time.Minute {
+			c.janitorEvery = time.Minute
+		}
+	}
+	return c
+}
+
+// job is the scheduler-internal record. All mutable fields are guarded by
+// the scheduler mutex; done is closed exactly once on transition to a
+// terminal state.
+type job struct {
+	id       string
+	fn       Fn
+	opts     Options
+	state    State
+	result   any
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc // non-nil while Running
+	done     chan struct{}
+}
+
+// Snapshot is a race-free copy of a job's externally visible state.
+type Snapshot struct {
+	ID       string
+	State    State
+	Result   any   // non-nil only when State == Done
+	Err      error // non-nil only when State == Failed or Canceled
+	Created  time.Time
+	Started  time.Time // zero until the job leaves the queue
+	Finished time.Time // zero until terminal
+}
+
+// Stats is a point-in-time census of the scheduler, for /metrics.
+type Stats struct {
+	Queued, Running              int
+	Done, Failed, Canceled       int64 // cumulative, survive eviction
+	QueueDepth, Workers          int
+	Submitted, Rejected, Evicted int64
+}
+
+// Scheduler runs submitted jobs FIFO on a bounded worker pool.
+type Scheduler struct {
+	cfg  Config
+	base context.Context // parent of every job context
+	stop context.CancelFunc
+
+	mu       sync.Mutex
+	seq      int64
+	jobs     map[string]*job
+	queue    []*job // FIFO of jobs in state Queued
+	running  int
+	draining bool
+	work     chan struct{} // wake signal, capacity QueueDepth
+	idle     *sync.Cond    // broadcast when running+len(queue) hits 0
+
+	done, failed, canceled     int64
+	submitted, rejected, evict int64
+
+	wg sync.WaitGroup // workers + janitor
+}
+
+// New starts a scheduler with cfg.Workers workers and a TTL janitor.
+// Call Shutdown to stop it.
+func New(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	base, stop := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:  cfg,
+		base: base,
+		stop: stop,
+		jobs: make(map[string]*job),
+		work: make(chan struct{}, cfg.QueueDepth),
+	}
+	s.idle = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.wg.Add(1)
+	go s.janitor()
+	return s
+}
+
+// Submit enqueues fn and returns the new job's ID. It fails fast with
+// ErrDraining after Shutdown has begun and ErrQueueFull when the FIFO
+// queue is at capacity.
+func (s *Scheduler) Submit(fn Fn, opts Options) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.rejected++
+		return "", ErrDraining
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.rejected++
+		return "", ErrQueueFull
+	}
+	s.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", s.seq),
+		fn:      fn,
+		opts:    opts,
+		state:   Queued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.queue = append(s.queue, j)
+	s.submitted++
+	s.work <- struct{}{} // capacity == QueueDepth, cannot block under the lock
+	return j.id, nil
+}
+
+// Get returns a snapshot of the job, or ErrNotFound if the ID is unknown
+// or the job has been evicted.
+func (s *Scheduler) Get(id string) (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	return snapshotLocked(j), nil
+}
+
+func snapshotLocked(j *job) Snapshot {
+	return Snapshot{
+		ID: j.id, State: j.state, Result: j.result, Err: j.err,
+		Created: j.created, Started: j.started, Finished: j.finished,
+	}
+}
+
+// Cancel requests cancellation. A queued job transitions to Canceled
+// immediately; a running job has its context canceled and transitions once
+// its Fn returns (within one assignment iteration for placement flows). A
+// terminal job is left untouched — canceling it is a no-op, not an error.
+func (s *Scheduler) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	switch j.state {
+	case Queued:
+		s.finishLocked(j, Canceled, nil, fmt.Errorf("jobs: %s canceled while queued", j.id))
+	case Running:
+		j.cancel() // worker observes the canceled ctx and finishes the job
+	}
+	return nil
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx expires) and
+// returns its final snapshot.
+func (s *Scheduler) Wait(ctx context.Context, id string) (Snapshot, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return Snapshot{}, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return snapshotLocked(j), nil
+}
+
+// Stats returns a census of queue occupancy and cumulative outcomes.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Queued: len(s.queue), Running: s.running,
+		Done: s.done, Failed: s.failed, Canceled: s.canceled,
+		QueueDepth: s.cfg.QueueDepth, Workers: s.cfg.Workers,
+		Submitted: s.submitted, Rejected: s.rejected, Evicted: s.evict,
+	}
+}
+
+// Draining reports whether Shutdown has begun (new submissions are rejected).
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown rejects new submissions and waits for queued and running jobs to
+// finish. If ctx expires first, every remaining job's context is canceled
+// and Shutdown keeps waiting for the workers to observe that; the workers
+// then exit. Terminal results stay readable through Get until eviction.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for s.running > 0 || len(s.queue) > 0 {
+			s.idle.Wait()
+		}
+		s.mu.Unlock()
+		close(drained)
+	}()
+
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.stop() // hard-cancel every running job's context; fns return
+		// Workers exit on s.base.Done without taking more queue entries,
+		// so cancel whatever is still queued here or the drain never ends.
+		s.mu.Lock()
+		for _, j := range s.queue {
+			if j.state == Queued {
+				s.finishLocked(j, Canceled, nil, fmt.Errorf("jobs: %s canceled at shutdown", j.id))
+			}
+		}
+		s.queue = nil
+		s.idleCheckLocked()
+		s.mu.Unlock()
+		<-drained
+	}
+	s.stop() // release workers and janitor
+	s.wg.Wait()
+	return err
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.base.Done():
+			return
+		case <-s.work:
+		}
+		s.mu.Lock()
+		var j *job
+		// Skip over queue entries canceled before they ran (finishLocked
+		// leaves them in the slice; their state is already terminal).
+		for len(s.queue) > 0 {
+			head := s.queue[0]
+			s.queue = s.queue[1:]
+			if head.state == Queued {
+				j = head
+				break
+			}
+		}
+		if j == nil {
+			s.idleCheckLocked()
+			s.mu.Unlock()
+			continue
+		}
+		var ctx context.Context
+		var cancel context.CancelFunc
+		if j.opts.Timeout > 0 {
+			ctx, cancel = context.WithTimeout(s.base, j.opts.Timeout)
+		} else {
+			ctx, cancel = context.WithCancel(s.base)
+		}
+		j.state = Running
+		j.started = time.Now()
+		j.cancel = cancel
+		s.running++
+		s.mu.Unlock()
+
+		res, err := s.run(ctx, j)
+		cancel()
+
+		s.mu.Lock()
+		s.running--
+		if j.state == Running { // Cancel may already have finished a queued job; never here
+			switch {
+			case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+				s.finishLocked(j, Canceled, nil, err)
+			case err != nil:
+				s.finishLocked(j, Failed, nil, err)
+			default:
+				s.finishLocked(j, Done, res, nil)
+			}
+		}
+		s.idleCheckLocked()
+		s.mu.Unlock()
+	}
+}
+
+// run executes the job fn, converting a panic into a Failed error so one
+// bad job cannot take down the worker pool.
+func (s *Scheduler) run(ctx context.Context, j *job) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("jobs: %s panicked: %v", j.id, r)
+		}
+	}()
+	return j.fn(ctx)
+}
+
+// finishLocked moves j to a terminal state. Caller holds s.mu.
+func (s *Scheduler) finishLocked(j *job, st State, res any, err error) {
+	j.state = st
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	switch st {
+	case Done:
+		s.done++
+	case Failed:
+		s.failed++
+	case Canceled:
+		s.canceled++
+	}
+	close(j.done)
+}
+
+func (s *Scheduler) idleCheckLocked() {
+	if s.running == 0 && len(s.queue) == 0 {
+		s.idle.Broadcast()
+	}
+}
+
+// janitor evicts terminal jobs older than ResultTTL.
+func (s *Scheduler) janitor() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.janitorEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.base.Done():
+			return
+		case now := <-t.C:
+			s.sweep(now)
+		}
+	}
+}
+
+// sweep removes jobs that have been terminal for at least ResultTTL and
+// returns how many it evicted.
+func (s *Scheduler) sweep(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, j := range s.jobs {
+		if j.state.Terminal() && now.Sub(j.finished) >= s.cfg.ResultTTL {
+			delete(s.jobs, id)
+			n++
+		}
+	}
+	s.evict += int64(n)
+	return n
+}

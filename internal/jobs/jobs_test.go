@@ -1,0 +1,365 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTest(t *testing.T, cfg Config) *Scheduler {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	s := newTest(t, Config{Workers: 1})
+	id, err := s.Submit(func(ctx context.Context) (any, error) { return 42, nil }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != Done || snap.Result != 42 || snap.Err != nil {
+		t.Fatalf("got %v result=%v err=%v, want done/42/nil", snap.State, snap.Result, snap.Err)
+	}
+	if snap.Started.Before(snap.Created) || snap.Finished.Before(snap.Started) {
+		t.Fatalf("timestamps out of order: %+v", snap)
+	}
+}
+
+func TestFailedJobKeepsError(t *testing.T) {
+	s := newTest(t, Config{Workers: 1})
+	boom := errors.New("boom")
+	id, _ := s.Submit(func(ctx context.Context) (any, error) { return nil, boom }, Options{})
+	snap, _ := s.Wait(context.Background(), id)
+	if snap.State != Failed || !errors.Is(snap.Err, boom) {
+		t.Fatalf("got %v err=%v, want failed/boom", snap.State, snap.Err)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	s := newTest(t, Config{Workers: 1, QueueDepth: 16})
+	var mu sync.Mutex
+	var order []int
+	gate := make(chan struct{})
+	// First job blocks the single worker so the rest queue up in order.
+	s.Submit(func(ctx context.Context) (any, error) { <-gate; return nil, nil }, Options{})
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Submit(func(ctx context.Context) (any, error) {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return nil, nil
+		}, Options{})
+	}
+	close(gate)
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(order)
+		mu.Unlock()
+		if n == 5 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("only %d jobs ran", n)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v is not FIFO", order)
+		}
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	s := newTest(t, Config{Workers: 1, QueueDepth: 2})
+	gate := make(chan struct{})
+	defer close(gate)
+	block := func(ctx context.Context) (any, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	// One running + two queued fills the scheduler.
+	if _, err := s.Submit(block, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.Stats().Running == 1 })
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(block, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Submit(block, Options{}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+	if got := s.Stats().Rejected; got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+}
+
+func TestCancelQueuedIsImmediate(t *testing.T) {
+	s := newTest(t, Config{Workers: 1, QueueDepth: 8})
+	gate := make(chan struct{})
+	defer close(gate)
+	s.Submit(func(ctx context.Context) (any, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}, Options{})
+	waitFor(t, func() bool { return s.Stats().Running == 1 })
+	ran := make(chan struct{})
+	id, _ := s.Submit(func(ctx context.Context) (any, error) { close(ran); return nil, nil }, Options{})
+	if err := s.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != Canceled {
+		t.Fatalf("state %v, want Canceled right after Cancel", snap.State)
+	}
+	// The worker must skip the canceled entry, never run it.
+	gate <- struct{}{}
+	waitFor(t, func() bool { return s.Stats().Running == 0 && s.Stats().Queued == 0 })
+	select {
+	case <-ran:
+		t.Fatal("canceled queued job still ran")
+	default:
+	}
+}
+
+func TestCancelRunningPropagatesContext(t *testing.T) {
+	s := newTest(t, Config{Workers: 1})
+	started := make(chan struct{})
+	id, _ := s.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, fmt.Errorf("interrupted: %w", ctx.Err())
+	}, Options{})
+	<-started
+	if err := s.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != Canceled {
+		t.Fatalf("state %v, want Canceled", snap.State)
+	}
+	if !errors.Is(snap.Err, context.Canceled) {
+		t.Fatalf("err %v does not wrap context.Canceled", snap.Err)
+	}
+}
+
+func TestCancelTerminalIsNoop(t *testing.T) {
+	s := newTest(t, Config{Workers: 1})
+	id, _ := s.Submit(func(ctx context.Context) (any, error) { return 1, nil }, Options{})
+	s.Wait(context.Background(), id)
+	if err := s.Cancel(id); err != nil {
+		t.Fatalf("cancel of terminal job: %v", err)
+	}
+	snap, _ := s.Get(id)
+	if snap.State != Done {
+		t.Fatalf("terminal state changed to %v", snap.State)
+	}
+}
+
+func TestDeadlineExceeded(t *testing.T) {
+	s := newTest(t, Config{Workers: 1})
+	id, _ := s.Submit(func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, Options{Timeout: 10 * time.Millisecond})
+	snap, err := s.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != Canceled || !errors.Is(snap.Err, context.DeadlineExceeded) {
+		t.Fatalf("got %v err=%v, want Canceled/DeadlineExceeded", snap.State, snap.Err)
+	}
+}
+
+func TestPanicBecomesFailed(t *testing.T) {
+	s := newTest(t, Config{Workers: 1})
+	id, _ := s.Submit(func(ctx context.Context) (any, error) { panic("kaboom") }, Options{})
+	snap, _ := s.Wait(context.Background(), id)
+	if snap.State != Failed || snap.Err == nil {
+		t.Fatalf("got %v err=%v, want Failed with error", snap.State, snap.Err)
+	}
+	// The pool must survive: a later job still runs.
+	id2, _ := s.Submit(func(ctx context.Context) (any, error) { return "ok", nil }, Options{})
+	if snap, _ := s.Wait(context.Background(), id2); snap.State != Done {
+		t.Fatalf("worker pool dead after panic: %v", snap.State)
+	}
+}
+
+func TestGetUnknownID(t *testing.T) {
+	s := newTest(t, Config{})
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+	if err := s.Cancel("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+}
+
+func TestTTLEviction(t *testing.T) {
+	// Park the janitor far away so only the explicit sweep below evicts.
+	s := newTest(t, Config{Workers: 1, ResultTTL: time.Millisecond, janitorEvery: time.Hour})
+	id, _ := s.Submit(func(ctx context.Context) (any, error) { return nil, nil }, Options{})
+	s.Wait(context.Background(), id)
+	time.Sleep(5 * time.Millisecond)
+	if n := s.sweep(time.Now()); n != 1 {
+		t.Fatalf("sweep evicted %d, want 1", n)
+	}
+	if _, err := s.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("evicted job still readable: %v", err)
+	}
+	st := s.Stats()
+	if st.Evicted != 1 || st.Done != 1 {
+		t.Fatalf("stats %+v: eviction must not erase cumulative Done", st)
+	}
+}
+
+func TestJanitorRuns(t *testing.T) {
+	s := newTest(t, Config{Workers: 1, ResultTTL: time.Millisecond, janitorEvery: time.Millisecond})
+	id, _ := s.Submit(func(ctx context.Context) (any, error) { return nil, nil }, Options{})
+	s.Wait(context.Background(), id)
+	waitFor(t, func() bool {
+		_, err := s.Get(id)
+		return errors.Is(err, ErrNotFound)
+	})
+}
+
+func TestShutdownDrains(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 16})
+	var ran atomic.Int64
+	slow := func(ctx context.Context) (any, error) {
+		time.Sleep(5 * time.Millisecond)
+		ran.Add(1)
+		return nil, nil
+	}
+	var ids []string
+	for i := 0; i < 6; i++ {
+		id, err := s.Submit(slow, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got := ran.Load(); got != 6 {
+		t.Fatalf("%d jobs ran before shutdown returned, want 6", got)
+	}
+	// Terminal results stay pollable after shutdown.
+	for _, id := range ids {
+		if snap, err := s.Get(id); err != nil || snap.State != Done {
+			t.Fatalf("job %s after shutdown: %v %v", id, snap.State, err)
+		}
+	}
+	// And new submissions are rejected.
+	if _, err := s.Submit(slow, Options{}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("got %v, want ErrDraining", err)
+	}
+}
+
+func TestShutdownDeadlineCancelsStragglers(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	started := make(chan struct{})
+	s.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done() // only a hard cancel can free this job
+		return nil, ctx.Err()
+	}, Options{})
+	<-started
+	queued, _ := s.Submit(func(ctx context.Context) (any, error) { return nil, nil }, Options{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown err %v, want DeadlineExceeded", err)
+	}
+	if snap, _ := s.Get(queued); snap.State != Canceled {
+		t.Fatalf("queued straggler state %v, want Canceled", snap.State)
+	}
+}
+
+func TestConcurrentSubmitWaitCancel(t *testing.T) {
+	s := newTest(t, Config{Workers: 4, QueueDepth: 128})
+	var wg sync.WaitGroup
+	var done, canceled atomic.Int64
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := s.Submit(func(ctx context.Context) (any, error) {
+				select {
+				case <-time.After(time.Duration(i%5) * time.Millisecond):
+					return i, nil
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}, Options{})
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			if i%7 == 0 {
+				s.Cancel(id)
+			}
+			snap, err := s.Wait(context.Background(), id)
+			if err != nil {
+				t.Errorf("wait: %v", err)
+				return
+			}
+			switch snap.State {
+			case Done:
+				done.Add(1)
+			case Canceled:
+				canceled.Add(1)
+			default:
+				t.Errorf("job %s finished %v", id, snap.State)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if done.Load()+canceled.Load() != 64 {
+		t.Fatalf("done=%d canceled=%d, want 64 total", done.Load(), canceled.Load())
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

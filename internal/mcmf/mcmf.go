@@ -47,6 +47,12 @@ type ArcID int32
 // Solver is a reusable min-cost-flow network over nodes 0..n-1.
 // The zero value is not usable; call NewSolver.
 type Solver struct {
+	// Stages receives the solver's phase timings (mcmf.potentials,
+	// mcmf.dijkstra, mcmf.augment); nil records into the process-wide
+	// default recorder. Set it when the solve belongs to an isolated flow
+	// (one placement job of many running concurrently).
+	Stages *stage.Recorder
+
 	n int
 
 	// Staged arcs, one entry per AddEdge in insertion order. Kept after
@@ -263,7 +269,7 @@ func (s *Solver) Solve(src, dst int, maxFlow int64) (flow int64, cost float64) {
 			s.h[i] = 0
 		}
 	}
-	stage.Add("mcmf.potentials", time.Since(tPot))
+	s.Stages.Add("mcmf.potentials", time.Since(tPot))
 
 	var tDij, tAug time.Duration
 	for flow < maxFlow {
@@ -302,8 +308,8 @@ func (s *Solver) Solve(src, dst int, maxFlow int64) (flow int64, cost float64) {
 		s.hasFlow = true
 		tAug += time.Since(t0)
 	}
-	stage.Add("mcmf.dijkstra", tDij)
-	stage.Add("mcmf.augment", tAug)
+	s.Stages.Add("mcmf.dijkstra", tDij)
+	s.Stages.Add("mcmf.augment", tAug)
 	return flow, cost
 }
 

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DurationBuckets are the default histogram bucket bounds (seconds) for
+// stage wall times: placement stages span sub-millisecond graph builds to
+// multi-minute full-design routing.
+var DurationBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60, 300,
+}
+
+// Histogram is a fixed-bucket cumulative histogram, safe for concurrent
+// use. It follows the Prometheus model: Count and Sum plus a cumulative
+// count per upper bound, with an implicit +Inf bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds
+	counts []uint64  // non-cumulative per-bucket counts; len(bounds)+1 with overflow last
+	sum    float64
+	total  uint64
+}
+
+// NewHistogram creates a histogram with the given upper bounds (seconds).
+// Nil or empty bounds select DurationBuckets. Bounds are sorted.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DurationBuckets
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
+}
+
+// Observe records one sample in seconds.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// ObserveDuration records one duration sample.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state with
+// cumulative bucket counts, Prometheus-style.
+type HistogramSnapshot struct {
+	Bounds     []float64 // upper bounds; the +Inf bucket is implicit
+	Cumulative []uint64  // len(Bounds) entries; Count covers +Inf
+	Count      uint64
+	Sum        float64
+}
+
+// Snapshot returns a consistent copy with cumulative counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Bounds:     append([]float64(nil), h.bounds...),
+		Cumulative: make([]uint64, len(h.bounds)),
+		Count:      h.total,
+		Sum:        h.sum,
+	}
+	var run uint64
+	for i := range h.bounds {
+		run += h.counts[i]
+		s.Cumulative[i] = run
+	}
+	return s
+}
+
+// WritePrometheus emits the histogram in Prometheus text exposition format
+// under the given metric name, with an optional fixed label pair rendered
+// on every line (pass empty strings for none).
+func (h *Histogram) WritePrometheus(w io.Writer, name, labelKey, labelVal string) {
+	s := h.Snapshot()
+	label := func(extraKey, extraVal string) string {
+		switch {
+		case labelKey == "" && extraKey == "":
+			return ""
+		case labelKey == "":
+			return fmt.Sprintf("{%s=%q}", extraKey, extraVal)
+		case extraKey == "":
+			return fmt.Sprintf("{%s=%q}", labelKey, labelVal)
+		default:
+			return fmt.Sprintf("{%s=%q,%s=%q}", labelKey, labelVal, extraKey, extraVal)
+		}
+	}
+	for i, b := range s.Bounds {
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, label("le", fmt.Sprintf("%g", b)), s.Cumulative[i])
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, label("le", "+Inf"), s.Count)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, label("", ""), s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, label("", ""), s.Count)
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count %d, want 5", s.Count)
+	}
+	if want := 0.05 + 0.5 + 0.5 + 5 + 50; s.Sum != want {
+		t.Fatalf("sum %g, want %g", s.Sum, want)
+	}
+	wantCum := []uint64{1, 3, 4} // le=0.1, le=1, le=10; +Inf is Count
+	for i, want := range wantCum {
+		if s.Cumulative[i] != want {
+			t.Fatalf("bucket %d cumulative %d, want %d", i, s.Cumulative[i], want)
+		}
+	}
+}
+
+func TestHistogramBoundaryIsInclusive(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(1) // le="1" means <= 1 in the Prometheus model
+	if s := h.Snapshot(); s.Cumulative[0] != 1 {
+		t.Fatalf("sample on the boundary fell through: %+v", s)
+	}
+}
+
+func TestHistogramPrometheusText(t *testing.T) {
+	h := NewHistogram([]float64{0.5})
+	h.ObserveDuration(100 * time.Millisecond)
+	h.ObserveDuration(2 * time.Second)
+	var sb strings.Builder
+	h.WritePrometheus(&sb, "x_seconds", "stage", "route")
+	out := sb.String()
+	for _, want := range []string{
+		`x_seconds_bucket{stage="route",le="0.5"} 1`,
+		`x_seconds_bucket{stage="route",le="+Inf"} 2`,
+		`x_seconds_count{stage="route"} 2`,
+		`x_seconds_sum{stage="route"} 2.1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Without a fixed label, only le appears.
+	sb.Reset()
+	h.WritePrometheus(&sb, "y_seconds", "", "")
+	if !strings.Contains(sb.String(), `y_seconds_bucket{le="+Inf"} 2`) ||
+		!strings.Contains(sb.String(), "y_seconds_count 2") {
+		t.Errorf("unlabeled form wrong:\n%s", sb.String())
+	}
+}
+
+func TestHistogramDefaultBucketsAndConcurrency(t *testing.T) {
+	h := NewHistogram(nil)
+	if got := len(h.Snapshot().Bounds); got != len(DurationBuckets) {
+		t.Fatalf("default bounds %d, want %d", got, len(DurationBuckets))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("count %d, want 8000", s.Count)
+	}
+}

@@ -15,6 +15,14 @@ import (
 // StageStat is one named accumulator's snapshot.
 type StageStat = stage.Stat
 
+// StageRecorder is an isolated set of stage accumulators; a nil
+// *StageRecorder records into the process-wide default. Per-flow recorders
+// are how concurrent placement jobs keep their timings separate.
+type StageRecorder = stage.Recorder
+
+// NewStageRecorder returns an empty, ready-to-use recorder.
+func NewStageRecorder() *StageRecorder { return stage.NewRecorder() }
+
 // StageStart records the start of one invocation of the named stage and
 // returns the function that stops the clock:
 //

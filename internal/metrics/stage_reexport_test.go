@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStageReexports pins the package's re-exported stage API surface: the
+// alias types and constructor must behave identically to internal/stage so
+// callers can depend on either import path.
+func TestStageReexports(t *testing.T) {
+	cases := []struct {
+		name string
+		add  map[string][]time.Duration
+		want map[string]StageStat
+	}{
+		{
+			name: "single stage single add",
+			add:  map[string][]time.Duration{"a": {time.Millisecond}},
+			want: map[string]StageStat{"a": {Count: 1, Total: time.Millisecond}},
+		},
+		{
+			name: "single stage accumulates",
+			add:  map[string][]time.Duration{"a": {time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond}},
+			want: map[string]StageStat{"a": {Count: 3, Total: 6 * time.Millisecond}},
+		},
+		{
+			name: "stages are independent",
+			add: map[string][]time.Duration{
+				"fast": {time.Microsecond},
+				"slow": {time.Second, time.Second},
+			},
+			want: map[string]StageStat{
+				"fast": {Count: 1, Total: time.Microsecond},
+				"slow": {Count: 2, Total: 2 * time.Second},
+			},
+		},
+		{
+			name: "empty recorder",
+			add:  nil,
+			want: map[string]StageStat{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := NewStageRecorder()
+			for name, ds := range tc.add {
+				for _, d := range ds {
+					rec.Add(name, d)
+				}
+			}
+			snap := rec.Snapshot()
+			if len(snap) != len(tc.want) {
+				t.Fatalf("snapshot has %d stages, want %d", len(snap), len(tc.want))
+			}
+			for name, want := range tc.want {
+				if got := snap[name]; got != want {
+					t.Errorf("stage %q = %+v, want %+v", name, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestStageRecorderIsIsolatedFromDefault(t *testing.T) {
+	StageReset()
+	defer StageReset()
+	rec := NewStageRecorder()
+	rec.Add("private", time.Millisecond)
+	if _, ok := StageSnapshot()["private"]; ok {
+		t.Fatal("NewStageRecorder leaked into the package default recorder")
+	}
+	StageAdd("global", time.Millisecond)
+	if _, ok := rec.Snapshot()["global"]; ok {
+		t.Fatal("default recorder leaked into a private StageRecorder")
+	}
+	var sb strings.Builder
+	rec.Report(&sb)
+	if !strings.Contains(sb.String(), "private") {
+		t.Fatalf("recorder report missing its own stage:\n%s", sb.String())
+	}
+}
+
+// TestStageRecorderTypeAlias proves the re-export is an alias, not a copy:
+// a *stage.Recorder-typed value flows through APIs declared against the
+// metrics name (compile-time check via assignment).
+func TestStageRecorderTypeAlias(t *testing.T) {
+	var rec *StageRecorder = NewStageRecorder()
+	stop := rec.Start("aliased")
+	stop()
+	if s := rec.Snapshot()["aliased"]; s.Count != 1 {
+		t.Fatalf("aliased stage %+v", s)
+	}
+}

@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"bytes"
 	"encoding/json"
 	"testing"
 )
@@ -29,11 +30,25 @@ func FuzzNetlistJSON(f *testing.F) {
 		`"nets":[{"name":"n","driver":0,"sinks":[0]}]}`))
 	f.Add([]byte(`{"nets":[{"name":"n","driver":-1,"sinks":[9],"weight":-3}]}`))
 	f.Add([]byte(`not json at all`))
+	// Seed for the streaming path: a valid document with trailing bytes
+	// beyond the JSON value, which io.ReadAll hands to UnmarshalJSON whole.
+	f.Add([]byte(`{"name":"s","cells":[{"name":"a","type":"DSP"}],"nets":[]} trailing`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		nl := &Netlist{}
-		if err := nl.UnmarshalJSON(data); err != nil {
+		err := nl.UnmarshalJSON(data)
+		// The streaming reader must agree with the byte-slice path: same
+		// accept/reject decision, same shape on accept.
+		fromReader, rerr := Read(bytes.NewReader(data))
+		if (err == nil) != (rerr == nil) {
+			t.Fatalf("Read and UnmarshalJSON disagree: %v vs %v", rerr, err)
+		}
+		if err != nil {
 			return // rejected input is fine; panics are the bug
+		}
+		if fromReader.NumCells() != nl.NumCells() || fromReader.NumNets() != nl.NumNets() {
+			t.Fatalf("Read shape differs: %d/%d cells, %d/%d nets",
+				fromReader.NumCells(), nl.NumCells(), fromReader.NumNets(), nl.NumNets())
 		}
 		if err := nl.Validate(); err != nil {
 			t.Fatalf("accepted netlist fails Validate: %v", err)

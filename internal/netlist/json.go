@@ -118,14 +118,31 @@ func (nl *Netlist) SaveFile(path string) error {
 	return werr
 }
 
-// LoadFile reads a JSON netlist from path.
-func LoadFile(path string) (*Netlist, error) {
-	data, err := os.ReadFile(path)
+// Read decodes a JSON netlist from r — the streaming entry point for
+// callers that never touch the filesystem (an HTTP request body, a pipe, a
+// test buffer). The document is validated exactly as LoadFile validates a
+// file.
+func Read(r io.Reader) (*Netlist, error) {
+	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("netlist: read: %w", err)
 	}
 	nl := &Netlist{}
 	if err := nl.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+// LoadFile reads a JSON netlist from path.
+func LoadFile(path string) (*Netlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	nl, err := Read(f)
+	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return nl, nil

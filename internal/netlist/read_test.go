@@ -1,0 +1,69 @@
+package netlist
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleNetlist(t *testing.T) *Netlist {
+	t.Helper()
+	nl := New("stream")
+	a := nl.AddCell("a", DSP)
+	b := nl.AddCell("b", DSP)
+	c := nl.AddCell("c", LUT)
+	nl.AddNet("n0", a.ID, b.ID)
+	nl.AddNet("n1", c.ID, a.ID)
+	nl.AddMacro([]int{a.ID, b.ID})
+	return nl
+}
+
+func TestReadDecodesFromStream(t *testing.T) {
+	nl := sampleNetlist(t)
+	data, err := json.Marshal(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Name != nl.Name || got.NumCells() != nl.NumCells() ||
+		got.NumNets() != nl.NumNets() || len(got.Macros) != len(nl.Macros) {
+		t.Fatalf("Read changed shape: got %d cells %d nets, want %d cells %d nets",
+			got.NumCells(), got.NumNets(), nl.NumCells(), nl.NumNets())
+	}
+}
+
+func TestReadRejectsInvalid(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Fatal("Read accepted garbage")
+	}
+	if _, err := Read(strings.NewReader(`{"cells":[{"name":"a","type":"DSP"}],"nets":[],"macros":[[0,9]]}`)); err == nil {
+		t.Fatal("Read accepted out-of-range macro member")
+	}
+}
+
+func TestLoadFileUsesReader(t *testing.T) {
+	nl := sampleNetlist(t)
+	path := filepath.Join(t.TempDir(), "nl.json")
+	if err := nl.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if got.NumCells() != nl.NumCells() || got.NumNets() != nl.NumNets() {
+		t.Fatalf("LoadFile shape mismatch")
+	}
+	// Error paths keep the path prefix contract.
+	if err := os.WriteFile(path, []byte("broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil || !strings.Contains(err.Error(), path) {
+		t.Fatalf("LoadFile error %v does not name the file", err)
+	}
+}

@@ -1,0 +1,414 @@
+// Package server implements the dsplacerd HTTP API (DESIGN.md §11): a JSON
+// job interface over the placement flows in internal/core, backed by the
+// bounded FIFO scheduler in internal/jobs and the content-addressed result
+// cache in internal/cache.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs      submit a placement job  → 202 {"id": ..., "state": "queued"}
+//	GET    /v1/jobs/{id} poll a job              → 200 job document
+//	DELETE /v1/jobs/{id} cancel a job            → 202 job document
+//	GET    /healthz      liveness                → 200 ok | 503 draining
+//	GET    /metrics      Prometheus text: job counts, queue depth, cache
+//	                     hit ratio, per-stage wall-time histograms
+//
+// Every job runs under its own context (canceled by DELETE or a per-job
+// timeout) and its own stage.Recorder, so concurrent jobs report isolated
+// per-stage timings.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsplacer/internal/cache"
+	"dsplacer/internal/core"
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/jobs"
+	"dsplacer/internal/metrics"
+	"dsplacer/internal/netlist"
+	"dsplacer/internal/placer"
+	"dsplacer/internal/stage"
+)
+
+// maxBodyBytes bounds a request body; the Table-I netlists serialize to a
+// few tens of MB.
+const maxBodyBytes = 256 << 20
+
+// Config tunes a Server. Zero values select the documented defaults.
+type Config struct {
+	Device    *fpga.Device // target device; default fpga.NewZCU104()
+	Jobs      jobs.Config  // scheduler tuning (workers, queue depth, TTL)
+	CacheSize int          // result cache capacity; default 64
+}
+
+// Server is the dsplacerd request handler plus its scheduler and cache.
+type Server struct {
+	dev   *fpga.Device
+	sched *jobs.Scheduler
+	cache *cache.LRU
+	mux   *http.ServeMux
+
+	draining atomic.Bool
+
+	histMu sync.Mutex
+	hist   map[string]*metrics.Histogram // per-stage wall time, seconds
+}
+
+// New builds a Server and starts its scheduler. Call Shutdown to drain it.
+func New(cfg Config) *Server {
+	dev := cfg.Device
+	if dev == nil {
+		dev = fpga.NewZCU104()
+	}
+	s := &Server{
+		dev:   dev,
+		sched: jobs.New(cfg.Jobs),
+		cache: cache.NewLRU(cfg.CacheSize),
+		mux:   http.NewServeMux(),
+		hist:  make(map[string]*metrics.Histogram),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown begins the drain: new submissions are rejected with 503 while
+// queued and running jobs finish (or are canceled when ctx expires).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.sched.Shutdown(ctx)
+}
+
+// PlaceRequest is the POST /v1/jobs body.
+type PlaceRequest struct {
+	// Netlist is the design to place, in the netlist JSON schema.
+	Netlist json.RawMessage `json:"netlist"`
+	// Flow selects the placement flow: dsplacer (default), vivado or amf.
+	Flow string `json:"flow,omitempty"`
+	// FreqMHz is the target clock; core defaults (150) apply when zero.
+	FreqMHz float64 `json:"freq_mhz,omitempty"`
+	Lambda  float64 `json:"lambda,omitempty"`
+	Eta     float64 `json:"eta,omitempty"`
+	// MCFIters bounds the linearized assignment loop (default 50).
+	MCFIters int   `json:"mcf_iters,omitempty"`
+	Rounds   int   `json:"rounds,omitempty"`
+	Seed     int64 `json:"seed,omitempty"`
+	// Validate is the stage-boundary DRC gating level: off, final or stages.
+	Validate string `json:"validate,omitempty"`
+	// TimeoutMS bounds the job's run time once it starts; zero = unlimited.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// JobDoc is the wire form of a job returned by GET/DELETE /v1/jobs/{id}.
+type JobDoc struct {
+	ID       string     `json:"id"`
+	State    string     `json:"state"`
+	Error    string     `json:"error,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Result   *ResultDoc `json:"result,omitempty"`
+}
+
+// ResultDoc is the wire form of a completed placement.
+type ResultDoc struct {
+	Flow         string             `json:"flow"`
+	WNS          float64            `json:"wns_ns"`
+	TNS          float64            `json:"tns_ns"`
+	HPWL         float64            `json:"hpwl"`
+	RoutedWL     float64            `json:"routed_wl"`
+	Overflow     int                `json:"overflow_edges"`
+	RuntimeS     float64            `json:"runtime_s"`
+	DatapathDSPs int                `json:"datapath_dsps"`
+	Cached       bool               `json:"cached"`
+	StagesS      map[string]float64 `json:"stages_s,omitempty"`
+}
+
+// outcome is what a job fn returns and what the cache stores: the core
+// result plus the per-job stage timing snapshot it was computed under.
+type outcome struct {
+	res    *core.Result
+	stages map[string]stage.Stat
+	cached bool
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	var req PlaceRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(req.Netlist) == 0 {
+		httpError(w, http.StatusBadRequest, "missing netlist")
+		return
+	}
+	// The netlist travels through the streaming reader so the service and
+	// the CLI share one decode/validate path.
+	nl, err := netlist.Read(bytes.NewReader(req.Netlist))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "netlist: %v", err)
+		return
+	}
+	flow := req.Flow
+	if flow == "" {
+		flow = "dsplacer"
+	}
+	var mode placer.Mode
+	switch flow {
+	case "dsplacer":
+	case "vivado":
+		mode = placer.ModeVivado
+	case "amf":
+		mode = placer.ModeAMF
+	default:
+		httpError(w, http.StatusBadRequest, "unknown flow %q", flow)
+		return
+	}
+	level := core.ValidateOff
+	if req.Validate != "" {
+		level, err = core.ParseValidateLevel(req.Validate)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	cfg := core.Config{
+		ClockMHz: req.FreqMHz, Lambda: req.Lambda, Eta: req.Eta,
+		MCFIterations: req.MCFIters, Rounds: req.Rounds, Seed: req.Seed,
+		Validate: level,
+	}
+	key := s.requestKey(req, flow, level)
+
+	id, err := s.sched.Submit(func(ctx context.Context) (any, error) {
+		return s.place(ctx, key, flow, mode, nl, cfg)
+	}, jobs.Options{Timeout: time.Duration(req.TimeoutMS) * time.Millisecond})
+	switch {
+	case errors.Is(err, jobs.ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	case errors.Is(err, jobs.ErrQueueFull):
+		httpError(w, http.StatusTooManyRequests, "queue full")
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": jobs.Queued.String()})
+}
+
+// requestKey derives the cache key from the request's semantic inputs:
+// netlist bytes, target device, flow, and every placement parameter.
+func (s *Server) requestKey(req PlaceRequest, flow string, level core.ValidateLevel) cache.Key {
+	params := fmt.Sprintf("%s|%g|%g|%g|%d|%d|%d|%d",
+		flow, req.FreqMHz, req.Lambda, req.Eta,
+		req.MCFIters, req.Rounds, req.Seed, level)
+	return cache.KeyOf(req.Netlist, []byte(s.dev.Name), []byte(params))
+}
+
+// place is the job body: cache lookup, full placement run under a per-job
+// stage recorder, histogram observation, cache fill.
+func (s *Server) place(ctx context.Context, key cache.Key, flow string, mode placer.Mode, nl *netlist.Netlist, cfg core.Config) (*outcome, error) {
+	if v, ok := s.cache.Get(key); ok {
+		prior := v.(*outcome)
+		return &outcome{res: prior.res, stages: prior.stages, cached: true}, nil
+	}
+	rec := stage.NewRecorder()
+	cfg.Stages = rec
+	var res *core.Result
+	var err error
+	if flow == "dsplacer" {
+		res, err = core.Run(ctx, s.dev, nl, cfg)
+	} else {
+		res, err = core.RunBaseline(ctx, s.dev, nl, mode, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	snap := rec.Snapshot()
+	s.observeStages(snap)
+	o := &outcome{res: res, stages: snap}
+	s.cache.Put(key, o)
+	return o, nil
+}
+
+func (s *Server) observeStages(snap map[string]stage.Stat) {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	for name, st := range snap {
+		h, ok := s.hist[name]
+		if !ok {
+			h = metrics.NewHistogram(nil)
+			s.hist[name] = h
+		}
+		h.ObserveDuration(st.Total)
+	}
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.sched.Get(r.PathValue("id"))
+	if errors.Is(err, jobs.ErrNotFound) {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, jobDoc(snap))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.sched.Cancel(id); errors.Is(err, jobs.ErrNotFound) {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	snap, err := s.sched.Get(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobDoc(snap))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.sched.Stats()
+	cs := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# TYPE dsplacer_jobs_submitted_total counter\n")
+	fmt.Fprintf(w, "dsplacer_jobs_submitted_total %d\n", st.Submitted)
+	fmt.Fprintf(w, "# TYPE dsplacer_jobs_rejected_total counter\n")
+	fmt.Fprintf(w, "dsplacer_jobs_rejected_total %d\n", st.Rejected)
+	fmt.Fprintf(w, "# TYPE dsplacer_jobs_completed_total counter\n")
+	fmt.Fprintf(w, "dsplacer_jobs_completed_total{outcome=\"done\"} %d\n", st.Done)
+	fmt.Fprintf(w, "dsplacer_jobs_completed_total{outcome=\"failed\"} %d\n", st.Failed)
+	fmt.Fprintf(w, "dsplacer_jobs_completed_total{outcome=\"canceled\"} %d\n", st.Canceled)
+	fmt.Fprintf(w, "# TYPE dsplacer_jobs_evicted_total counter\n")
+	fmt.Fprintf(w, "dsplacer_jobs_evicted_total %d\n", st.Evicted)
+	fmt.Fprintf(w, "# TYPE dsplacer_jobs_queued gauge\n")
+	fmt.Fprintf(w, "dsplacer_jobs_queued %d\n", st.Queued)
+	fmt.Fprintf(w, "# TYPE dsplacer_jobs_running gauge\n")
+	fmt.Fprintf(w, "dsplacer_jobs_running %d\n", st.Running)
+	fmt.Fprintf(w, "# TYPE dsplacer_queue_depth_limit gauge\n")
+	fmt.Fprintf(w, "dsplacer_queue_depth_limit %d\n", st.QueueDepth)
+	fmt.Fprintf(w, "# TYPE dsplacer_workers gauge\n")
+	fmt.Fprintf(w, "dsplacer_workers %d\n", st.Workers)
+	fmt.Fprintf(w, "# TYPE dsplacer_draining gauge\n")
+	fmt.Fprintf(w, "dsplacer_draining %d\n", boolInt(s.draining.Load()))
+	fmt.Fprintf(w, "# TYPE dsplacer_cache_hits_total counter\n")
+	fmt.Fprintf(w, "dsplacer_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "# TYPE dsplacer_cache_misses_total counter\n")
+	fmt.Fprintf(w, "dsplacer_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "# TYPE dsplacer_cache_entries gauge\n")
+	fmt.Fprintf(w, "dsplacer_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "# TYPE dsplacer_cache_hit_ratio gauge\n")
+	fmt.Fprintf(w, "dsplacer_cache_hit_ratio %g\n", cs.HitRatio())
+
+	s.histMu.Lock()
+	names := make([]string, 0, len(s.hist))
+	for name := range s.hist {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	hists := make([]*metrics.Histogram, len(names))
+	for i, name := range names {
+		hists[i] = s.hist[name]
+	}
+	s.histMu.Unlock()
+	if len(names) > 0 {
+		fmt.Fprintf(w, "# TYPE dsplacer_stage_seconds histogram\n")
+	}
+	for i, name := range names {
+		hists[i].WritePrometheus(w, "dsplacer_stage_seconds", "stage", name)
+	}
+}
+
+func jobDoc(snap jobs.Snapshot) JobDoc {
+	doc := JobDoc{
+		ID:      snap.ID,
+		State:   snap.State.String(),
+		Created: snap.Created,
+	}
+	if !snap.Started.IsZero() {
+		t := snap.Started
+		doc.Started = &t
+	}
+	if !snap.Finished.IsZero() {
+		t := snap.Finished
+		doc.Finished = &t
+	}
+	if snap.Err != nil {
+		doc.Error = snap.Err.Error()
+	}
+	if snap.State == jobs.Done {
+		if o, ok := snap.Result.(*outcome); ok {
+			doc.Result = resultDoc(o)
+		}
+	}
+	return doc
+}
+
+func resultDoc(o *outcome) *ResultDoc {
+	res := o.res
+	doc := &ResultDoc{
+		Flow: res.Flow, WNS: res.WNS, TNS: res.TNS,
+		HPWL: res.HPWL, RoutedWL: res.RoutedWL, Overflow: res.Overflow,
+		RuntimeS:     res.Profile.Total.Seconds(),
+		DatapathDSPs: len(res.DatapathDSPs),
+		Cached:       o.cached,
+		StagesS:      make(map[string]float64, len(o.stages)),
+	}
+	for name, st := range o.stages {
+		doc.StagesS[name] = st.Total.Seconds()
+	}
+	return doc
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

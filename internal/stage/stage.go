@@ -1,12 +1,17 @@
-// Package stage is the process-wide registry of named wall-clock
-// accumulators wrapped around the placer's hot paths (dspgraph build, the
-// assignment loop's candidate/flow phases, feature sweeps, experiment
-// rows). It is a dependency-free leaf so the hot paths themselves can
-// record into it; consumers read it through the re-exports in
-// internal/metrics. The counters make parallel-speedup work observable —
-// `go run ./cmd/experiments -stages ...` prints the table — while staying
-// cheap enough to leave enabled: one mutexed map update per stage
-// invocation, never per inner-loop item.
+// Package stage provides named wall-clock accumulators wrapped around the
+// placer's hot paths (dspgraph build, the assignment loop's candidate/flow
+// phases, feature sweeps, experiment rows). It is a dependency-free leaf so
+// the hot paths themselves can record into it; consumers read it through
+// the re-exports in internal/metrics. The counters make parallel-speedup
+// work observable — `go run ./cmd/experiments -stages ...` prints the
+// table — while staying cheap enough to leave enabled: one mutexed map
+// update per stage invocation, never per inner-loop item.
+//
+// Recording goes through a *Recorder so concurrent flows can each own an
+// isolated set of accumulators (the placement daemon gives every job its
+// own); the historical package-level functions remain as a shim over the
+// process-wide Default recorder, and a nil *Recorder records into Default,
+// so single-flow callers need no wiring at all.
 package stage
 
 import (
@@ -27,58 +32,83 @@ type Stat struct {
 	Total time.Duration
 }
 
-var (
+// Recorder is one isolated set of stage accumulators. All methods are safe
+// for concurrent use, and all of them treat a nil receiver as Default, so
+// an optional `Stages *stage.Recorder` field needs no nil checks at the
+// recording sites.
+type Recorder struct {
 	mu     sync.Mutex
 	stages map[string]*Stat
-)
+}
+
+// NewRecorder returns an empty, ready-to-use recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Default is the process-wide recorder behind the package-level functions
+// and behind every nil *Recorder.
+var Default = NewRecorder()
+
+// or resolves the nil-receiver-means-Default contract.
+func (r *Recorder) or() *Recorder {
+	if r == nil {
+		return Default
+	}
+	return r
+}
 
 // Start records the start of one invocation of the named stage and returns
 // the function that stops the clock. Intended usage:
 //
-//	defer stage.Start("dspgraph.build")()
-func Start(name string) func() {
+//	defer rec.Start("dspgraph.build")()
+func (r *Recorder) Start(name string) func() {
 	t0 := time.Now()
-	return func() { Add(name, time.Since(t0)) }
+	return func() { r.Add(name, time.Since(t0)) }
 }
 
 // Add folds one completed invocation of duration d into the stage.
-func Add(name string, d time.Duration) {
-	mu.Lock()
-	if stages == nil {
-		stages = make(map[string]*Stat)
+func (r *Recorder) Add(name string, d time.Duration) {
+	r = r.or()
+	r.mu.Lock()
+	if r.stages == nil {
+		r.stages = make(map[string]*Stat)
 	}
-	s := stages[name]
+	s := r.stages[name]
 	if s == nil {
 		s = &Stat{}
-		stages[name] = s
+		r.stages[name] = s
 	}
 	s.Count++
 	s.Total += d
-	mu.Unlock()
+	r.mu.Unlock()
 }
 
-// Snapshot returns a copy of every stage accumulator.
-func Snapshot() map[string]Stat {
-	mu.Lock()
-	defer mu.Unlock()
-	out := make(map[string]Stat, len(stages))
-	for k, v := range stages {
+// Snapshot returns a copy of every stage accumulator. The Stat values are
+// copied under the recorder's lock, so a snapshot taken while other
+// goroutines Add is internally consistent: each entry is some complete
+// prefix of that stage's Add history, never a torn Count/Total pair.
+func (r *Recorder) Snapshot() map[string]Stat {
+	r = r.or()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]Stat, len(r.stages))
+	for k, v := range r.stages {
 		out[k] = *v
 	}
 	return out
 }
 
 // Reset clears all stage accumulators (tests, repeated experiment runs).
-func Reset() {
-	mu.Lock()
-	stages = nil
-	mu.Unlock()
+func (r *Recorder) Reset() {
+	r = r.or()
+	r.mu.Lock()
+	r.stages = nil
+	r.mu.Unlock()
 }
 
 // Report writes the accumulators as a fixed-width table, sorted by name so
 // output is deterministic.
-func Report(w io.Writer) {
-	snap := Snapshot()
+func (r *Recorder) Report(w io.Writer) {
+	snap := r.Snapshot()
 	names := make([]string, 0, len(snap))
 	for k := range snap {
 		names = append(names, k)
@@ -94,3 +124,18 @@ func Report(w io.Writer) {
 		fmt.Fprintf(w, "%-32s %8d %14s %14s\n", k, s.Count, s.Total, mean)
 	}
 }
+
+// Start records into the Default recorder; see Recorder.Start.
+func Start(name string) func() { return Default.Start(name) }
+
+// Add records into the Default recorder; see Recorder.Add.
+func Add(name string, d time.Duration) { Default.Add(name, d) }
+
+// Snapshot snapshots the Default recorder; see Recorder.Snapshot.
+func Snapshot() map[string]Stat { return Default.Snapshot() }
+
+// Reset clears the Default recorder; see Recorder.Reset.
+func Reset() { Default.Reset() }
+
+// Report reports the Default recorder; see Recorder.Report.
+func Report(w io.Writer) { Default.Report(w) }
