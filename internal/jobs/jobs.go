@@ -60,7 +60,8 @@ var (
 )
 
 // Fn is the unit of work. It must return promptly once ctx is done; the
-// scheduler classifies a (nil-or-error, canceled-ctx) return as Canceled.
+// scheduler classifies an error wrapping ctx's cancellation or deadline,
+// returned while ctx is done, as Canceled.
 type Fn func(ctx context.Context) (any, error)
 
 // Options tune a single submission.
@@ -240,7 +241,25 @@ func (s *Scheduler) Cancel(id string) error {
 	}
 	switch j.state {
 	case Queued:
+		// Splice the entry out of the FIFO so queue length and wake
+		// tokens stay 1:1 with runnable jobs: Submit's ErrQueueFull
+		// check and the queued gauge both read len(s.queue), and a
+		// leftover token would eventually make Submit block on a full
+		// s.work while holding s.mu, wedging every endpoint.
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		// Reclaim the job's wake token unless a worker already holds it;
+		// that worker will find one fewer entry and go back to waiting.
+		select {
+		case <-s.work:
+		default:
+		}
 		s.finishLocked(j, Canceled, nil, fmt.Errorf("jobs: %s canceled while queued", j.id))
+		s.idleCheckLocked()
 	case Running:
 		j.cancel() // worker observes the canceled ctx and finishes the job
 	}
@@ -338,15 +357,12 @@ func (s *Scheduler) worker() {
 		}
 		s.mu.Lock()
 		var j *job
-		// Skip over queue entries canceled before they ran (finishLocked
-		// leaves them in the slice; their state is already terminal).
-		for len(s.queue) > 0 {
-			head := s.queue[0]
+		// One entry per token: Cancel splices canceled jobs out of the
+		// queue, so every entry here is still Queued. The queue can be
+		// empty when Cancel raced a token this worker already received.
+		if len(s.queue) > 0 {
+			j = s.queue[0]
 			s.queue = s.queue[1:]
-			if head.state == Queued {
-				j = head
-				break
-			}
 		}
 		if j == nil {
 			s.idleCheckLocked()
@@ -367,13 +383,17 @@ func (s *Scheduler) worker() {
 		s.mu.Unlock()
 
 		res, err := s.run(ctx, j)
+		ctxErr := ctx.Err() // read before cancel() makes it non-nil unconditionally
 		cancel()
 
 		s.mu.Lock()
 		s.running--
 		if j.state == Running { // Cancel may already have finished a queued job; never here
 			switch {
-			case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+			// Canceled only when the job's own context was done; an fn
+			// that wraps context.Canceled from some internal sub-context
+			// is a genuine failure, not a cancellation.
+			case err != nil && ctxErr != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
 				s.finishLocked(j, Canceled, nil, err)
 			case err != nil:
 				s.finishLocked(j, Failed, nil, err)

@@ -150,6 +150,132 @@ func TestCancelQueuedIsImmediate(t *testing.T) {
 	}
 }
 
+// TestCancelQueuedFreesQueueSlot pins the fixed accounting: a canceled
+// queued job must stop counting against QueueDepth (and the queued gauge)
+// immediately, not linger until a worker pops past it.
+func TestCancelQueuedFreesQueueSlot(t *testing.T) {
+	s := newTest(t, Config{Workers: 1, QueueDepth: 2})
+	gate := make(chan struct{})
+	defer close(gate)
+	block := func(ctx context.Context) (any, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	if _, err := s.Submit(block, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.Stats().Running == 1 })
+	id, _ := s.Submit(block, Options{})
+	if _, err := s.Submit(block, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Queued; got != 1 {
+		t.Fatalf("queued gauge %d after canceling one of two queued jobs, want 1", got)
+	}
+	// The canceled job's slot is reusable right away.
+	if _, err := s.Submit(block, Options{}); err != nil {
+		t.Fatalf("submit into freed slot: %v", err)
+	}
+	if _, err := s.Submit(block, Options{}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull once the queue is genuinely full", err)
+	}
+}
+
+// TestCancelQueuedNoTokenLeak is the REVIEW.md repro (Workers:1,
+// QueueDepth:2). Before the fix, Cancel left both the queue entry and its
+// wake token behind; a worker then popped multiple entries per token, so a
+// stale token lingered in s.work and a later Submit passed the depth check
+// but blocked on the full token channel while holding s.mu — wedging Get,
+// Cancel and Stats until (if ever) a worker freed a slot.
+func TestCancelQueuedNoTokenLeak(t *testing.T) {
+	s := newTest(t, Config{Workers: 1, QueueDepth: 2})
+	release := make(chan struct{})
+	defer close(release)
+	block := func(ctx context.Context) (any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	// A occupies the worker; B and C fill the queue.
+	if _, err := s.Submit(block, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.Stats().Running == 1 })
+	idB, _ := s.Submit(block, Options{})
+	if _, err := s.Submit(block, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(idB); err != nil {
+		t.Fatal(err)
+	}
+	// Finish A so the worker moves on to C; with the bug the worker's one
+	// token consumed both B (skipped) and C, stranding a token in s.work.
+	release <- struct{}{}
+	waitFor(t, func() bool { return s.Stats().Queued == 0 && s.Stats().Running == 1 })
+
+	// Two more submissions fit the depth-2 queue; with a stranded token the
+	// second one blocks inside Submit while holding the scheduler mutex.
+	done := make(chan error, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			_, err := s.Submit(block, Options{})
+			done <- err
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("submit %d after canceled queued job: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Submit deadlocked on a stale wake token")
+		}
+	}
+	// Stats must also be reachable (it shares the mutex Submit would wedge).
+	if got := s.Stats().Queued; got != 2 {
+		t.Fatalf("queued = %d, want 2", got)
+	}
+	// Drain everything: C plus the two new jobs.
+	for i := 0; i < 3; i++ {
+		release <- struct{}{}
+	}
+	waitFor(t, func() bool {
+		st := s.Stats()
+		return st.Running == 0 && st.Queued == 0
+	})
+}
+
+// TestInternalContextErrorIsFailed: an fn error that wraps
+// context.Canceled from its own sub-context is a genuine failure — only a
+// done job context makes a Canceled classification.
+func TestInternalContextErrorIsFailed(t *testing.T) {
+	s := newTest(t, Config{Workers: 1})
+	id, _ := s.Submit(func(ctx context.Context) (any, error) {
+		sub, cancel := context.WithCancel(ctx)
+		cancel() // an internal sub-operation timing out / being canceled
+		return nil, fmt.Errorf("sub-op: %w", sub.Err())
+	}, Options{})
+	snap, err := s.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != Failed {
+		t.Fatalf("state %v, want Failed: job context was never done", snap.State)
+	}
+	if st := s.Stats(); st.Failed != 1 || st.Canceled != 0 {
+		t.Fatalf("stats %+v, want one Failed and no Canceled", st)
+	}
+}
+
 func TestCancelRunningPropagatesContext(t *testing.T) {
 	s := newTest(t, Config{Workers: 1})
 	started := make(chan struct{})

@@ -40,23 +40,25 @@ import (
 	"dsplacer/internal/stage"
 )
 
-// maxBodyBytes bounds a request body; the Table-I netlists serialize to a
-// few tens of MB.
-const maxBodyBytes = 256 << 20
+// defaultMaxBodyBytes bounds a request body; the Table-I netlists
+// serialize to a few tens of MB.
+const defaultMaxBodyBytes = 256 << 20
 
 // Config tunes a Server. Zero values select the documented defaults.
 type Config struct {
-	Device    *fpga.Device // target device; default fpga.NewZCU104()
-	Jobs      jobs.Config  // scheduler tuning (workers, queue depth, TTL)
-	CacheSize int          // result cache capacity; default 64
+	Device       *fpga.Device // target device; default fpga.NewZCU104()
+	Jobs         jobs.Config  // scheduler tuning (workers, queue depth, TTL)
+	CacheSize    int          // result cache capacity; default 64
+	MaxBodyBytes int64        // request body cap; default 256 MiB
 }
 
 // Server is the dsplacerd request handler plus its scheduler and cache.
 type Server struct {
-	dev   *fpga.Device
-	sched *jobs.Scheduler
-	cache *cache.LRU
-	mux   *http.ServeMux
+	dev     *fpga.Device
+	sched   *jobs.Scheduler
+	cache   *cache.LRU
+	mux     *http.ServeMux
+	maxBody int64
 
 	draining atomic.Bool
 
@@ -70,12 +72,17 @@ func New(cfg Config) *Server {
 	if dev == nil {
 		dev = fpga.NewZCU104()
 	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = defaultMaxBodyBytes
+	}
 	s := &Server{
-		dev:   dev,
-		sched: jobs.New(cfg.Jobs),
-		cache: cache.NewLRU(cfg.CacheSize),
-		mux:   http.NewServeMux(),
-		hist:  make(map[string]*metrics.Histogram),
+		dev:     dev,
+		sched:   jobs.New(cfg.Jobs),
+		cache:   cache.NewLRU(cfg.CacheSize),
+		mux:     http.NewServeMux(),
+		maxBody: maxBody,
+		hist:    make(map[string]*metrics.Histogram),
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
@@ -153,8 +160,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.maxBody)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}

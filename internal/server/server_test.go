@@ -392,6 +392,36 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// TestOversizedBodyIs413: a body over the cap must be rejected outright
+// with 413, not silently truncated into a confusing JSON decode error.
+func TestOversizedBodyIs413(t *testing.T) {
+	env := startServer(t, Config{MaxBodyBytes: 1 << 10})
+	body := bytes.Repeat([]byte("x"), 2<<10)
+	resp, err := http.Post(env.http.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	var doc map[string]string
+	json.NewDecoder(resp.Body).Decode(&doc)
+	if !strings.Contains(doc["error"], "exceeds") {
+		t.Fatalf("error %q does not explain the body limit", doc["error"])
+	}
+	// A body under the cap still decodes (and fails for its content, not
+	// its size).
+	resp2, err := http.Post(env.http.URL+"/v1/jobs", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("small body status %d, want 400", resp2.StatusCode)
+	}
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	env := startServer(t, Config{})
 	id, _ := env.submit(t, map[string]any{
