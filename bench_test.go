@@ -16,6 +16,8 @@ import (
 	"dsplacer/internal/dspgraph"
 	"dsplacer/internal/experiments"
 	"dsplacer/internal/gen"
+	"dsplacer/internal/netlist"
+	"dsplacer/internal/placer"
 )
 
 func benchSuite() *experiments.Suite {
@@ -68,6 +70,65 @@ func benchFlowRow(b *testing.B, f func(*experiments.Suite, gen.Spec) error) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkGlobalPlace measures the analytical global-placement engines on
+// one mini benchmark: cold placement from scratch and the warm incremental
+// re-place (the flow's hot path — every DSPlacer round after the prototype
+// re-places against the newly fixed datapath DSP sites). Each sub-benchmark
+// reports the legal HPWL it achieves so speed is never read apart from
+// quality.
+func BenchmarkGlobalPlace(b *testing.B) {
+	s := benchSuite()
+	nl, err := s.Netlist(s.Specs[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A shared cold prototype gives both warm arms the same starting point.
+	proto, err := placer.Place(s.Dev, nl, placer.Options{Seed: 1, GP: placer.ModeElectrostatic})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines := []struct {
+		name string
+		gp   placer.GPMode
+	}{
+		{"electrostatic", placer.ModeElectrostatic},
+		{"quadratic", placer.ModeQuadratic},
+	}
+	for _, eng := range engines {
+		b.Run("cold/"+eng.name, func(b *testing.B) {
+			benchPlace(b, s, nl, placer.Options{Seed: 3, GP: eng.gp})
+		})
+	}
+	for _, eng := range engines {
+		b.Run("warm/"+eng.name, func(b *testing.B) {
+			benchPlace(b, s, nl, placer.Options{
+				Seed: 3, GP: eng.gp, Warm: proto.Pos, FixedSites: proto.SiteOfDSP,
+			})
+		})
+	}
+}
+
+// benchPlace times the global-placement phase alone (the engine under
+// comparison), then — outside the timer — legalizes the identical positions
+// via Place and reports the resulting legal HPWL, so the ns/op of the two
+// engines is read against the quality their positions actually deliver.
+func benchPlace(b *testing.B, s *experiments.Suite, nl *netlist.Netlist, opt placer.Options) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := placer.GlobalPlace(context.Background(), s.Dev, nl, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	res, err := placer.Place(s.Dev, nl, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.HPWL, "legal-hpwl")
 }
 
 // BenchmarkDSPGraphBuild measures the §III-B DSP-graph construction (the

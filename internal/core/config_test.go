@@ -37,8 +37,8 @@ func TestConfigWithDefaults(t *testing.T) {
 				if c.BaselineGPIters != 12 {
 					t.Errorf("BaselineGPIters %v, want 12", c.BaselineGPIters)
 				}
-				if c.PrototypeGPIters != 6 {
-					t.Errorf("PrototypeGPIters %v, want 6", c.PrototypeGPIters)
+				if c.PrototypeGPIters != 12 {
+					t.Errorf("PrototypeGPIters %v, want 12", c.PrototypeGPIters)
 				}
 				if c.ReplaceGPIters != 6 {
 					t.Errorf("ReplaceGPIters %v, want 6", c.ReplaceGPIters)

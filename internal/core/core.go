@@ -12,12 +12,14 @@ import (
 	"time"
 
 	"dsplacer/internal/assign"
+	"dsplacer/internal/detailed"
 	"dsplacer/internal/dspgraph"
 	"dsplacer/internal/features"
 	"dsplacer/internal/fpga"
 	"dsplacer/internal/gcn"
 	"dsplacer/internal/geom"
 	"dsplacer/internal/legalize"
+	"dsplacer/internal/metrics"
 	"dsplacer/internal/netlist"
 	"dsplacer/internal/placer"
 	"dsplacer/internal/route"
@@ -120,11 +122,16 @@ type Config struct {
 	// MaxDSPGraphDepth bounds the IDDFS (§III-B), default 8.
 	MaxDSPGraphDepth int
 	// BaselineGPIters is the standalone placer schedule used by the
-	// Vivado/AMF flows (default 12); PrototypeGPIters and ReplaceGPIters
-	// are the shorter schedules DSPlacer uses for its prototype pass and
-	// each incremental re-placement (default 6 each), mirroring how the
-	// paper's flow spends its budget across iterations.
+	// Vivado/AMF flows (default 12). PrototypeGPIters is DSPlacer's
+	// prototype schedule (default 12 — with the electrostatic engine the
+	// prototype seeds the MCF assignment and every later round, so it gets
+	// the full baseline budget); ReplaceGPIters is the shorter schedule of
+	// each incremental re-placement (default 6).
 	BaselineGPIters, PrototypeGPIters, ReplaceGPIters int
+	// GP selects the analytical global-placement engine for every placer
+	// invocation of the flow: the electrostatic Nesterov engine (default)
+	// or the legacy quadratic CG path, so suites can diff the engines.
+	GP placer.GPMode
 	// RouteOpts configures the global router.
 	RouteOpts route.Options
 	// Validate gates stage boundaries with drc.Check: ValidateOff (default)
@@ -170,7 +177,7 @@ func (c Config) withDefaults() Config {
 		c.BaselineGPIters = 12
 	}
 	if c.PrototypeGPIters == 0 {
-		c.PrototypeGPIters = 6
+		c.PrototypeGPIters = 12
 	}
 	if c.ReplaceGPIters == 0 {
 		c.ReplaceGPIters = 6
@@ -218,10 +225,10 @@ func Run(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, cfg Config)
 
 	// --- Prototype placement (off-the-shelf engine, no datapath info) ----
 	t0 := time.Now()
-	proto, err := placer.Place(dev, nl, placer.Options{Mode: placer.ModeVivado, Seed: cfg.Seed,
-		GPIterations: cfg.PrototypeGPIters})
+	proto, err := placer.PlaceContext(ctx, dev, nl, placer.Options{Mode: placer.ModeVivado, Seed: cfg.Seed,
+		GPIterations: cfg.PrototypeGPIters, GP: cfg.GP, Stages: cfg.Stages})
 	if err != nil {
-		return nil, fmt.Errorf("core: prototype placement: %w", err)
+		return nil, stageErr("prototype placement", err)
 	}
 	if err := gate.placement(ValidateEveryStage, "prototype", proto.Pos, proto.SiteOfDSP); err != nil {
 		return nil, err
@@ -281,12 +288,19 @@ func Run(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, cfg Config)
 		}
 		// (b) fix datapath DSPs, re-place the remaining components.
 		t3 := time.Now()
-		res, err := placer.Place(dev, nl, placer.Options{
+		detail := 0
+		if round == cfg.Rounds-1 {
+			// Final round gets the same detailed-placement polish the
+			// baselines' refinement pass runs, so the comparison stays fair.
+			detail = 2
+		}
+		res, err := placer.PlaceContext(ctx, dev, nl, placer.Options{
 			Mode: placer.ModeDSPlacer, Seed: cfg.Seed + int64(round) + 1,
 			FixedSites: legal, GPIterations: cfg.ReplaceGPIters, Warm: pos,
+			GP: cfg.GP, Stages: cfg.Stages, DetailedPasses: detail,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: incremental placement: %w", err)
+			return nil, stageErr("incremental placement", err)
 		}
 		pos = res.Pos
 		siteOf = res.SiteOfDSP
@@ -294,6 +308,9 @@ func Run(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, cfg Config)
 			return nil, err
 		}
 		profile.OtherPlace += time.Since(t3)
+	}
+	if err := timingPolish(dev, nl, pos, period, cfg.Seed); err != nil {
+		return nil, err
 	}
 	if err := gate.placement(ValidateFinal, "final", pos, siteOf); err != nil {
 		return nil, err
@@ -320,7 +337,7 @@ func Run(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, cfg Config)
 		DatapathDSPs: datapath,
 		WNS:          timing.WNS,
 		TNS:          timing.TNS,
-		HPWL:         hpwlUnit(nl, pos),
+		HPWL:         metrics.HPWLUnit(nl, pos),
 		RoutedWL:     rr.Wirelength,
 		Overflow:     rr.OverflowEdges,
 		Profile:      profile,
@@ -341,10 +358,10 @@ func RunBaseline(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, mod
 		return nil, err
 	}
 	t0 := time.Now()
-	res, err := placer.Place(dev, nl, placer.Options{Mode: mode, Seed: cfg.Seed,
-		GPIterations: cfg.BaselineGPIters})
+	res, err := placer.PlaceContext(ctx, dev, nl, placer.Options{Mode: mode, Seed: cfg.Seed,
+		GPIterations: cfg.BaselineGPIters, GP: cfg.GP, Stages: cfg.Stages})
 	if err != nil {
-		return nil, fmt.Errorf("core: %v placement: %w", mode, err)
+		return nil, stageErr(fmt.Sprintf("%v placement", mode), err)
 	}
 	if err := gate.placement(ValidateEveryStage, "placement", res.Pos, res.SiteOfDSP); err != nil {
 		return nil, err
@@ -361,10 +378,14 @@ func RunBaseline(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, mod
 	if err := checkCtx(ctx, mode.String(), "refinement"); err != nil {
 		return nil, err
 	}
-	res, err = placer.Place(dev, nl, placer.Options{Mode: mode, Seed: cfg.Seed + 1,
-		GPIterations: cfg.ReplaceGPIters, Warm: res.Pos})
+	res, err = placer.PlaceContext(ctx, dev, nl, placer.Options{Mode: mode, Seed: cfg.Seed + 1,
+		GPIterations: cfg.ReplaceGPIters, Warm: res.Pos, GP: cfg.GP, Stages: cfg.Stages,
+		DetailedPasses: 2})
 	if err != nil {
-		return nil, fmt.Errorf("core: %v refinement placement: %w", mode, err)
+		return nil, stageErr(fmt.Sprintf("%v refinement placement", mode), err)
+	}
+	if err := timingPolish(dev, nl, res.Pos, period, cfg.Seed); err != nil {
+		return nil, err
 	}
 	if err := gate.placement(ValidateFinal, "final", res.Pos, res.SiteOfDSP); err != nil {
 		return nil, err
@@ -390,7 +411,7 @@ func RunBaseline(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, mod
 		SiteOfDSP: res.SiteOfDSP,
 		WNS:       timing.WNS,
 		TNS:       timing.TNS,
-		HPWL:      hpwlUnit(nl, res.Pos),
+		HPWL:      metrics.HPWLUnit(nl, res.Pos),
 		RoutedWL:  rr.Wirelength,
 		Overflow:  rr.OverflowEdges,
 		Profile:   profile,
@@ -421,6 +442,30 @@ func reweight(nl *netlist.Netlist, pos []geom.Point, period float64) error {
 	return nil
 }
 
+// timingPolish is the criticality-weighted detailed-placement pass every
+// flow ends with: nets are temporarily reweighted by slack so the window
+// moves/swaps target the critical paths rather than raw HPWL, then the
+// weights are restored so routing sees the flow's own weighting. Capacity
+// legality is preserved exactly, so it is safe to run after legalization
+// and before the final DRC gate.
+func timingPolish(dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point, period float64, seed int64) error {
+	restoreW := snapshotWeights(nl)
+	defer restoreW()
+	// Two reweight+refine rounds: the first round's moves change which nets
+	// are critical, and the refreshed weights let cells that started far
+	// from their slack-optimal spot keep traveling instead of freezing at
+	// the window boundary.
+	for round := 0; round < 2; round++ {
+		if err := reweight(nl, pos, period); err != nil {
+			return err
+		}
+		if detailed.Refine(dev, nl, pos, detailed.Options{Passes: 2, Seed: seed}) <= 0 {
+			break
+		}
+	}
+	return nil
+}
+
 // snapshotWeights saves net weights and returns a restorer, so flows that
 // reweight do not leak state into subsequent flows on the same netlist.
 func snapshotWeights(nl *netlist.Netlist) func() {
@@ -433,20 +478,6 @@ func snapshotWeights(nl *netlist.Netlist) func() {
 			n.Weight = saved[i]
 		}
 	}
-}
-
-// hpwlUnit computes unit-weight HPWL.
-func hpwlUnit(nl *netlist.Netlist, pos []geom.Point) float64 {
-	total := 0.0
-	for _, n := range nl.Nets {
-		r := geom.EmptyRect()
-		r = r.Expand(pos[n.Driver])
-		for _, s := range n.Sinks {
-			r = r.Expand(pos[s])
-		}
-		total += r.HalfPerimeter()
-	}
-	return total
 }
 
 // RunRSAD executes the R-SAD-style comparison flow (§I related work [26]):
@@ -467,10 +498,10 @@ func RunRSAD(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, cfg Con
 		return nil, err
 	}
 	t0 := time.Now()
-	proto, err := placer.Place(dev, nl, placer.Options{Mode: placer.ModeVivado, Seed: cfg.Seed,
-		GPIterations: cfg.PrototypeGPIters})
+	proto, err := placer.PlaceContext(ctx, dev, nl, placer.Options{Mode: placer.ModeVivado, Seed: cfg.Seed,
+		GPIterations: cfg.PrototypeGPIters, GP: cfg.GP, Stages: cfg.Stages})
 	if err != nil {
-		return nil, fmt.Errorf("core: rsad prototype: %w", err)
+		return nil, stageErr("rsad prototype", err)
 	}
 	if err := gate.placement(ValidateEveryStage, "prototype", proto.Pos, proto.SiteOfDSP); err != nil {
 		return nil, err
@@ -494,12 +525,16 @@ func RunRSAD(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, cfg Con
 		return nil, err
 	}
 	t2 := time.Now()
-	res, err := placer.Place(dev, nl, placer.Options{
+	res, err := placer.PlaceContext(ctx, dev, nl, placer.Options{
 		Mode: placer.ModeDSPlacer, Seed: cfg.Seed + 1,
 		FixedSites: siteOf, GPIterations: cfg.ReplaceGPIters, Warm: proto.Pos,
+		GP: cfg.GP, Stages: cfg.Stages,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: rsad re-placement: %w", err)
+		return nil, stageErr("rsad re-placement", err)
+	}
+	if err := timingPolish(dev, nl, res.Pos, period, cfg.Seed); err != nil {
+		return nil, err
 	}
 	if err := gate.placement(ValidateFinal, "final", res.Pos, res.SiteOfDSP); err != nil {
 		return nil, err
@@ -524,7 +559,7 @@ func RunRSAD(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, cfg Con
 		SiteOfDSP: res.SiteOfDSP,
 		WNS:       timing.WNS,
 		TNS:       timing.TNS,
-		HPWL:      hpwlUnit(nl, res.Pos),
+		HPWL:      metrics.HPWLUnit(nl, res.Pos),
 		RoutedWL:  rr.Wirelength,
 		Overflow:  rr.OverflowEdges,
 		Profile:   profile,

@@ -270,6 +270,7 @@ func Generate(spec Spec, dev *fpga.Device) (nl *netlist.Netlist, err error) {
 		f := bl.ff()
 		bl.net(p, a)
 		bl.net(a, f)
+		bl.nl.AddDataflow(p, f, 1)
 		distRoots = append(distRoots, f)
 	}
 
@@ -289,6 +290,7 @@ func Generate(spec Spec, dev *fpga.Device) (nl *netlist.Netlist, err error) {
 		bl.net(root, s1)
 		bl.net(s1, s2)
 		u.inStage = s2
+		bl.nl.AddDataflow(root, s2, 1)
 		for _, b := range u.inBuf {
 			bl.net(s2, b)
 		}
@@ -317,6 +319,9 @@ func Generate(spec Spec, dev *fpga.Device) (nl *netlist.Netlist, err error) {
 			if len(u.lineBuf) > 0 {
 				src = u.lineBuf[bl.rng.Intn(len(u.lineBuf))]
 			}
+			// PU hierarchy: operands flow from the line buffer / input stage
+			// into the PE's cascade head.
+			bl.nl.AddDataflow(src, pe[0], 1)
 			// Per-DSP operand registers (weight + activation) and a LUT mux.
 			var prevOut int = -1
 			for di, d := range pe {
@@ -327,9 +332,12 @@ func Generate(spec Spec, dev *fpga.Device) (nl *netlist.Netlist, err error) {
 				bl.net(mux, wReg, aReg)
 				bl.net(wReg, d)
 				bl.net(aReg, d)
-				// The cascade net: DSP to its successor.
+				// The cascade net: DSP to its successor. Cascade adjacencies
+				// are the strongest dataflow edges (they must land on
+				// adjacent sites of one column).
 				if di+1 < len(pe) {
 					bl.net(d, pe[di+1])
+					bl.nl.AddDataflow(d, pe[di+1], 2)
 				}
 				prevOut = d
 			}
@@ -346,14 +354,18 @@ func Generate(spec Spec, dev *fpga.Device) (nl *netlist.Netlist, err error) {
 				bl.net(res, prevOut) // MACC accumulation feedback
 			}
 			if len(u.outBuf) > 0 {
-				bl.net(res, u.outBuf[bl.rng.Intn(len(u.outBuf))])
+				ob := u.outBuf[bl.rng.Intn(len(u.outBuf))]
+				bl.net(res, ob)
+				bl.nl.AddDataflow(res, ob, 1)
 			} else {
 				bl.net(res, u.outStage)
+				bl.nl.AddDataflow(res, u.outStage, 1)
 			}
 		}
 		// Output buffers drain through the PU's output stage.
 		for _, b := range u.outBuf {
 			bl.net(b, u.outStage)
+			bl.nl.AddDataflow(b, u.outStage, 1)
 		}
 	}
 
@@ -362,6 +374,7 @@ func Generate(spec Spec, dev *fpga.Device) (nl *netlist.Netlist, err error) {
 		g := bl.ff()
 		bl.net(u.outStage, g)
 		bl.net(g, psOut[k%len(psOut)])
+		bl.nl.AddDataflow(u.outStage, psOut[k%len(psOut)], 1)
 	}
 
 	// --- Control subsystem ----------------------------------------------------

@@ -80,6 +80,27 @@ func (m *CSR) MulDense(d *Dense) *Dense {
 	return out
 }
 
+// MulVec computes y = m·x (SpMV) into the caller-provided slice,
+// parallelized over sparse rows. Each row's dot product accumulates in
+// stored-column order on one goroutine and lands in its own output slot, so
+// the result is bit-identical at any worker count. Reusing y across calls
+// keeps the hot path (the placer's per-iteration dataflow-force assembly)
+// allocation-free.
+func (m *CSR) MulVec(x, y []float64) {
+	if len(x) != m.C || len(y) != m.R {
+		panic(fmt.Sprintf("mat: spmv dims %dx%d × %d into %d", m.R, m.C, len(x), len(y)))
+	}
+	parallelRows(m.R, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				s += m.Val[p] * x[m.ColIdx[p]]
+			}
+			y[i] = s
+		}
+	})
+}
+
 // ToDense materializes m; intended for tests on small matrices.
 func (m *CSR) ToDense() *Dense {
 	out := NewDense(m.R, m.C)

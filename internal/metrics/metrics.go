@@ -20,6 +20,17 @@ func HPWL(nl *netlist.Netlist, pos []geom.Point) float64 {
 	return total
 }
 
+// HPWLUnit returns the total HPWL of nl with every net weight treated as 1.
+// It is the one shared definition of the unit-weight wirelength that flows
+// and placers report, so timing-reweighted runs stay comparable.
+func HPWLUnit(nl *netlist.Netlist, pos []geom.Point) float64 {
+	total := 0.0
+	for _, n := range nl.Nets {
+		total += NetHPWL(n, pos)
+	}
+	return total
+}
+
 // NetHPWL returns the (unweighted) half-perimeter of one net.
 func NetHPWL(n *netlist.Net, pos []geom.Point) float64 {
 	r := geom.EmptyRect()

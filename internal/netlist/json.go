@@ -27,12 +27,20 @@ type jsonNet struct {
 	Weight float64 `json:"weight,omitempty"`
 }
 
+// jsonDataflow is the on-disk representation of a DataflowEdge.
+type jsonDataflow struct {
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Weight float64 `json:"w,omitempty"`
+}
+
 // jsonNetlist is the on-disk representation of a Netlist.
 type jsonNetlist struct {
-	Name   string     `json:"name"`
-	Cells  []jsonCell `json:"cells"`
-	Nets   []jsonNet  `json:"nets"`
-	Macros [][]int    `json:"macros,omitempty"`
+	Name     string         `json:"name"`
+	Cells    []jsonCell     `json:"cells"`
+	Nets     []jsonNet      `json:"nets"`
+	Macros   [][]int        `json:"macros,omitempty"`
+	Dataflow []jsonDataflow `json:"dataflow,omitempty"`
 }
 
 // MarshalJSON serializes the netlist to a stable JSON document.
@@ -51,6 +59,13 @@ func (nl *Netlist) MarshalJSON() ([]byte, error) {
 			w = 0 // omitted; restored on load
 		}
 		doc.Nets = append(doc.Nets, jsonNet{Name: n.Name, Driver: n.Driver, Sinks: n.Sinks, Weight: w})
+	}
+	for _, e := range nl.Dataflow {
+		w := e.Weight
+		if w == 1 {
+			w = 0 // omitted; restored on load
+		}
+		doc.Dataflow = append(doc.Dataflow, jsonDataflow{From: e.From, To: e.To, Weight: w})
 	}
 	return json.Marshal(doc)
 }
@@ -89,6 +104,13 @@ func (nl *Netlist) UnmarshalJSON(data []byte) error {
 			}
 		}
 		nl.AddMacro(m)
+	}
+	for _, je := range doc.Dataflow {
+		w := je.Weight
+		if w == 0 {
+			w = 1
+		}
+		nl.Dataflow = append(nl.Dataflow, DataflowEdge{From: je.From, To: je.To, Weight: w})
 	}
 	return nl.Validate()
 }

@@ -102,15 +102,30 @@ func (n *Net) Pins() []int {
 	return out
 }
 
+// DataflowEdge is one producer→consumer edge of the accelerator's dataflow
+// hierarchy (PS bus → distribution tree → PU input stage → PE cascade → PU
+// output → PS): the structural information DG-RePlAce-style placers consume
+// as first-class attractive forces. The generator emits these while it
+// builds the design; they are hints for analytical placement, never
+// correctness constraints.
+type DataflowEdge struct {
+	From, To int
+	// Weight scales the attraction (cascade adjacencies are emitted heavier
+	// than hierarchy membership edges).
+	Weight float64
+}
+
 // Netlist is a complete design: cells, nets and DSP cascade macros. Macros
 // list DSP cell ids in cascade order (predecessor before successor), the
 // order that constraint (5) of the paper must preserve on adjacent sites of
-// one column.
+// one column. Dataflow optionally carries the design's dataflow hierarchy
+// as weighted edges.
 type Netlist struct {
-	Name   string
-	Cells  []*Cell
-	Nets   []*Net
-	Macros [][]int
+	Name     string
+	Cells    []*Cell
+	Nets     []*Net
+	Macros   [][]int
+	Dataflow []DataflowEdge
 }
 
 // New returns an empty netlist with the given design name.
@@ -153,6 +168,15 @@ func (nl *Netlist) AddMacro(cells []int) int {
 		nl.Cells[cid].MacroIdx = idx
 	}
 	return id
+}
+
+// AddDataflow records one dataflow-hierarchy edge from producer to consumer
+// with the given attraction weight (0 means the default weight 1).
+func (nl *Netlist) AddDataflow(from, to int, weight float64) {
+	if weight == 0 {
+		weight = 1
+	}
+	nl.Dataflow = append(nl.Dataflow, DataflowEdge{From: from, To: to, Weight: weight})
 }
 
 // NumCells returns the number of cells.
@@ -263,6 +287,17 @@ func (nl *Netlist) Validate() error {
 		// comparison) are rejected too, not silently accepted.
 		if !(n.Weight > 0) || n.Weight > maxNetWeight {
 			return fmt.Errorf("netlist %s: net %q has invalid weight %v", nl.Name, n.Name, n.Weight)
+		}
+	}
+	for ei, e := range nl.Dataflow {
+		if e.From < 0 || e.From >= len(nl.Cells) || e.To < 0 || e.To >= len(nl.Cells) {
+			return fmt.Errorf("netlist %s: dataflow edge %d endpoint out of range", nl.Name, ei)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("netlist %s: dataflow edge %d is a self-loop on cell %d", nl.Name, ei, e.From)
+		}
+		if !(e.Weight > 0) || e.Weight > maxNetWeight {
+			return fmt.Errorf("netlist %s: dataflow edge %d has invalid weight %v", nl.Name, ei, e.Weight)
 		}
 	}
 	for mid, m := range nl.Macros {

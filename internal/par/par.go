@@ -99,3 +99,33 @@ func MapWorker[T, S any](n int, mk func(w int) S, fn func(scratch S, i int) T) [
 	})
 	return out
 }
+
+// DefaultShards is the fixed shard count for ForEachShard-based floating-
+// point reductions. It is a constant — never derived from GOMAXPROCS — so
+// the shard boundaries, and therefore the summation order of any per-shard
+// partial-sum reduction performed in shard order, are identical at every
+// worker count.
+const DefaultShards = 16
+
+// ForEachShard splits [0, n) into exactly `shards` contiguous ranges and
+// runs fn(s, lo, hi) for each non-empty range across the worker pool. The
+// ranges depend only on n and shards, so callers that accumulate into
+// per-shard buffers and reduce them serially in shard order get bit-
+// identical floating-point results regardless of GOMAXPROCS — the
+// deterministic-reduction primitive behind the placer's bin-density
+// accumulation.
+func ForEachShard(n, shards int, fn func(s, lo, hi int)) {
+	if n <= 0 || shards <= 0 {
+		return
+	}
+	if shards > n {
+		shards = n
+	}
+	ForEach(shards, func(s int) {
+		lo := n * s / shards
+		hi := n * (s + 1) / shards
+		if lo < hi {
+			fn(s, lo, hi)
+		}
+	})
+}

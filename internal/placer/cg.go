@@ -1,5 +1,7 @@
 package placer
 
+import "math"
+
 // Sparse symmetric positive-definite solver used by the quadratic placement
 // engine: Jacobi-preconditioned conjugate gradient over an adjacency-list
 // matrix representation.
@@ -54,12 +56,23 @@ func (m *spdMatrix) mulVec(x, y []float64) {
 // solveCG runs preconditioned conjugate gradient from the initial guess x,
 // overwriting x with the solution. Iterations are capped at maxIter and the
 // loop stops early once the residual shrinks by relTol.
+//
+// Degenerate systems — anchor-free rows whose preconditioner floor blows up
+// the first step, or extreme weights that overflow the residual dot
+// products — can drive CG's scalars (and with them x) to NaN/Inf. Every
+// scalar and the iterate itself are guarded: on the first non-finite value
+// the solver restores the best (lowest finite residual) iterate seen and
+// bails, so callers never receive poisoned coordinates.
 func (m *spdMatrix) solveCG(b, x []float64, maxIter int, relTol float64) {
 	n := len(b)
 	r := make([]float64, n)
 	z := make([]float64, n)
 	p := make([]float64, n)
 	ap := make([]float64, n)
+
+	best := make([]float64, n)
+	copy(best, x)
+	restore := func() { copy(x, best) }
 
 	m.mulVec(x, r)
 	for i := range r {
@@ -81,28 +94,62 @@ func (m *spdMatrix) solveCG(b, x []float64, maxIter int, relTol float64) {
 	if r0 == 0 {
 		return
 	}
+	if !isFinite(r0) {
+		return // initial x is already the best iterate we have
+	}
+	bestRR := r0
 	for iter := 0; iter < maxIter; iter++ {
 		m.mulVec(p, ap)
 		pap := dot(p, ap)
-		if pap <= 0 {
+		if pap <= 0 || !isFinite(pap) {
 			break
 		}
 		alpha := rz / pap
+		if !isFinite(alpha) {
+			restore()
+			return
+		}
 		for i := range x {
 			x[i] += alpha * p[i]
 			r[i] -= alpha * ap[i]
 		}
-		if dot(r, r) < relTol*relTol*r0 {
+		rr := dot(r, r)
+		if !isFinite(rr) || !allFinite(x) {
+			restore()
+			return
+		}
+		if rr < bestRR {
+			bestRR = rr
+			copy(best, x)
+		}
+		if rr < relTol*relTol*r0 {
 			break
 		}
 		prec(z, r)
 		rzNew := dot(r, z)
 		beta := rzNew / rz
+		if !isFinite(beta) {
+			restore()
+			return
+		}
 		rz = rzNew
 		for i := range p {
 			p[i] = z[i] + beta*p[i]
 		}
 	}
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+func allFinite(xs []float64) bool {
+	for _, v := range xs {
+		if !isFinite(v) {
+			return false
+		}
+	}
+	return true
 }
 
 func dot(a, b []float64) float64 {

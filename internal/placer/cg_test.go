@@ -48,6 +48,67 @@ func TestCGZeroRHS(t *testing.T) {
 	}
 }
 
+// Regression: an anchor-free system is singular (the all-ones vector is in
+// the null space), and a right-hand side with a nonzero sum has no exact
+// solution. Unguarded CG drives pap toward zero and poisons x through
+// alpha = rz/pap; the guard must bail with the best finite iterate.
+func TestCGDegenerateAnchorFreeStaysFinite(t *testing.T) {
+	m := newSPD(3)
+	m.addConnection(0, 1, 1)
+	m.addConnection(1, 2, 1)
+	rhs := []float64{1, 1, 1} // sums to 3 ≠ 0: outside the matrix range
+	x := []float64{4, -2, 9}
+	m.solveCG(rhs, x, 200, 1e-12)
+	if !allFinite(x) {
+		t.Fatalf("degenerate anchor-free system produced non-finite x=%v", x)
+	}
+}
+
+// Regression: weights near the float64 ceiling overflow the initial
+// residual dot product to +Inf. The solver must hand back the untouched
+// initial guess instead of iterating on Inf scalars.
+func TestCGOverflowingResidualKeepsInitialGuess(t *testing.T) {
+	m := newSPD(2)
+	rhs := make([]float64, 2)
+	m.addAnchor(0, 1e300, rhs, 40)
+	m.addAnchor(1, 1e300, rhs, -40)
+	m.addConnection(0, 1, 1e300)
+	x := []float64{1, 2}
+	m.solveCG(rhs, x, 50, 1e-10)
+	if x[0] != 1 || x[1] != 2 {
+		t.Fatalf("x=%v, want initial guess [1 2] preserved", x)
+	}
+}
+
+// Property: no system — including anchor-free singular ones with isolated
+// zero-diagonal rows — may ever yield non-finite coordinates.
+func TestCGNeverProducesNonFinite(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		m := newSPD(n)
+		rhs := make([]float64, n)
+		for k := 0; k < n+rng.Intn(2*n); k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				m.addConnection(i, j, rng.Float64())
+			}
+		}
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64() * 100
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		m.solveCG(rhs, x, 300, 1e-12)
+		return allFinite(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: CG solution satisfies the normal equations (residual small) on
 // random SPD systems built from random connections and anchors.
 func TestCGResidualProperty(t *testing.T) {

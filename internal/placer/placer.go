@@ -19,6 +19,7 @@
 package placer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -30,6 +31,7 @@ import (
 	"dsplacer/internal/metrics"
 	"dsplacer/internal/netlist"
 	"dsplacer/internal/pack"
+	"dsplacer/internal/stage"
 )
 
 // Mode selects the DSP-handling personality of the placer.
@@ -53,14 +55,59 @@ func (m Mode) String() string {
 	return "?"
 }
 
+// GPMode selects the analytical global-placement engine. It is orthogonal
+// to Mode: Mode picks the DSP-handling personality, GPMode picks the math
+// that produces the pre-legalization solution.
+type GPMode int
+
+const (
+	// ModeElectrostatic is the Nesterov-momentum electrostatic engine
+	// (WA wirelength + multigrid density + dataflow attraction) — the
+	// default.
+	ModeElectrostatic GPMode = iota
+	// ModeQuadratic is the legacy bound-to-bound quadratic CG engine with
+	// slab spreading, kept so suites can diff the engines.
+	ModeQuadratic
+)
+
+func (m GPMode) String() string {
+	switch m {
+	case ModeElectrostatic:
+		return "electrostatic"
+	case ModeQuadratic:
+		return "quadratic"
+	}
+	return "?"
+}
+
 // Options configures a placement run.
 type Options struct {
 	Mode Mode
+	// GP selects the global-placement engine: ModeElectrostatic (default)
+	// or the legacy ModeQuadratic CG/B2B path.
+	GP   GPMode
 	Seed int64
-	// GPIterations is the number of solve+spread rounds (default 8).
+	// GPIterations is the global-placement schedule length: the number of
+	// solve+spread rounds for ModeQuadratic, and the base the electrostatic
+	// iteration budget scales from (default 8).
 	GPIterations int
-	// CGIterations caps conjugate-gradient steps per solve (default 80).
+	// CGIterations caps conjugate-gradient steps per solve (default 80;
+	// ModeQuadratic only).
 	CGIterations int
+	// ElectroIterations caps the Nesterov iterations of the electrostatic
+	// engine (default 12×GPIterations).
+	ElectroIterations int
+	// DataflowWeight scales the electrostatic engine's dataflow attraction
+	// force. Zero defaults by personality: 0.05 for ModeDSPlacer (the
+	// paper's flow exploits the accelerator hierarchy), 0 for the
+	// Vivado/AMF personalities (they model datapath-oblivious tools, and
+	// Table II stops isolating DSP handling if they see the hierarchy).
+	// Callers can set it explicitly for any mode; negative disables it.
+	DataflowWeight float64
+	// Stages receives the run's per-phase timings (placer.gradient,
+	// placer.density, placer.global, placer.legalize). nil records into the
+	// process-wide default recorder.
+	Stages *stage.Recorder
 	// FixedSites pins DSP cells to device DSP site indices (ModeDSPlacer:
 	// the datapath DSP result). These cells are immovable.
 	FixedSites map[int]int
@@ -91,6 +138,13 @@ func (o Options) withDefaults() Options {
 	if o.AnchorWeight == 0 {
 		o.AnchorWeight = 0.01
 	}
+	if o.DataflowWeight == 0 {
+		if o.Mode == ModeDSPlacer {
+			o.DataflowWeight = 0.05
+		}
+	} else if o.DataflowWeight < 0 {
+		o.DataflowWeight = 0
+	}
 	return o
 }
 
@@ -110,45 +164,28 @@ type Result struct {
 
 // Place runs global placement + legalization and returns a legal result.
 func Place(dev *fpga.Device, nl *netlist.Netlist, opt Options) (*Result, error) {
+	return PlaceContext(context.Background(), dev, nl, opt)
+}
+
+// PlaceContext is Place with cancellation: ctx is consulted every Nesterov
+// iteration (electrostatic engine) or every solve+spread round (quadratic
+// engine), so a canceled job aborts mid-placement rather than at the next
+// stage boundary. The returned error keeps the context's error in its chain
+// for errors.Is.
+func PlaceContext(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
-	if err := nl.Validate(); err != nil {
+	if err := validateOptions(dev, nl, opt); err != nil {
 		return nil, err
-	}
-	n := nl.NumCells()
-	sites := dev.DSPSites()
-	for c, j := range opt.FixedSites {
-		if c < 0 || c >= n || nl.Cells[c].Type != netlist.DSP {
-			return nil, fmt.Errorf("placer: FixedSites cell %d invalid", c)
-		}
-		if j < 0 || j >= len(sites) {
-			return nil, fmt.Errorf("placer: FixedSites site %d invalid", j)
-		}
 	}
 
 	t0 := time.Now()
-	if opt.Mode == ModeAMF {
-		// AMF-Placer 2.0 is tuned for the VCU108; the paper observes its
-		// quality degrade on ZCU104. Model the mis-tuning as a shortened
-		// effective schedule (its spreading fights the unfamiliar column
-		// pattern) plus residual noise injected after GP (its packing/
-		// unpacking heuristics miss the device's site map). Its runtime
-		// cost shows up in extra CG work per round.
-		opt.GPIterations = (opt.GPIterations + 1) / 2
-		opt.CGIterations *= 5
-	}
-	pos, movable := initialPositions(dev, nl, opt)
-	runGlobalPlacement(dev, nl, pos, movable, opt)
-	if opt.Mode == ModeAMF {
-		rng := rand.New(rand.NewSource(opt.Seed + 77))
-		for i := range pos {
-			if movable[i] {
-				pos[i].X = geom.Clamp(pos[i].X+rng.NormFloat64()*dev.Width/24, 0, dev.Width-1e-9)
-				pos[i].Y = geom.Clamp(pos[i].Y+rng.NormFloat64()*dev.Height/24, 0, dev.Height-1e-9)
-			}
-		}
+	pos, _, err := globalPlace(ctx, dev, nl, opt)
+	if err != nil {
+		return nil, err
 	}
 	gpTime := time.Since(t0)
-	gpos := make([]geom.Point, n)
+	opt.Stages.Add("placer.global", gpTime)
+	gpos := make([]geom.Point, len(pos))
 	copy(gpos, pos)
 
 	t1 := time.Now()
@@ -162,28 +199,81 @@ func Place(dev *fpga.Device, nl *netlist.Netlist, opt Options) (*Result, error) 
 		})
 	}
 	legalTime := time.Since(t1)
+	opt.Stages.Add("placer.legalize", legalTime)
 
 	return &Result{
 		Pos:       pos,
 		SiteOfDSP: siteOfDSP,
-		HPWL:      metrics.HPWL(unitWeights(nl), pos),
+		HPWL:      metrics.HPWLUnit(nl, pos),
 		GlobalPos: gpos,
 		GPTime:    gpTime,
 		LegalTime: legalTime,
 	}, nil
 }
 
-// unitWeights returns a shallow netlist view with unit net weights so the
-// reported HPWL is comparable across timing-weighted runs.
-func unitWeights(nl *netlist.Netlist) *netlist.Netlist {
-	cp := &netlist.Netlist{Name: nl.Name, Cells: nl.Cells, Macros: nl.Macros}
-	cp.Nets = make([]*netlist.Net, len(nl.Nets))
-	for i, nt := range nl.Nets {
-		c := *nt
-		c.Weight = 1
-		cp.Nets[i] = &c
+// GlobalPlace runs only the analytical global-placement phase and returns
+// the pre-legalization positions — the surface the engine benchmarks diff;
+// PlaceContext feeds the identical positions into legalization.
+func GlobalPlace(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, opt Options) ([]geom.Point, error) {
+	opt = opt.withDefaults()
+	if err := validateOptions(dev, nl, opt); err != nil {
+		return nil, err
 	}
-	return cp
+	pos, _, err := globalPlace(ctx, dev, nl, opt)
+	return pos, err
+}
+
+func validateOptions(dev *fpga.Device, nl *netlist.Netlist, opt Options) error {
+	if err := nl.Validate(); err != nil {
+		return err
+	}
+	n := nl.NumCells()
+	sites := dev.DSPSites()
+	for c, j := range opt.FixedSites {
+		if c < 0 || c >= n || nl.Cells[c].Type != netlist.DSP {
+			return fmt.Errorf("placer: FixedSites cell %d invalid", c)
+		}
+		if j < 0 || j >= len(sites) {
+			return fmt.Errorf("placer: FixedSites site %d invalid", j)
+		}
+	}
+	return nil
+}
+
+// globalPlace applies the Mode personality, dispatches to the selected
+// engine and returns the analytical positions plus the movable mask.
+func globalPlace(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, opt Options) ([]geom.Point, []bool, error) {
+	if opt.Mode == ModeAMF {
+		// AMF-Placer 2.0 is tuned for the VCU108; the paper observes its
+		// quality degrade on ZCU104. Model the mis-tuning as a shortened
+		// effective schedule (its spreading fights the unfamiliar column
+		// pattern) plus residual noise injected after GP (its packing/
+		// unpacking heuristics miss the device's site map). Its runtime
+		// cost shows up in extra CG work per round.
+		opt.GPIterations = (opt.GPIterations + 1) / 2
+		opt.CGIterations *= 5
+	}
+	pos, movable := initialPositions(dev, nl, opt)
+	var err error
+	switch opt.GP {
+	case ModeQuadratic:
+		err = runGlobalPlacement(ctx, dev, nl, pos, movable, opt)
+	default:
+		err = runElectrostatic(ctx, dev, nl, pos, movable, opt)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if opt.Mode == ModeAMF {
+		rng := rand.New(rand.NewSource(opt.Seed + 77))
+		for i := range pos {
+			if movable[i] {
+				pos[i].X = geom.Clamp(pos[i].X+rng.NormFloat64()*dev.Width/24, 0, dev.Width-1e-9)
+				pos[i].Y = geom.Clamp(pos[i].Y+rng.NormFloat64()*dev.Height/24, 0, dev.Height-1e-9)
+			}
+		}
+	}
+	return pos, movable, nil
 }
 
 // initialPositions seeds every movable cell near the centroid of the fixed
@@ -236,8 +326,8 @@ func initialPositions(dev *fpga.Device, nl *netlist.Netlist, opt Options) ([]geo
 
 // runGlobalPlacement alternates quadratic solves with slab spreading,
 // anchoring cells to their spread targets with geometrically growing
-// weights (Kraftwerk/FastPlace style).
-func runGlobalPlacement(dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point, movable []bool, opt Options) {
+// weights (Kraftwerk/FastPlace style). ctx is consulted once per round.
+func runGlobalPlacement(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point, movable []bool, opt Options) error {
 	var pairing *pack.Pairing
 	if opt.Pack {
 		pairing = pack.Cluster(nl)
@@ -253,6 +343,9 @@ func runGlobalPlacement(dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point,
 		anchorW = opt.AnchorWeight * 16
 	}
 	for it := 0; it < opt.GPIterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("placer: quadratic placement canceled at round %d/%d: %w", it, opt.GPIterations, err)
+		}
 		solveQuadratic(nl, pos, movable, targets, anchorW, opt.CGIterations)
 		if pairing != nil {
 			pairing.Fuse(pos)
@@ -268,6 +361,7 @@ func runGlobalPlacement(dev *fpga.Device, nl *netlist.Netlist, pos []geom.Point,
 		pairing.Fuse(pos)
 	}
 	clampToDevice(dev, pos, movable)
+	return nil
 }
 
 func clampToDevice(dev *fpga.Device, pos []geom.Point, movable []bool) {

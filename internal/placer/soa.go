@@ -1,0 +1,149 @@
+package placer
+
+// Flat structure-of-arrays problem view for the electrostatic global-
+// placement engine. The pointer-heavy netlist is lowered once per run into
+// contiguous coordinate, pin and incidence arrays so the per-iteration hot
+// loops (WA wirelength gradients, density accumulation, dataflow matvec)
+// touch nothing but flat slices.
+//
+// Determinism contract: every parallel pass writes per-index slots only
+// (per-pin gradient slots in pass 1, per-cell gathers over a fixed
+// incidence order in pass 2), so all results are bit-identical at any
+// GOMAXPROCS.
+
+import (
+	"dsplacer/internal/geom"
+	"dsplacer/internal/mat"
+	"dsplacer/internal/netlist"
+)
+
+type soa struct {
+	n       int
+	x, y    []float64 // current evaluation point (the Nesterov reference v)
+	movable []bool
+
+	// Nets flattened CSR-style: net e owns pin slots netPtr[e]..netPtr[e+1],
+	// driver first. Every net has ≥2 pins (netlist.Validate guarantees it).
+	netPtr []int32
+	netPin []int32
+	netW   []float64
+
+	// Transposed incidence: cell i owns the slot indices
+	// cellSlot[cellPtr[i]:cellPtr[i+1]], in ascending slot order.
+	cellPtr  []int32
+	cellSlot []int32
+
+	// Per-pin WA scratch (exp terms) and per-pin gradient outputs of pass 1;
+	// per-cell wirelength gradients gathered in pass 2.
+	pinA, pinB   []float64
+	pinGX, pinGY []float64
+	wlGX, wlGY   []float64
+
+	// Per-net exact-HPWL scratch for the best-iterate snapshot.
+	netSpan []float64
+
+	// Dataflow attraction: the weighted graph Laplacian of the design's
+	// dataflow hierarchy as a sparse CSR matrix. The per-axis force is the
+	// matvec L·x — the gradient of ½·Σ w·(x_i−x_j)² over the edges.
+	lap      *mat.CSR
+	dfW      float64
+	dfX, dfY []float64
+
+	// prec is the Jacobi-style gradient preconditioner: 1 + the cell's
+	// weighted pin degree (+ its dataflow degree), so high-degree cells take
+	// proportionally smaller steps.
+	prec []float64
+}
+
+func newSOA(nl *netlist.Netlist, pos []geom.Point, movable []bool, dfWeight float64) *soa {
+	n := nl.NumCells()
+	s := &soa{n: n, movable: movable, dfW: dfWeight}
+	s.x = make([]float64, n)
+	s.y = make([]float64, n)
+	for i, p := range pos {
+		s.x[i], s.y[i] = p.X, p.Y
+	}
+
+	nets := nl.Nets
+	s.netPtr = make([]int32, len(nets)+1)
+	s.netW = make([]float64, len(nets))
+	total := 0
+	for e, nt := range nets {
+		total += 1 + len(nt.Sinks)
+		s.netPtr[e+1] = int32(total)
+		s.netW[e] = nt.Weight
+	}
+	s.netPin = make([]int32, total)
+	for e, nt := range nets {
+		p := int(s.netPtr[e])
+		s.netPin[p] = int32(nt.Driver)
+		for k, snk := range nt.Sinks {
+			s.netPin[p+1+k] = int32(snk)
+		}
+	}
+
+	s.cellPtr = make([]int32, n+1)
+	for _, c := range s.netPin {
+		s.cellPtr[c+1]++
+	}
+	for i := 0; i < n; i++ {
+		s.cellPtr[i+1] += s.cellPtr[i]
+	}
+	cur := make([]int32, n)
+	copy(cur, s.cellPtr[:n])
+	s.cellSlot = make([]int32, total)
+	for slot, c := range s.netPin {
+		s.cellSlot[cur[c]] = int32(slot)
+		cur[c]++
+	}
+
+	s.netSpan = make([]float64, len(nets))
+	s.pinA = make([]float64, total)
+	s.pinB = make([]float64, total)
+	s.pinGX = make([]float64, total)
+	s.pinGY = make([]float64, total)
+	s.wlGX = make([]float64, n)
+	s.wlGY = make([]float64, n)
+
+	s.prec = make([]float64, n)
+	for i := range s.prec {
+		s.prec[i] = 1
+	}
+	for e := range nets {
+		w := s.netW[e]
+		for p := s.netPtr[e]; p < s.netPtr[e+1]; p++ {
+			s.prec[s.netPin[p]] += w
+		}
+	}
+
+	// Dataflow edges come from the generator's hierarchy; designs without
+	// them (hand-written netlists, JSON imports) fall back to the cascade
+	// adjacencies, which carry the same must-stay-adjacent intent.
+	edges := nl.Dataflow
+	if len(edges) == 0 {
+		for _, pr := range nl.CascadePairs() {
+			edges = append(edges, netlist.DataflowEdge{From: pr[0], To: pr[1], Weight: 2})
+		}
+	}
+	if len(edges) > 0 && dfWeight > 0 {
+		coo := make([]mat.COO, 0, 4*len(edges))
+		for _, e := range edges {
+			coo = append(coo,
+				mat.COO{Row: e.From, Col: e.From, Val: e.Weight},
+				mat.COO{Row: e.To, Col: e.To, Val: e.Weight},
+				mat.COO{Row: e.From, Col: e.To, Val: -e.Weight},
+				mat.COO{Row: e.To, Col: e.From, Val: -e.Weight})
+		}
+		s.lap = mat.NewCSR(n, n, coo)
+		s.dfX = make([]float64, n)
+		s.dfY = make([]float64, n)
+		for i := 0; i < n; i++ {
+			for p := s.lap.RowPtr[i]; p < s.lap.RowPtr[i+1]; p++ {
+				if s.lap.ColIdx[p] == i {
+					s.prec[i] += dfWeight * s.lap.Val[p]
+				}
+			}
+		}
+	}
+	return s
+}
