@@ -52,7 +52,7 @@ bench-smoke:
 # Hot-path micro-benchmarks with allocation counts (real measurements;
 # compare against BENCH_*.json).
 bench:
-	go test -run '^$$' -bench 'DSPGraphBuild|AssignIteration|MinCostFlow|GlobalPlace' -benchmem .  && \
+	go test -run '^$$' -bench 'DSPGraphBuild|AssignIteration|MinCostFlow|GlobalPlace|Features' -benchmem .  && \
 	go test -run '^$$' -bench . -benchmem ./internal/mcmf/
 
 # CPU-profile one Table II regeneration at mini scale; open with

@@ -24,6 +24,7 @@ import (
 	"dsplacer/internal/features"
 	"dsplacer/internal/fpga"
 	"dsplacer/internal/gcn"
+	"dsplacer/internal/gsp"
 	"dsplacer/internal/netlist"
 	"dsplacer/internal/placer"
 	"dsplacer/internal/route"
@@ -39,6 +40,8 @@ func main() {
 	mcfIters := flag.Int("mcf-iters", 50, "MCF linearization iterations")
 	rounds := flag.Int("rounds", 2, "incremental placement rounds (Fig. 6)")
 	modelPath := flag.String("model", "", "trained GCN model (cmd/train) for datapath identification; default: generator ground truth")
+	distilledPath := flag.String("distilled", "", "distilled spectral student (cmd/train -distill) for O(edges) datapath identification")
+	featMode := flag.String("features", "auto", "centrality backend for identification features: auto, exact, sampled or gsp")
 	svgPath := flag.String("svg", "", "write an SVG layout to this path")
 	ascii := flag.Bool("ascii", false, "print an ASCII layout")
 	congestion := flag.Bool("congestion", false, "print a routing congestion heatmap")
@@ -68,12 +71,26 @@ func main() {
 		MCFIterations: *mcfIters, Rounds: *rounds, Seed: common.Seed,
 		Validate: common.Validate(),
 	}
-	if *modelPath != "" {
+	mode, err := features.ParseMode(*featMode)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	fcfg := features.Config{Mode: mode, Seed: common.Seed + 13}
+	switch {
+	case *modelPath != "" && *distilledPath != "":
+		cli.Fatal(fmt.Errorf("-model and -distilled are mutually exclusive"))
+	case *modelPath != "":
 		model, err := gcn.LoadFile(*modelPath)
 		if err != nil {
 			cli.Fatal(err)
 		}
-		cfg.Identifier = &core.GCNIdentifier{Model: model, FeatureCfg: features.Config{Seed: common.Seed + 13}}
+		cfg.Identifier = &core.GCNIdentifier{Model: model, FeatureCfg: fcfg}
+	case *distilledPath != "":
+		student, err := gsp.LoadDistilled(*distilledPath)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		cfg.Identifier = &core.DistilledIdentifier{Model: student, FeatureCfg: fcfg}
 	}
 
 	var res *core.Result
@@ -139,7 +156,7 @@ func main() {
 	}
 	if *ascii || *svgPath != "" {
 		datapath := map[int]bool{}
-		ids, _ := core.OracleIdentifier{}.Identify(nl)
+		ids, _ := core.OracleIdentifier{}.Identify(ctx, nl)
 		for _, c := range ids {
 			datapath[c] = true
 		}

@@ -8,6 +8,7 @@
 //	experiments -fig8              # Fig 8     runtime breakdown
 //	experiments -fig9 -out DIR     # Fig 9     layout visualizations (+SVG)
 //	experiments -ablations         # λ / MCF-iteration / filtering sweeps
+//	experiments -agreement -mini   # exact-vs-GSP feature backend agreement
 //	experiments -all               # everything above
 //	experiments -mini              # use ~1/16-scale benchmarks (fast)
 //
@@ -25,6 +26,7 @@ import (
 
 	"dsplacer/internal/cli"
 	"dsplacer/internal/experiments"
+	"dsplacer/internal/features"
 	"dsplacer/internal/gen"
 	"dsplacer/internal/placer"
 )
@@ -37,6 +39,7 @@ func main() {
 	fig8 := flag.Bool("fig8", false, "regenerate Fig 8")
 	fig9 := flag.Bool("fig9", false, "regenerate Fig 9")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
+	agreement := flag.Bool("agreement", false, "run the exact-vs-GSP feature-backend agreement study")
 	extension := flag.Bool("extension", false, "run the R-SAD systolic-vs-diverse extension study")
 	all := flag.Bool("all", false, "run everything")
 	mini := flag.Bool("mini", false, "use ~1/16-scale mini benchmarks")
@@ -45,15 +48,16 @@ func main() {
 	mcfIters := flag.Int("mcf-iters", 50, "MCF iterations (paper: 50)")
 	rounds := flag.Int("rounds", 2, "incremental rounds")
 	gpEngine := flag.String("gp", "electrostatic", "global-placement engine: electrostatic or quadratic")
+	featMode := flag.String("features", "auto", "centrality backend for Fig 7 feature extraction: auto, exact, sampled or gsp")
 	common := cli.RegisterCommon(flag.CommandLine, 1, "off")
 	flag.Parse()
 	stop := common.Start()
 	defer stop()
 
 	if *all {
-		*table1, *table2, *fig7a, *fig7b, *fig8, *fig9, *ablations, *extension = true, true, true, true, true, true, true, true
+		*table1, *table2, *fig7a, *fig7b, *fig8, *fig9, *ablations, *extension, *agreement = true, true, true, true, true, true, true, true, true
 	}
-	if !(*table1 || *table2 || *fig7a || *fig7b || *fig8 || *fig9 || *ablations || *extension) {
+	if !(*table1 || *table2 || *fig7a || *fig7b || *fig8 || *fig9 || *ablations || *extension || *agreement) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -77,7 +81,11 @@ func main() {
 		MCFIterations: *mcfIters, Rounds: *rounds, Lambda: 100, Seed: common.Seed,
 		Validate: common.Validate(), GP: gp,
 	}
-	f7 := experiments.Fig7Config{Epochs: *epochs, Seed: common.Seed}
+	fmode, err := features.ParseMode(*featMode)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	f7 := experiments.Fig7Config{Epochs: *epochs, Seed: common.Seed, FeatureMode: fmode}
 	w := os.Stdout
 
 	if *table1 {
@@ -111,6 +119,11 @@ func main() {
 	if *extension {
 		section(w, "Extension: R-SAD")
 		check(suite.ExtensionRSAD(w, specs[1], cfg))
+	}
+	if *agreement {
+		section(w, "Feature agreement")
+		_, err := suite.FeatureAgreement(w, f7)
+		check(err)
 	}
 	if *ablations {
 		section(w, "Ablations")

@@ -6,6 +6,7 @@
 //
 //	train -out model.json design1.json design2.json ...
 //	train -mini -out model.json           # train on built-in mini suite
+//	train -mini -features gsp -distill student.json   # + spectral student
 //	train -eval design.json -model model.json
 package main
 
@@ -20,6 +21,7 @@ import (
 	"dsplacer/internal/experiments"
 	"dsplacer/internal/features"
 	"dsplacer/internal/gcn"
+	"dsplacer/internal/gsp"
 	"dsplacer/internal/netlist"
 )
 
@@ -28,6 +30,8 @@ func main() {
 	mini := flag.Bool("mini", false, "train on the built-in mini benchmark suite")
 	epochs := flag.Int("epochs", 120, "training epochs")
 	pivots := flag.Int("pivots", 96, "centrality sampling pivots")
+	featMode := flag.String("features", "auto", "centrality backend: auto, exact, sampled or gsp")
+	distillOut := flag.String("distill", "", "also distill an O(edges) spectral student to this path")
 	evalPath := flag.String("eval", "", "evaluate -model on this netlist instead of training")
 	modelPath := flag.String("model", "", "model to evaluate (with -eval)")
 	common := cli.RegisterCommon(flag.CommandLine, 1, "off")
@@ -35,7 +39,11 @@ func main() {
 	stop := common.Start()
 	defer stop()
 
-	fcfg := features.Config{Pivots: *pivots, Seed: common.Seed + 13}
+	mode, err := features.ParseMode(*featMode)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	fcfg := features.Config{Mode: mode, Pivots: *pivots, Seed: common.Seed + 13}
 
 	if *evalPath != "" {
 		if *modelPath == "" {
@@ -102,4 +110,20 @@ func main() {
 		cli.Fatal(err)
 	}
 	fmt.Printf("model saved to %s\n", *out)
+
+	if *distillOut != "" {
+		student, err := gsp.Distill(model, samples, gsp.DistillOptions{})
+		if err != nil {
+			cli.Fatal(err)
+		}
+		agree := 0.0
+		for _, s := range samples {
+			agree += student.Agreement(model, s)
+		}
+		if err := student.SaveFile(*distillOut); err != nil {
+			cli.Fatal(err)
+		}
+		fmt.Printf("distilled student saved to %s (teacher agreement %.1f%%)\n",
+			*distillOut, agree/float64(len(samples))*100)
+	}
 }

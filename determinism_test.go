@@ -45,7 +45,7 @@ func TestParallelDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	dev := suite.Dev
-	ids, err := core.OracleIdentifier{}.Identify(nl)
+	ids, err := core.OracleIdentifier{}.Identify(context.Background(), nl)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,7 +53,7 @@ func main() {
 	model, _ := gcn.Train(gcfg, train, nil)
 
 	id := &core.GCNIdentifier{Model: model, FeatureCfg: fcfg}
-	predicted, err := id.Identify(nl)
+	predicted, err := id.Identify(context.Background(), nl)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 
 	cfg := dsplacer.Config{ClockMHz: spec.FreqMHz, MCFIterations: 10, Rounds: 1, Seed: 2}
 	datapath := map[int]bool{}
-	ids, _ := core.OracleIdentifier{}.Identify(nl)
+	ids, _ := core.OracleIdentifier{}.Identify(context.Background(), nl)
 	for _, c := range ids {
 		datapath[c] = true
 	}

@@ -533,7 +533,7 @@ func TestBitIdenticalToSeedOnExamples(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ids, err := core.OracleIdentifier{}.Identify(nl)
+		ids, err := core.OracleIdentifier{}.Identify(context.Background(), nl)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -18,6 +18,7 @@ import (
 	"dsplacer/internal/fpga"
 	"dsplacer/internal/gcn"
 	"dsplacer/internal/geom"
+	"dsplacer/internal/gsp"
 	"dsplacer/internal/legalize"
 	"dsplacer/internal/metrics"
 	"dsplacer/internal/netlist"
@@ -32,8 +33,10 @@ import (
 // implementation is the paper's; the oracle uses generator ground truth and
 // exists so placement experiments can be isolated from classifier quality.
 type Identifier interface {
-	// Identify returns the cell ids of datapath DSPs.
-	Identify(nl *netlist.Netlist) ([]int, error)
+	// Identify returns the cell ids of datapath DSPs. ctx cancels long
+	// extractions mid-sweep; errors from cancellation wrap the context's
+	// error so Run can classify them as ErrCanceled.
+	Identify(ctx context.Context, nl *netlist.Netlist) ([]int, error)
 	Name() string
 }
 
@@ -44,7 +47,7 @@ type OracleIdentifier struct{}
 func (OracleIdentifier) Name() string { return "oracle" }
 
 // Identify implements Identifier.
-func (OracleIdentifier) Identify(nl *netlist.Netlist) ([]int, error) {
+func (OracleIdentifier) Identify(_ context.Context, nl *netlist.Netlist) ([]int, error) {
 	var out []int
 	for _, c := range nl.CellsOfType(netlist.DSP) {
 		if nl.Cells[c].DatapathTruth {
@@ -63,12 +66,20 @@ type GCNIdentifier struct {
 // Name implements Identifier.
 func (g *GCNIdentifier) Name() string { return "gcn" }
 
+// WithStages returns a copy whose feature extraction records into rec, so
+// concurrent jobs sharing one identifier keep their timings isolated.
+func (g *GCNIdentifier) WithStages(rec *stage.Recorder) Identifier {
+	c := *g
+	c.FeatureCfg.Stages = rec
+	return &c
+}
+
 // Identify implements Identifier.
-func (g *GCNIdentifier) Identify(nl *netlist.Netlist) ([]int, error) {
+func (g *GCNIdentifier) Identify(ctx context.Context, nl *netlist.Netlist) ([]int, error) {
 	if g.Model == nil {
 		return nil, fmt.Errorf("core: GCNIdentifier has no model")
 	}
-	sample, err := BuildSample(nl, g.FeatureCfg)
+	sample, err := BuildSampleContext(ctx, nl, g.FeatureCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -82,10 +93,57 @@ func (g *GCNIdentifier) Identify(nl *netlist.Netlist) ([]int, error) {
 	return out, nil
 }
 
-// BuildSample extracts features and wraps nl as a GCN sample (labels come
-// from generator ground truth and are used for training/evaluation only).
+// DistilledIdentifier classifies DSPs with a spectral student distilled from
+// a GCN (gsp.Distill): inference is O(edges), and pairing it with
+// features.ModeGSP makes the whole extraction stage spectral.
+type DistilledIdentifier struct {
+	Model      *gsp.Distilled
+	FeatureCfg features.Config
+}
+
+// Name implements Identifier.
+func (d *DistilledIdentifier) Name() string { return "distilled" }
+
+// WithStages returns a copy whose feature extraction records into rec.
+func (d *DistilledIdentifier) WithStages(rec *stage.Recorder) Identifier {
+	c := *d
+	c.FeatureCfg.Stages = rec
+	return &c
+}
+
+// Identify implements Identifier.
+func (d *DistilledIdentifier) Identify(ctx context.Context, nl *netlist.Netlist) ([]int, error) {
+	if d.Model == nil {
+		return nil, fmt.Errorf("core: DistilledIdentifier has no model")
+	}
+	sample, err := BuildSampleContext(ctx, nl, d.FeatureCfg)
+	if err != nil {
+		return nil, err
+	}
+	classes, _ := d.Model.Predict(sample)
+	var out []int
+	for i, c := range sample.Mask {
+		if classes[i] == 1 {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// BuildSample extracts features and wraps nl as a GCN sample; it is
+// BuildSampleContext without cancellation.
 func BuildSample(nl *netlist.Netlist, fcfg features.Config) (*gcn.Sample, error) {
-	set := features.Extract(nl, fcfg)
+	return BuildSampleContext(context.Background(), nl, fcfg)
+}
+
+// BuildSampleContext extracts features under ctx and wraps nl as a GCN
+// sample (labels come from generator ground truth and are used for
+// training/evaluation only).
+func BuildSampleContext(ctx context.Context, nl *netlist.Netlist, fcfg features.Config) (*gcn.Sample, error) {
+	set, err := features.ExtractContext(ctx, nl, fcfg)
+	if err != nil {
+		return nil, err
+	}
 	X := features.Standardize(set.X)
 	labels := make([]int, nl.NumCells())
 	for _, c := range set.DSP {
@@ -245,9 +303,20 @@ func Run(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, cfg Config)
 		return nil, err
 	}
 	t1 := time.Now()
-	datapath, err := cfg.Identifier.Identify(nl)
+	ident := cfg.Identifier
+	if cfg.Stages != nil {
+		// Per-job recorders (dsplacerd) must also capture the identifier's
+		// extraction timers (features.centrality, gsp.filter, ...), so
+		// identifiers that support it get a stage-scoped copy.
+		if sw, ok := ident.(interface {
+			WithStages(*stage.Recorder) Identifier
+		}); ok {
+			ident = sw.WithStages(cfg.Stages)
+		}
+	}
+	datapath, err := ident.Identify(ctx, nl)
 	if err != nil {
-		return nil, fmt.Errorf("core: identify: %w", err)
+		return nil, stageErr("identify", err)
 	}
 	dg := dspgraph.Build(nl, dspgraph.Config{MaxDepth: cfg.MaxDSPGraphDepth, Stages: cfg.Stages})
 	keep := make(map[int]bool, len(datapath))

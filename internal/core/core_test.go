@@ -2,14 +2,17 @@ package core
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"dsplacer/internal/features"
 	"dsplacer/internal/fpga"
 	"dsplacer/internal/gcn"
 	"dsplacer/internal/gen"
+	"dsplacer/internal/gsp"
 	"dsplacer/internal/netlist"
 	"dsplacer/internal/placer"
+	"dsplacer/internal/stage"
 )
 
 func miniSetup(t *testing.T) (*fpga.Device, *netlist.Netlist) {
@@ -24,7 +27,7 @@ func miniSetup(t *testing.T) (*fpga.Device, *netlist.Netlist) {
 
 func TestOracleIdentifier(t *testing.T) {
 	_, nl := miniSetup(t)
-	ids, err := OracleIdentifier{}.Identify(nl)
+	ids, err := OracleIdentifier{}.Identify(context.Background(), nl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +133,7 @@ func TestGCNIdentifierEndToEnd(t *testing.T) {
 	cfg.Epochs = 60
 	model, _ := gcn.Train(cfg, []*gcn.Sample{sample}, sample)
 	id := &GCNIdentifier{Model: model, FeatureCfg: fcfg}
-	got, err := id.Identify(nl)
+	got, err := id.Identify(context.Background(), nl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +159,7 @@ func TestGCNIdentifierEndToEnd(t *testing.T) {
 func TestGCNIdentifierNilModel(t *testing.T) {
 	_, nl := miniSetup(t)
 	id := &GCNIdentifier{}
-	if _, err := id.Identify(nl); err == nil {
+	if _, err := id.Identify(context.Background(), nl); err == nil {
 		t.Fatal("nil model accepted")
 	}
 }
@@ -189,5 +192,159 @@ func TestRunRSADFlow(t *testing.T) {
 	}
 	if res.RoutedWL <= 0 || res.Profile.Total <= 0 {
 		t.Fatalf("metrics missing: %+v", res)
+	}
+}
+
+func TestDistilledIdentifierEndToEnd(t *testing.T) {
+	dev := fpga.NewZCU104()
+	nl, err := gen.Generate(gen.Small(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := features.Config{Mode: features.ModeGSP, Seed: 5}
+	sample, err := BuildSample(nl, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gcn.Defaults(features.NumFeatures)
+	cfg.Epochs = 60
+	teacher, _ := gcn.Train(cfg, []*gcn.Sample{sample}, sample)
+	student, err := gsp.Distill(teacher, []*gcn.Sample{sample}, gsp.DistillOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := &DistilledIdentifier{Model: student, FeatureCfg: fcfg}
+	got, err := id.Identify(context.Background(), nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	teacherIDs, err := (&GCNIdentifier{Model: teacher, FeatureCfg: fcfg}).Identify(context.Background(), nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The student must track the teacher: ≥80% of the DSP verdicts agree.
+	tset := map[int]bool{}
+	for _, c := range teacherIDs {
+		tset[c] = true
+	}
+	agree := 0
+	for _, c := range got {
+		if tset[c] {
+			agree++
+		}
+	}
+	if len(got) == 0 || float64(agree)/float64(len(got)) < 0.8 {
+		t.Fatalf("student/teacher agreement %d/%d too low", agree, len(got))
+	}
+	if id.Name() != "distilled" {
+		t.Fatalf("name %q", id.Name())
+	}
+	if _, err := (&DistilledIdentifier{}).Identify(context.Background(), nl); err == nil {
+		t.Fatal("nil student model accepted")
+	}
+}
+
+// Canceling during feature extraction must surface as ErrCanceled from Run,
+// tagged with the identify stage — the PR 4 cancellation contract extended
+// through the Identifier interface.
+func TestRunCanceledDuringIdentify(t *testing.T) {
+	dev, nl := miniSetup(t)
+	fcfg := features.Config{Mode: features.ModeGSP, Seed: 1}
+	sample, err := BuildSample(nl, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg := gcn.Defaults(features.NumFeatures)
+	gcfg.Epochs = 2
+	model, _ := gcn.Train(gcfg, []*gcn.Sample{sample}, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelAfterPrototype := &cancelingIdentifier{
+		inner:  &GCNIdentifier{Model: model, FeatureCfg: fcfg},
+		cancel: cancel,
+	}
+	_, err = Run(ctx, dev, nl, Config{
+		ClockMHz: 150, MCFIterations: 2, Rounds: 1, Identifier: cancelAfterPrototype,
+	})
+	if err == nil {
+		t.Fatal("canceled run succeeded")
+	}
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v lacks ErrCanceled/context.Canceled", err)
+	}
+}
+
+// cancelingIdentifier cancels the context right before delegating, so the
+// cancellation lands inside the feature-extraction sweeps.
+type cancelingIdentifier struct {
+	inner  Identifier
+	cancel context.CancelFunc
+}
+
+func (c *cancelingIdentifier) Name() string { return "canceling" }
+
+func (c *cancelingIdentifier) Identify(ctx context.Context, nl *netlist.Netlist) ([]int, error) {
+	c.cancel()
+	return c.inner.Identify(ctx, nl)
+}
+
+// WithStages must return a stage-scoped copy, leaving the original
+// identifier untouched so concurrent jobs stay isolated.
+func TestIdentifierWithStagesIsolation(t *testing.T) {
+	g := &GCNIdentifier{FeatureCfg: features.Config{Seed: 3}}
+	rec := stage.NewRecorder()
+	got := g.WithStages(rec)
+	if g.FeatureCfg.Stages != nil {
+		t.Fatal("WithStages mutated the original GCNIdentifier")
+	}
+	if got.(*GCNIdentifier).FeatureCfg.Stages != rec {
+		t.Fatal("copy lacks the recorder")
+	}
+	d := &DistilledIdentifier{FeatureCfg: features.Config{Seed: 3}}
+	got2 := d.WithStages(rec)
+	if d.FeatureCfg.Stages != nil || got2.(*DistilledIdentifier).FeatureCfg.Stages != rec {
+		t.Fatal("DistilledIdentifier WithStages broken")
+	}
+}
+
+// stagedOracleIdentifier extracts features (exercising the extraction
+// timers) but answers with ground truth, so the downstream flow stays legal
+// regardless of classifier quality.
+type stagedOracleIdentifier struct{ fcfg features.Config }
+
+func (s *stagedOracleIdentifier) Name() string { return "staged-oracle" }
+
+func (s *stagedOracleIdentifier) WithStages(rec *stage.Recorder) Identifier {
+	c := *s
+	c.fcfg.Stages = rec
+	return &c
+}
+
+func (s *stagedOracleIdentifier) Identify(ctx context.Context, nl *netlist.Netlist) ([]int, error) {
+	if _, err := features.ExtractContext(ctx, nl, s.fcfg); err != nil {
+		return nil, err
+	}
+	return OracleIdentifier{}.Identify(ctx, nl)
+}
+
+// The features.centrality and gsp.filter timers must land in the run's own
+// recorder when the flow uses a feature-extracting identifier: Run hands
+// cfg.Stages to identifiers that support WithStages.
+func TestRunRecordsCentralityStage(t *testing.T) {
+	dev, nl := miniSetup(t)
+	rec := stage.NewRecorder()
+	_, err := Run(context.Background(), dev, nl, Config{
+		ClockMHz: 150, MCFIterations: 2, Rounds: 1,
+		Identifier: &stagedOracleIdentifier{fcfg: features.Config{Mode: features.ModeGSP, Seed: 2}},
+		Stages:     rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Snapshot()
+	for _, name := range []string{"features.centrality", "gsp.filter", "core.extraction"} {
+		if snap[name].Count == 0 {
+			t.Fatalf("stage %q not recorded; got %v", name, snap)
+		}
 	}
 }

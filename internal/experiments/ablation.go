@@ -67,7 +67,7 @@ type allDSPIdentifier struct{}
 
 func (allDSPIdentifier) Name() string { return "all-dsp" }
 
-func (allDSPIdentifier) Identify(nl *netlist.Netlist) ([]int, error) {
+func (allDSPIdentifier) Identify(_ context.Context, nl *netlist.Netlist) ([]int, error) {
 	return nl.CellsOfType(netlist.DSP), nil
 }
 
@@ -103,7 +103,7 @@ func (s *Suite) AblationLegalization(w io.Writer, spec gen.Spec, cfg TableIIConf
 	if err != nil {
 		return err
 	}
-	ids, _ := core.OracleIdentifier{}.Identify(nl)
+	ids, _ := core.OracleIdentifier{}.Identify(context.Background(), nl)
 	keep := map[int]bool{}
 	for _, c := range ids {
 		keep[c] = true
@@ -165,7 +165,7 @@ func (s *Suite) AblationGCN(w io.Writer, spec gen.Spec, cfg TableIIConfig, f7 Fi
 		&core.GCNIdentifier{Model: model, FeatureCfg: f7.featureCfg()},
 	}
 	for _, id := range ids {
-		picked, err := id.Identify(nl)
+		picked, err := id.Identify(context.Background(), nl)
 		if err != nil {
 			return err
 		}

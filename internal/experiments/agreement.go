@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dsplacer/internal/features"
+	"dsplacer/internal/gcn"
+	"dsplacer/internal/gsp"
+)
+
+// AgreementRow is one benchmark's feature-backend comparison: accuracy of a
+// GCN trained on exact features, accuracy of a GCN trained on GSP features,
+// the fraction of DSPs on which the two GCNs issue the same verdict, and the
+// fraction on which the distilled spectral student matches its GCN teacher.
+type AgreementRow struct {
+	Benchmark    string
+	DSPs         int
+	ExactAcc     float64
+	GSPAcc       float64
+	GCNAgree     float64
+	DistillAgree float64
+}
+
+// FeatureAgreement quantifies how much classification signal the GSP fast
+// path preserves: two GCNs with identical hyperparameters and seeds are
+// trained on the suite — one on exact features, one on spectral-surrogate
+// features — and compared per-DSP, alongside the O(edges) distilled student
+// of the GSP-trained model. This is the experiment behind the claim that
+// ModeGSP can replace the exact/sampled extraction without changing which
+// DSPs the flow treats as datapath.
+func (s *Suite) FeatureAgreement(w io.Writer, cfg Fig7Config) ([]AgreementRow, error) {
+	cfg = cfg.withDefaults()
+	exactCfg := cfg
+	exactCfg.FeatureMode = features.ModeExact
+	gspCfg := cfg
+	gspCfg.FeatureMode = features.ModeGSP
+
+	exSamples, err := s.buildSamples(exactCfg)
+	if err != nil {
+		return nil, err
+	}
+	gsSamples, err := s.buildSamples(gspCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	gcfg := gcn.Defaults(features.NumFeatures)
+	gcfg.Epochs = cfg.Epochs
+	gcfg.Seed = cfg.Seed + 21
+	exModel, _ := gcn.Train(gcfg, exSamples, nil)
+	gsModel, _ := gcn.Train(gcfg, gsSamples, nil)
+	student, err := gsp.Distill(gsModel, gsSamples, gsp.DistillOptions{})
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintf(w, "Feature-backend agreement: exact-feature GCN vs GSP-feature GCN vs distilled student.\n")
+	fmt.Fprintf(w, "%-10s %6s %10s %10s %10s %12s\n",
+		"Benchmark", "#DSPs", "exactAcc", "gspAcc", "gcnAgree", "distillAgree")
+	rows := make([]AgreementRow, len(exSamples))
+	for i := range exSamples {
+		exC, _ := exModel.Predict(exSamples[i])
+		gsC, _ := gsModel.Predict(gsSamples[i])
+		stC, _ := student.Predict(gsSamples[i])
+		n := len(exC)
+		agree, dAgree := 0, 0
+		for j := 0; j < n; j++ {
+			if exC[j] == gsC[j] {
+				agree++
+			}
+			if stC[j] == gsC[j] {
+				dAgree++
+			}
+		}
+		row := AgreementRow{
+			Benchmark: exSamples[i].Name,
+			DSPs:      n,
+			ExactAcc:  exModel.Accuracy(exSamples[i]),
+			GSPAcc:    gsModel.Accuracy(gsSamples[i]),
+		}
+		if n > 0 {
+			row.GCNAgree = float64(agree) / float64(n)
+			row.DistillAgree = float64(dAgree) / float64(n)
+		}
+		rows[i] = row
+		fmt.Fprintf(w, "%-10s %6d %9.1f%% %9.1f%% %9.1f%% %11.1f%%\n",
+			row.Benchmark, row.DSPs, row.ExactAcc*100, row.GSPAcc*100,
+			row.GCNAgree*100, row.DistillAgree*100)
+	}
+	var sumE, sumG, sumA, sumD float64
+	for _, r := range rows {
+		sumE += r.ExactAcc
+		sumG += r.GSPAcc
+		sumA += r.GCNAgree
+		sumD += r.DistillAgree
+	}
+	k := float64(len(rows))
+	fmt.Fprintf(w, "%-10s %6s %9.1f%% %9.1f%% %9.1f%% %11.1f%%\n",
+		"Average", "", sumE/k*100, sumG/k*100, sumA/k*100, sumD/k*100)
+	return rows, nil
+}

@@ -19,7 +19,10 @@ type Fig7Config struct {
 	Epochs int
 	// FeaturePivots controls sampled-centrality cost on big graphs.
 	FeaturePivots int
-	Seed          int64
+	// FeatureMode selects the centrality backend (auto/exact/sampled/gsp)
+	// for every sample the study extracts.
+	FeatureMode features.Mode
+	Seed        int64
 }
 
 func (c Fig7Config) withDefaults() Fig7Config {
@@ -33,7 +36,7 @@ func (c Fig7Config) withDefaults() Fig7Config {
 }
 
 func (c Fig7Config) featureCfg() features.Config {
-	return features.Config{Pivots: c.FeaturePivots, Seed: c.Seed + 13}
+	return features.Config{Mode: c.FeatureMode, Pivots: c.FeaturePivots, Seed: c.Seed + 13}
 }
 
 // buildSamples extracts GCN samples for every benchmark.

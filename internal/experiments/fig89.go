@@ -61,7 +61,7 @@ func (s *Suite) Fig9(w io.Writer, dir string, cfg TableIIConfig) error {
 	}
 	ccfg := cfg.coreConfig(spec)
 	datapath := map[int]bool{}
-	ids, _ := core.OracleIdentifier{}.Identify(nl)
+	ids, _ := core.OracleIdentifier{}.Identify(context.Background(), nl)
 	for _, c := range ids {
 		datapath[c] = true
 	}

@@ -4,18 +4,26 @@
 // and (g) the average shortest-path distance to other DSP nodes (defined on
 // DSP nodes only, zero elsewhere).
 //
-// Exact centralities are O(N·M); netlists in Table I reach ~150k cells, so
-// above Config.ExactThreshold the package switches to standard pivot
-// sampling (Brandes source sampling scaled by N/k; closeness/eccentricity
-// estimated from the same pivot BFS sweeps). The paper computes these with
-// NetworkX offline; sampling preserves the feature *ranking* the GCN needs.
+// Three centrality backends are available through Config.Mode. ModeExact is
+// the O(N·M) textbook computation; ModeSampled is standard pivot sampling
+// (Brandes source sampling scaled by N/k, closeness/eccentricity estimated
+// from the same pivot BFS sweeps); ModeGSP is the graph-signal-processing
+// fast path of internal/gsp — spectral surrogates from random probes through
+// a Chebyshev-filtered diffusion, O(K·p·M) total and independent of pivot
+// count. ModeAuto (the default) keeps the legacy behavior: exact up to
+// Config.ExactThreshold nodes, sampled above. The paper computes the exact
+// metrics with NetworkX offline; the approximate backends preserve the
+// feature *ranking* the GCN needs.
 package features
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 
 	"dsplacer/internal/graph"
+	"dsplacer/internal/gsp"
 	"dsplacer/internal/mat"
 	"dsplacer/internal/netlist"
 	"dsplacer/internal/par"
@@ -42,20 +50,73 @@ var Names = [NumFeatures]string{
 	"outdegree", "betweenness", "avg_dsp_dist",
 }
 
+// Mode selects the centrality backend.
+type Mode int
+
+const (
+	// ModeAuto switches on graph size: exact up to ExactThreshold nodes,
+	// sampled above.
+	ModeAuto Mode = iota
+	// ModeExact always runs the O(N·M) exact centralities.
+	ModeExact
+	// ModeSampled always runs pivot-sampled centralities.
+	ModeSampled
+	// ModeGSP runs the spectral probe estimator of internal/gsp.
+	ModeGSP
+)
+
+// String returns the flag spelling of m.
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeExact:
+		return "exact"
+	case ModeSampled:
+		return "sampled"
+	case ModeGSP:
+		return "gsp"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode parses a -features flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "auto":
+		return ModeAuto, nil
+	case "exact":
+		return ModeExact, nil
+	case "sampled":
+		return ModeSampled, nil
+	case "gsp":
+		return ModeGSP, nil
+	}
+	return ModeAuto, fmt.Errorf("features: unknown mode %q (want auto, exact, sampled or gsp)", s)
+}
+
 // Config tunes extraction cost.
 type Config struct {
-	// ExactThreshold is the node count above which centralities are
-	// sampled instead of exact (default 3000).
+	// Mode selects the centrality backend (default ModeAuto).
+	Mode Mode
+	// ExactThreshold is the node count above which ModeAuto switches from
+	// exact to sampled centralities (default 3000).
 	ExactThreshold int
 	// Pivots is the sample size for approximate centralities (default 128).
 	Pivots int
 	// DSPPivots caps the number of DSP sources used for the average
 	// DSP-to-DSP distance feature (default 256).
 	DSPPivots int
-	// Seed drives pivot selection.
+	// Probes is the Hutchinson probe count of the GSP backend (default 6).
+	Probes int
+	// Order is the Chebyshev order / diffusion depth of the GSP backend
+	// (default 10).
+	Order int
+	// Seed drives pivot selection and probe generation.
 	Seed int64
-	// Stages receives the extraction's timing (features.avg_dsp_dist); nil
-	// records into the process-wide default recorder.
+	// Stages receives the extraction's timing (features.centrality,
+	// features.avg_dsp_dist and — on the GSP path — gsp.filter); nil records
+	// into the process-wide default recorder.
 	Stages *stage.Recorder
 }
 
@@ -69,7 +130,24 @@ func (c Config) withDefaults() Config {
 	if c.DSPPivots == 0 {
 		c.DSPPivots = 256
 	}
+	if c.Probes == 0 {
+		c.Probes = 6
+	}
+	if c.Order == 0 {
+		c.Order = 10
+	}
 	return c
+}
+
+// resolve maps ModeAuto to a concrete backend for an n-node graph.
+func (c Config) resolve(n int) Mode {
+	if c.Mode != ModeAuto {
+		return c.Mode
+	}
+	if n <= c.ExactThreshold {
+		return ModeExact
+	}
+	return ModeSampled
 }
 
 // Set is the extraction result.
@@ -80,8 +158,21 @@ type Set struct {
 	DSP []int
 }
 
-// Extract computes the feature matrix for nl.
+// Extract computes the feature matrix for nl. It is ExtractContext without
+// cancellation; with a background context extraction cannot fail.
 func Extract(nl *netlist.Netlist, cfg Config) *Set {
+	s, err := ExtractContext(context.Background(), nl, cfg)
+	if err != nil {
+		// Only context cancellation produces errors, and Background has none.
+		panic(fmt.Sprintf("features: extraction failed without cancellation: %v", err))
+	}
+	return s
+}
+
+// ExtractContext computes the feature matrix for nl. ctx is consulted between
+// centrality sweeps (sampled/exact) and between filter iterations (GSP); on
+// cancellation the returned error wraps ctx.Err().
+func ExtractContext(ctx context.Context, nl *netlist.Netlist, cfg Config) (*Set, error) {
 	cfg = cfg.withDefaults()
 	dg := nl.ToGraph()
 	ug := dg.Undirected()
@@ -100,34 +191,103 @@ func Extract(nl *netlist.Netlist, cfg Config) *Set {
 		}
 	}
 
-	if n <= cfg.ExactThreshold {
-		cc := ug.Closeness()
-		ecc := ug.Eccentricity()
-		cb := ug.Betweenness()
-		for v := 0; v < n; v++ {
-			X.Set(v, Closeness, cc[v])
-			X.Set(v, Eccentricity, float64(ecc[v]))
-			X.Set(v, Betweenness, cb[v]/2) // undirected convention
+	dsp := nl.CellsOfType(netlist.DSP)
+	switch mode := cfg.resolve(n); mode {
+	case ModeExact:
+		if err := exactCentralities(ctx, ug, X, cfg); err != nil {
+			return nil, err
 		}
-	} else {
-		sampledCentralities(ug, X, cfg)
+	case ModeSampled:
+		if err := sampledCentralities(ctx, ug, X, cfg); err != nil {
+			return nil, err
+		}
+	case ModeGSP:
+		// The spectral path also yields the DSP-distance surrogate from the
+		// same filtered probes, so the BFS fan-out below is skipped entirely.
+		if err := gspCentralities(ctx, ug, dsp, X, cfg); err != nil {
+			return nil, err
+		}
+		return &Set{X: X, DSP: dsp}, nil
+	default:
+		return nil, fmt.Errorf("features: unsupported mode %v", mode)
 	}
 
-	dsp := nl.CellsOfType(netlist.DSP)
-	avgDSPDistances(ug, dsp, X, cfg)
-	return &Set{X: X, DSP: dsp}
+	if err := avgDSPDistances(ctx, ug, dsp, X, cfg); err != nil {
+		return nil, err
+	}
+	return &Set{X: X, DSP: dsp}, nil
+}
+
+// exactCentralities runs the O(N·M) textbook metrics, checking ctx between
+// the three passes.
+func exactCentralities(ctx context.Context, ug *graph.Digraph, X *mat.Dense, cfg Config) error {
+	defer cfg.Stages.Start("features.centrality")()
+	n := ug.N()
+	cc := ug.Closeness()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("features: exact centralities canceled: %w", err)
+	}
+	ecc := ug.Eccentricity()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("features: exact centralities canceled: %w", err)
+	}
+	cb := ug.Betweenness()
+	for v := 0; v < n; v++ {
+		X.Set(v, Closeness, cc[v])
+		X.Set(v, Eccentricity, float64(ecc[v]))
+		X.Set(v, Betweenness, cb[v]/2) // undirected convention
+	}
+	return nil
+}
+
+// gspCentralities maps the spectral surrogates of internal/gsp onto the
+// feature columns, including the DSP-distance column.
+func gspCentralities(ctx context.Context, ug *graph.Digraph, dsp []int, X *mat.Dense, cfg Config) error {
+	defer cfg.Stages.Start("features.centrality")()
+	res, err := gsp.Features(ctx, ug, dsp, gsp.Options{
+		Probes: cfg.Probes, Order: cfg.Order, Seed: cfg.Seed, Stages: cfg.Stages,
+	})
+	if err != nil {
+		return err
+	}
+	for v := 0; v < ug.N(); v++ {
+		X.Set(v, Closeness, res.Closeness[v])
+		X.Set(v, Eccentricity, res.Eccentricity[v])
+		X.Set(v, Betweenness, res.Betweenness[v])
+	}
+	if res.AvgDSPDist != nil {
+		for _, v := range dsp {
+			X.Set(v, AvgDSPDist, res.AvgDSPDist[v])
+		}
+	}
+	return nil
+}
+
+// pickPivots selects k distinct pivots by a partial Fisher–Yates shuffle:
+// only k swaps and k random draws, instead of materializing a full rng.Perm.
+func pickPivots(n, k int, rng *rand.Rand) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
 }
 
 // sampledCentralities estimates closeness, eccentricity and betweenness
-// from cfg.Pivots BFS/Brandes sweeps.
-func sampledCentralities(ug *graph.Digraph, X *mat.Dense, cfg Config) {
+// from cfg.Pivots BFS/Brandes sweeps. ctx is checked once per sweep.
+func sampledCentralities(ctx context.Context, ug *graph.Digraph, X *mat.Dense, cfg Config) error {
+	defer cfg.Stages.Start("features.centrality")()
 	n := ug.N()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	k := cfg.Pivots
 	if k > n {
 		k = n
 	}
-	pivots := rng.Perm(n)[:k]
+	pivots := pickPivots(n, k, rng)
 	scale := float64(n) / float64(k)
 
 	distSum := make([]float64, n)
@@ -138,16 +298,17 @@ func sampledCentralities(ug *graph.Digraph, X *mat.Dense, cfg Config) {
 	sigma := make([]float64, n)
 	dist := make([]int, n)
 	delta := make([]float64, n)
-	pred := make([][]int, n)
 	stack := make([]int, 0, n)
 	queue := make([]int, 0, n)
 
-	for _, s := range pivots {
+	for si, s := range pivots {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("features: centrality sweep %d/%d canceled: %w", si, k, err)
+		}
 		for i := 0; i < n; i++ {
 			sigma[i] = 0
 			dist[i] = graph.Unreached
 			delta[i] = 0
-			pred[i] = pred[i][:0]
 		}
 		stack = stack[:0]
 		queue = queue[:0]
@@ -164,14 +325,21 @@ func sampledCentralities(ug *graph.Digraph, X *mat.Dense, cfg Config) {
 				}
 				if dist[w] == dist[v]+1 {
 					sigma[w] += sigma[v]
-					pred[w] = append(pred[w], v)
 				}
 			}
 		}
+		// Dependency accumulation without materialized predecessor lists:
+		// in an undirected BFS DAG, v precedes w exactly when
+		// dist[v] == dist[w]-1, so the adjacency list itself serves as the
+		// (flat, already-CSR-shaped) predecessor arena — no n append-slices
+		// to grow and reset per sweep.
 		for i := len(stack) - 1; i >= 0; i-- {
 			w := stack[i]
-			for _, v := range pred[w] {
-				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			dw := dist[w]
+			for _, v := range ug.Out(w) {
+				if dist[v] == dw-1 {
+					delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+				}
 			}
 			if w != s {
 				btw[w] += delta[w]
@@ -198,6 +366,7 @@ func sampledCentralities(ug *graph.Digraph, X *mat.Dense, cfg Config) {
 		X.Set(v, Eccentricity, eccEst[v])
 		X.Set(v, Betweenness, btw[v]*scale/2)
 	}
+	return nil
 }
 
 // avgDSPDistances fills the AvgDSPDist column: for each DSP node, the mean
@@ -207,19 +376,20 @@ func sampledCentralities(ug *graph.Digraph, X *mat.Dense, cfg Config) {
 // The per-source BFS sweeps run across the worker pool, each worker folding
 // into its own integer accumulators that are merged serially afterwards —
 // integer addition is exactly associative, so the result is bit-identical
-// for any worker count.
-func avgDSPDistances(ug *graph.Digraph, dsp []int, X *mat.Dense, cfg Config) {
+// for any worker count. Workers observe ctx per sweep and fall through;
+// cancellation surfaces as an error after the pool drains.
+func avgDSPDistances(ctx context.Context, ug *graph.Digraph, dsp []int, X *mat.Dense, cfg Config) error {
 	if len(dsp) < 2 {
-		return
+		return nil
 	}
 	defer cfg.Stages.Start("features.avg_dsp_dist")()
 	sources := dsp
 	if len(sources) > cfg.DSPPivots {
 		rng := rand.New(rand.NewSource(cfg.Seed + 1))
-		perm := rng.Perm(len(dsp))
-		sources = make([]int, cfg.DSPPivots)
-		for i := range sources {
-			sources[i] = dsp[perm[i]]
+		picked := pickPivots(len(dsp), cfg.DSPPivots, rng)
+		sources = make([]int, len(picked))
+		for i, di := range picked {
+			sources[i] = dsp[di]
 		}
 	}
 	type acc struct {
@@ -229,6 +399,9 @@ func avgDSPDistances(ug *graph.Digraph, dsp []int, X *mat.Dense, cfg Config) {
 	W := par.Workers(len(sources))
 	accs := make([]*acc, W)
 	par.ForEachWorker(len(sources), func(w, si int) {
+		if ctx.Err() != nil {
+			return
+		}
 		a := accs[w]
 		if a == nil {
 			a = &acc{
@@ -247,6 +420,9 @@ func avgDSPDistances(ug *graph.Digraph, dsp []int, X *mat.Dense, cfg Config) {
 			}
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("features: DSP distance sweeps canceled: %w", err)
+	}
 	for di, v := range dsp {
 		var sum, cnt int64
 		for _, a := range accs {
@@ -259,6 +435,7 @@ func avgDSPDistances(ug *graph.Digraph, dsp []int, X *mat.Dense, cfg Config) {
 			X.Set(v, AvgDSPDist, float64(sum)/float64(cnt))
 		}
 	}
+	return nil
 }
 
 // Standardize returns a column-wise z-scored copy of X: (x-mean)/std per

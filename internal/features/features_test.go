@@ -1,9 +1,15 @@
 package features
 
 import (
+	"context"
+	"errors"
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/gen"
 	"dsplacer/internal/mat"
 	"dsplacer/internal/netlist"
 )
@@ -176,5 +182,218 @@ func TestDSPPivotSampling(t *testing.T) {
 	}
 	if nonzero < len(dsps)/2 {
 		t.Fatalf("only %d/%d DSPs got sampled distances", nonzero, len(dsps))
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+	}{{"", ModeAuto}, {"auto", ModeAuto}, {"exact", ModeExact}, {"sampled", ModeSampled}, {"gsp", ModeGSP}} {
+		got, err := ParseMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseMode(%q) = %v, %v", tc.in, got, err)
+		}
+		if tc.in != "" && got.String() != tc.in {
+			t.Fatalf("Mode(%q).String() = %q", tc.in, got)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}
+
+func TestGSPModePopulatesAllColumns(t *testing.T) {
+	nl := chainWithLoop()
+	s := Extract(nl, Config{Mode: ModeGSP, Probes: 64, Seed: 1})
+	if s.X.R != nl.NumCells() || s.X.C != NumFeatures {
+		t.Fatalf("X is %dx%d", s.X.R, s.X.C)
+	}
+	// Interior nodes must out-rank the leaves on the surrogate centralities,
+	// exactly as on the exact path.
+	lut, io := 1, 5
+	if !(s.X.At(lut, Betweenness) > s.X.At(io, Betweenness)) {
+		t.Fatalf("betweenness lut=%v io=%v", s.X.At(lut, Betweenness), s.X.At(io, Betweenness))
+	}
+	if !(s.X.At(lut, Closeness) > s.X.At(io, Closeness)) {
+		t.Fatalf("closeness lut=%v io=%v", s.X.At(lut, Closeness), s.X.At(io, Closeness))
+	}
+	if !(s.X.At(io, Eccentricity) > s.X.At(lut, Eccentricity)) {
+		t.Fatalf("eccentricity io=%v lut=%v", s.X.At(io, Eccentricity), s.X.At(lut, Eccentricity))
+	}
+	// Adjacent DSP pair: both get the same positive distance surrogate.
+	if s.X.At(2, AvgDSPDist) <= 0 || s.X.At(2, AvgDSPDist) != s.X.At(3, AvgDSPDist) {
+		t.Fatalf("gsp dsp distances %v vs %v", s.X.At(2, AvgDSPDist), s.X.At(3, AvgDSPDist))
+	}
+	// Degree/feedback columns are backend-independent.
+	if s.X.At(lut, InDegree) != 2 || s.X.At(lut, FeedbackLoop) != 1 {
+		t.Fatal("shared columns missing under gsp mode")
+	}
+}
+
+func TestExtractContextCancellation(t *testing.T) {
+	nl := chainWithLoop()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, mode := range []Mode{ModeExact, ModeSampled, ModeGSP} {
+		_, err := ExtractContext(ctx, nl, Config{Mode: mode, ExactThreshold: 1})
+		if err == nil {
+			t.Fatalf("mode %v ignored canceled context", mode)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("mode %v error %v does not wrap context.Canceled", mode, err)
+		}
+	}
+	// A live context must behave exactly like Extract.
+	s, err := ExtractContext(context.Background(), nl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.X.MaxAbsDiff(Extract(nl, Config{}).X) != 0 {
+		t.Fatal("ExtractContext and Extract disagree")
+	}
+}
+
+// Frozen-seed pivot determinism: the partial Fisher–Yates pivot selection is
+// part of the reproducibility contract — same seed, same features, bitwise.
+func TestSampledFrozenSeedDeterminism(t *testing.T) {
+	nl := netlist.New("m")
+	hub := nl.AddCell("hub", netlist.LUT)
+	prev := hub.ID
+	for b := 0; b < 40; b++ {
+		c := nl.AddCell("c", netlist.FF)
+		nl.AddNet("n", prev, c.ID)
+		prev = c.ID
+	}
+	cfg := Config{Mode: ModeSampled, Pivots: 7, Seed: 13}
+	a := Extract(nl, cfg)
+	b := Extract(nl, cfg)
+	if a.X.MaxAbsDiff(b.X) != 0 {
+		t.Fatal("same seed produced different sampled features")
+	}
+	c := Extract(nl, Config{Mode: ModeSampled, Pivots: 7, Seed: 14})
+	if c.X.MaxAbsDiff(a.X) == 0 {
+		t.Fatal("different seeds produced identical sampled features")
+	}
+}
+
+func TestPickPivotsDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := pickPivots(50, 20, rng)
+	seen := map[int]bool{}
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("pivot set invalid: %v", p)
+		}
+		seen[v] = true
+	}
+	if len(p) != 20 {
+		t.Fatalf("got %d pivots", len(p))
+	}
+}
+
+// TestGSPVsSampledRanking checks the spectral surrogates against the pivot
+// sampler on a generated CNN-accelerator workload. The comparison is
+// rank-based — Spearman correlation over all nodes plus top-quartile
+// overlap — and the thresholds are deliberately coarse: diffusion/resolvent
+// surrogates share the broad centrality ordering with the distance-based
+// metrics, not the fine ranking. The classification-level contract (a GCN
+// trained on either backend issues the same DSP verdicts) is pinned
+// separately by TestFeatureAgreement and BenchmarkFeatures' agreement
+// metric. Probes exceeds the node count, so the diagonal estimates are
+// exact and the assertion is deterministic.
+func TestGSPVsSampledRanking(t *testing.T) {
+	nl, err := gen.Generate(gen.Spec{Name: "rank", LUT: 600, LUTRAM: 60, FF: 450,
+		BRAM: 12, DSP: 36, FreqMHz: 200, Seed: 4}, fpga.NewZCU104())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := ExtractContext(context.Background(), nl,
+		Config{Mode: ModeSampled, Pivots: 256, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gspSet, err := ExtractContext(context.Background(), nl,
+		Config{Mode: ModeGSP, Probes: 4096, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := nl.NumCells()
+	column := func(s *Set, col int) []float64 {
+		out := make([]float64, n)
+		for v := 0; v < n; v++ {
+			out[v] = s.X.At(v, col)
+		}
+		return out
+	}
+	ranks := func(x []float64) []float64 {
+		idx := make([]int, len(x))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+		r := make([]float64, len(x))
+		for pos, i := range idx {
+			r[i] = float64(pos)
+		}
+		return r
+	}
+	spearman := func(a, b []float64) float64 {
+		ra, rb := ranks(a), ranks(b)
+		var ma, mb float64
+		for i := range ra {
+			ma += ra[i]
+			mb += rb[i]
+		}
+		ma /= float64(len(ra))
+		mb /= float64(len(rb))
+		var num, da, db float64
+		for i := range ra {
+			num += (ra[i] - ma) * (rb[i] - mb)
+			da += (ra[i] - ma) * (ra[i] - ma)
+			db += (rb[i] - mb) * (rb[i] - mb)
+		}
+		return num / math.Sqrt(da*db)
+	}
+	topOverlap := func(a, b []float64) float64 {
+		k := len(a) / 4
+		top := func(x []float64) map[int]bool {
+			idx := make([]int, len(x))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(p, q int) bool { return x[idx[p]] > x[idx[q]] })
+			m := make(map[int]bool, k)
+			for _, i := range idx[:k] {
+				m[i] = true
+			}
+			return m
+		}
+		ta, tb := top(a), top(b)
+		hit := 0
+		for i := range ta {
+			if tb[i] {
+				hit++
+			}
+		}
+		return float64(hit) / float64(k)
+	}
+	for _, tc := range []struct {
+		col    int
+		name   string
+		minRho float64
+		minTop float64
+	}{
+		{Closeness, "closeness", 0.3, 0.45},
+		{Betweenness, "betweenness", 0.5, 0.35},
+	} {
+		a, b := column(sampled, tc.col), column(gspSet, tc.col)
+		t.Logf("%s: spearman %.3f, top-quartile overlap %.2f", tc.name, spearman(a, b), topOverlap(a, b))
+		if rho := spearman(a, b); rho < tc.minRho {
+			t.Errorf("%s: spearman %.3f < %.2f", tc.name, rho, tc.minRho)
+		}
+		if ov := topOverlap(a, b); ov < tc.minTop {
+			t.Errorf("%s: top-quartile overlap %.2f < %.2f", tc.name, ov, tc.minTop)
+		}
 	}
 }

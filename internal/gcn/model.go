@@ -138,7 +138,7 @@ func (m *Model) forward(s *Sample, rng *rand.Rand) *forwardState {
 	for l := 0; l < numLayers; l++ {
 		in := h
 		if l < 2 { // graph convolution layers aggregate first
-			st.agg[l] = s.Adj.MulDense(in)
+			st.agg[l] = s.Adj.MulDensePar(in)
 			in = st.agg[l]
 		}
 		z := in.Mul(m.W[l]).AddRowVec(m.B[l])
@@ -163,6 +163,14 @@ func (m *Model) forward(s *Sample, rng *rand.Rand) *forwardState {
 	}
 	st.prob = h.RowSoftmax()
 	return st
+}
+
+// Logits runs inference and returns the pre-softmax outputs, one row per
+// node. Distillation fits students against these rather than the hard
+// classes: logits carry the teacher's confidence.
+func (m *Model) Logits(s *Sample) *mat.Dense {
+	st := m.forward(s, nil)
+	return st.pre[numLayers-1]
 }
 
 // Predict returns the predicted class per masked node along with the
@@ -269,7 +277,7 @@ func (m *Model) lossAndGrad(s *Sample, rng *rand.Rand) (float64, [numLayers]*mat
 		gIn := g.Mul(m.W[l].T())
 		if l < 2 {
 			// g flowed through Â·act[l-1]; Â is symmetric so Âᵀ = Â.
-			gIn = s.Adj.MulDense(gIn)
+			gIn = s.Adj.MulDensePar(gIn)
 		}
 		// Through dropout and ReLU of layer l-1.
 		if st.drop[l-1] != nil {

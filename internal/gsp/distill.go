@@ -1,0 +1,279 @@
+package gsp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"dsplacer/internal/gcn"
+	"dsplacer/internal/mat"
+)
+
+// Distilled is the O(edges) spectral student of a trained GCN: a linear head
+// over Krylov taps of the normalized adjacency, φ(v) = [X; ÂX; Â²X; …]ᵥ ⊕ 1,
+// fitted by ridge regression to the teacher's logits. Inference is Taps-1
+// sparse SpMMs plus one small dense matmul — no hidden layers, no ReLU — so
+// classifying a netlist costs O(Taps·M·F) instead of the teacher's deeper
+// pipeline, and the taps reuse the deterministic par-sharded kernels.
+type Distilled struct {
+	// InputDim is the feature width F the student was fitted for.
+	InputDim int
+	// Taps is the number of Krylov blocks including Â⁰ (so Taps-1 SpMMs).
+	Taps int
+	// W is the (Taps·F + 1) × NumClasses head; the last row is the bias.
+	W *mat.Dense
+}
+
+// DistillOptions tunes the fit.
+type DistillOptions struct {
+	// Taps is the number of Krylov blocks including the identity tap
+	// (default 3 — matches the teacher's two-hop receptive field).
+	Taps int
+	// Ridge is the Tikhonov weight added to the normal equations
+	// (default 1e-3); it keeps the ~22×22 solve positive definite even when
+	// the taps are collinear.
+	Ridge float64
+}
+
+func (o DistillOptions) withDefaults() DistillOptions {
+	if o.Taps == 0 {
+		o.Taps = 3
+	}
+	if o.Ridge == 0 {
+		o.Ridge = 1e-3
+	}
+	return o
+}
+
+// Distill fits a spectral student to teacher's logits over the masked (DSP)
+// nodes of the given samples. The samples must carry the same feature layout
+// the teacher was trained on.
+func Distill(teacher *gcn.Model, samples []*gcn.Sample, opt DistillOptions) (*Distilled, error) {
+	opt = opt.withDefaults()
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("gsp: distill needs at least one sample")
+	}
+	f := teacher.InputDim()
+	d := opt.Taps*f + 1
+
+	// Normal equations over all masked rows of all samples:
+	// (ΦᵀΦ + λI)·W = ΦᵀY with Y the teacher logits.
+	A := mat.NewDense(d, d)
+	B := mat.NewDense(d, gcn.NumClasses)
+	rows := 0
+	for _, s := range samples {
+		if s.X.C != f {
+			return nil, fmt.Errorf("gsp: sample %s has %d features, teacher wants %d", s.Name, s.X.C, f)
+		}
+		phi := krylovTaps(s, opt.Taps)
+		Y := teacher.Logits(s)
+		for _, v := range s.Mask {
+			pr, yr := phi.Row(v), Y.Row(v)
+			for i, pi := range pr {
+				ar := A.Row(i)
+				for j, pj := range pr {
+					ar[j] += pi * pj
+				}
+				br := B.Row(i)
+				for c, yc := range yr {
+					br[c] += pi * yc
+				}
+			}
+			rows++
+		}
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("gsp: distill samples have no masked nodes")
+	}
+	for i := 0; i < d; i++ {
+		A.Set(i, i, A.At(i, i)+opt.Ridge)
+	}
+	W, err := choleskySolve(A, B)
+	if err != nil {
+		return nil, fmt.Errorf("gsp: distill solve: %w", err)
+	}
+	return &Distilled{InputDim: f, Taps: opt.Taps, W: W}, nil
+}
+
+// krylovTaps builds the n × (Taps·F + 1) design matrix [X | ÂX | Â²X | … | 1].
+func krylovTaps(s *gcn.Sample, taps int) *mat.Dense {
+	n, f := s.X.R, s.X.C
+	phi := mat.NewDense(n, taps*f+1)
+	cur := s.X
+	for t := 0; t < taps; t++ {
+		if t > 0 {
+			cur = s.Adj.MulDensePar(cur)
+		}
+		for v := 0; v < n; v++ {
+			copy(phi.Row(v)[t*f:(t+1)*f], cur.Row(v))
+		}
+	}
+	for v := 0; v < n; v++ {
+		phi.Row(v)[taps*f] = 1
+	}
+	return phi
+}
+
+// Logits evaluates the student head on every node of s.
+func (m *Distilled) Logits(s *gcn.Sample) *mat.Dense {
+	if s.X.C != m.InputDim {
+		panic(fmt.Sprintf("gsp: sample has %d features, student wants %d", s.X.C, m.InputDim))
+	}
+	return krylovTaps(s, m.Taps).Mul(m.W)
+}
+
+// Predict mirrors gcn.Model.Predict: the predicted class per masked node and
+// the datapath probability (softmax of the two logits).
+func (m *Distilled) Predict(s *gcn.Sample) (classes []int, probs []float64) {
+	lg := m.Logits(s)
+	classes = make([]int, len(s.Mask))
+	probs = make([]float64, len(s.Mask))
+	for i, v := range s.Mask {
+		p := 1 / (1 + math.Exp(lg.At(v, 0)-lg.At(v, 1)))
+		probs[i] = p
+		if p >= 0.5 {
+			classes[i] = 1
+		}
+	}
+	return classes, probs
+}
+
+// Accuracy returns the fraction of masked nodes classified correctly.
+func (m *Distilled) Accuracy(s *gcn.Sample) float64 {
+	if len(s.Mask) == 0 {
+		return 0
+	}
+	classes, _ := m.Predict(s)
+	hit := 0
+	for i, v := range s.Mask {
+		if classes[i] == s.Labels[v] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(s.Mask))
+}
+
+// Agreement returns the fraction of masked nodes on which the student and
+// teacher predict the same class.
+func (m *Distilled) Agreement(teacher *gcn.Model, s *gcn.Sample) float64 {
+	if len(s.Mask) == 0 {
+		return 1
+	}
+	sc, _ := m.Predict(s)
+	tc, _ := teacher.Predict(s)
+	same := 0
+	for i := range sc {
+		if sc[i] == tc[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(sc))
+}
+
+// choleskySolve solves A·X = B for symmetric positive-definite A via a plain
+// Cholesky factorization — A here is the ~22×22 ridge-regularized Gram
+// matrix, so numerics and cost are trivial.
+func choleskySolve(A, B *mat.Dense) (*mat.Dense, error) {
+	n := A.R
+	if A.C != n || B.R != n {
+		panic("gsp: choleskySolve dimension mismatch")
+	}
+	L := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := A.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= L.At(i, k) * L.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("matrix not positive definite at pivot %d", i)
+				}
+				L.Set(i, i, math.Sqrt(s))
+			} else {
+				L.Set(i, j, s/L.At(j, j))
+			}
+		}
+	}
+	X := B.Clone()
+	for c := 0; c < B.C; c++ {
+		// Forward solve L·y = b.
+		for i := 0; i < n; i++ {
+			s := X.At(i, c)
+			for k := 0; k < i; k++ {
+				s -= L.At(i, k) * X.At(k, c)
+			}
+			X.Set(i, c, s/L.At(i, i))
+		}
+		// Back solve Lᵀ·x = y.
+		for i := n - 1; i >= 0; i-- {
+			s := X.At(i, c)
+			for k := i + 1; k < n; k++ {
+				s -= L.At(k, i) * X.At(k, c)
+			}
+			X.Set(i, c, s/L.At(i, i))
+		}
+	}
+	return X, nil
+}
+
+// distilledFile is the on-disk representation, mirroring gcn's model file.
+type distilledFile struct {
+	InputDim int       `json:"input_dim"`
+	Taps     int       `json:"taps"`
+	Dims     [2]int    `json:"dims"`
+	Weights  []float64 `json:"weights"` // row-major
+}
+
+// MarshalJSON serializes the student with its architecture.
+func (m *Distilled) MarshalJSON() ([]byte, error) {
+	return json.Marshal(distilledFile{
+		InputDim: m.InputDim,
+		Taps:     m.Taps,
+		Dims:     [2]int{m.W.R, m.W.C},
+		Weights:  append([]float64(nil), m.W.Data...),
+	})
+}
+
+// UnmarshalJSON restores a student saved by MarshalJSON.
+func (m *Distilled) UnmarshalJSON(data []byte) error {
+	var f distilledFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("gsp: decode distilled model: %w", err)
+	}
+	if f.InputDim <= 0 || f.Taps <= 0 {
+		return fmt.Errorf("gsp: distilled model has invalid shape F=%d taps=%d", f.InputDim, f.Taps)
+	}
+	wantR := f.Taps*f.InputDim + 1
+	if f.Dims != [2]int{wantR, gcn.NumClasses} || len(f.Weights) != wantR*gcn.NumClasses {
+		return fmt.Errorf("gsp: distilled head dims %v (%d weights) inconsistent with F=%d taps=%d",
+			f.Dims, len(f.Weights), f.InputDim, f.Taps)
+	}
+	m.InputDim = f.InputDim
+	m.Taps = f.Taps
+	m.W = &mat.Dense{R: wantR, C: gcn.NumClasses, Data: append([]float64(nil), f.Weights...)}
+	return nil
+}
+
+// SaveFile writes the student to path as JSON.
+func (m *Distilled) SaveFile(path string) error {
+	data, err := m.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadDistilled reads a student saved with SaveFile.
+func LoadDistilled(path string) (*Distilled, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &Distilled{}
+	if err := m.UnmarshalJSON(data); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,164 @@
+package gsp
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"dsplacer/internal/gcn"
+	"dsplacer/internal/graph"
+	"dsplacer/internal/mat"
+)
+
+// ringSample builds a small labeled sample: a ring where the label equals a
+// threshold on the first feature (same fixture shape as the gcn tests).
+func ringSample(n int, seed int64) *gcn.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewDigraph(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	X := mat.NewDense(n, 3)
+	labels := make([]int, n)
+	mask := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		labels[i] = cls
+		mask[i] = i
+		X.Set(i, 0, float64(cls)*2-1+rng.NormFloat64()*0.1)
+		X.Set(i, 1, rng.NormFloat64()*0.1)
+		X.Set(i, 2, rng.NormFloat64()*0.1)
+	}
+	return &gcn.Sample{Name: "ring", Adj: gcn.NormalizedAdjacency(g), X: X, Labels: labels, Mask: mask}
+}
+
+func trainTeacher(t *testing.T, s *gcn.Sample) *gcn.Model {
+	t.Helper()
+	cfg := gcn.Config{InputDim: 3, Hidden: 8, FC1: 8, FC2: 4,
+		LR: 0.02, Epochs: 120, Seed: 3, WeightedLoss: true}
+	m, _ := gcn.Train(cfg, []*gcn.Sample{s}, nil)
+	if acc := m.Accuracy(s); acc < 0.9 {
+		t.Fatalf("teacher failed to learn the fixture: acc=%v", acc)
+	}
+	return m
+}
+
+func TestDistillAgreesWithTeacher(t *testing.T) {
+	train := ringSample(24, 1)
+	teacher := trainTeacher(t, train)
+	student, err := Distill(teacher, []*gcn.Sample{train}, DistillOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag := student.Agreement(teacher, train); ag < 0.95 {
+		t.Fatalf("student agreement on training graph %v < 0.95", ag)
+	}
+	// Held-out graph from the same family.
+	test := ringSample(30, 9)
+	if ag := student.Agreement(teacher, test); ag < 0.9 {
+		t.Fatalf("student agreement on held-out graph %v < 0.9", ag)
+	}
+	if acc := student.Accuracy(test); acc < 0.85 {
+		t.Fatalf("student accuracy %v < 0.85", acc)
+	}
+}
+
+func TestDistillRoundTrip(t *testing.T) {
+	train := ringSample(24, 1)
+	teacher := trainTeacher(t, train)
+	student, err := Distill(teacher, []*gcn.Sample{train}, DistillOptions{Taps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "student.json")
+	if err := student.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDistilled(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Taps != 2 || back.InputDim != 3 {
+		t.Fatalf("round-trip shape %d/%d", back.Taps, back.InputDim)
+	}
+	a := student.Logits(train)
+	b := back.Logits(train)
+	if a.MaxAbsDiff(b) != 0 {
+		t.Fatal("round-trip changed predictions")
+	}
+	// Corrupt shape must be rejected.
+	bad := &Distilled{}
+	if err := bad.UnmarshalJSON([]byte(`{"input_dim":3,"taps":2,"dims":[5,2],"weights":[1,2]}`)); err == nil {
+		t.Fatal("inconsistent file accepted")
+	}
+}
+
+func TestDistillErrors(t *testing.T) {
+	train := ringSample(24, 1)
+	teacher := trainTeacher(t, train)
+	if _, err := Distill(teacher, nil, DistillOptions{}); err == nil {
+		t.Fatal("empty sample list accepted")
+	}
+	unmasked := ringSample(24, 1)
+	unmasked.Mask = nil
+	if _, err := Distill(teacher, []*gcn.Sample{unmasked}, DistillOptions{}); err == nil {
+		t.Fatal("maskless samples accepted")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// A = MᵀM + I is SPD; verify A·X ≈ B.
+	rng := rand.New(rand.NewSource(2))
+	n := 9
+	M := mat.NewDense(n, n).Randn(rng, 1)
+	A := M.T().Mul(M)
+	for i := 0; i < n; i++ {
+		A.Set(i, i, A.At(i, i)+1)
+	}
+	B := mat.NewDense(n, 2).Randn(rng, 1)
+	X, err := choleskySolve(A, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := A.Mul(X).MaxAbsDiff(B); d > 1e-9 {
+		t.Fatalf("residual %v", d)
+	}
+	// Indefinite matrix must be rejected, not silently NaN.
+	bad := mat.NewDense(2, 2)
+	bad.Set(0, 0, -1)
+	bad.Set(1, 1, 1)
+	if _, err := choleskySolve(bad, mat.NewDense(2, 1)); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+func TestDistillLogitsCloseToTeacher(t *testing.T) {
+	// On the fixture the teacher's decision is near-linear in the features,
+	// so the ridge fit should track the logit *gap* closely, not just the
+	// argmax.
+	train := ringSample(24, 1)
+	teacher := trainTeacher(t, train)
+	student, err := Distill(teacher, []*gcn.Sample{train}, DistillOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, sl := teacher.Logits(train), student.Logits(train)
+	worst := 0.0
+	for _, v := range train.Mask {
+		tg := tl.At(v, 1) - tl.At(v, 0)
+		sg := sl.At(v, 1) - sl.At(v, 0)
+		if d := math.Abs(tg - sg); d > worst {
+			worst = d
+		}
+	}
+	spread := 0.0
+	for _, v := range train.Mask {
+		if g := math.Abs(tl.At(v, 1) - tl.At(v, 0)); g > spread {
+			spread = g
+		}
+	}
+	if worst > spread {
+		t.Fatalf("logit-gap error %v exceeds the teacher's own spread %v", worst, spread)
+	}
+}

@@ -3,6 +3,7 @@ package mat
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -192,4 +193,96 @@ func TestCSROutOfRangePanics(t *testing.T) {
 		}
 	}()
 	NewCSR(2, 2, []COO{{5, 0, 1}})
+}
+
+// randCSR builds a random sparse r×c matrix for the Par-kernel suites.
+func randCSR(rng *rand.Rand, r, c int, density float64) *CSR {
+	var entries []COO
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				entries = append(entries, COO{i, j, rng.NormFloat64()})
+			}
+		}
+	}
+	return NewCSR(r, c, entries)
+}
+
+// Property: the par-sharded SpMV/SpMM kernels compute exactly what the
+// GOMAXPROCS-chunked kernels compute — same row, same stored-column
+// accumulation order, so equality must be bitwise, not approximate.
+func TestParKernelsMatchBitwise(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c, w := 40, 30, 3
+		m := randCSR(rng, r, c, 0.2)
+		x := make([]float64, c)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, r)
+		y2 := make([]float64, r)
+		m.MulVec(x, y1)
+		m.MulVecPar(x, y2)
+		for i := range y1 {
+			if y1[i] != y2[i] {
+				return false
+			}
+		}
+		d := NewDense(c, w).Randn(rng, 1)
+		a, b := m.MulDense(d), m.MulDensePar(d)
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Par kernels must be bit-identical at any worker count: fixed shard
+// boundaries (par.DefaultShards), one goroutine per output row.
+func TestParKernelsBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := randCSR(rng, 300, 300, 0.05)
+	x := make([]float64, 300)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	d := NewDense(300, 9).Randn(rng, 1)
+
+	run := func(procs int) ([]float64, *Dense) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		y := make([]float64, 300)
+		m.MulVecPar(x, y)
+		return y, m.MulDensePar(d)
+	}
+	y1, d1 := run(1)
+	y8, d8 := run(8)
+	for i := range y1 {
+		if y1[i] != y8[i] {
+			t.Fatalf("MulVecPar differs at row %d: %v vs %v", i, y1[i], y8[i])
+		}
+	}
+	for i := range d1.Data {
+		if d1.Data[i] != d8.Data[i] {
+			t.Fatalf("MulDensePar differs at %d: %v vs %v", i, d1.Data[i], d8.Data[i])
+		}
+	}
+}
+
+// MulDenseParInto must fully overwrite stale output contents.
+func TestMulDenseParIntoOverwrites(t *testing.T) {
+	m := NewCSR(2, 2, []COO{{0, 0, 2}, {1, 1, 3}})
+	d := FromRows([][]float64{{1, 2}, {3, 4}})
+	out := FromRows([][]float64{{99, 99}, {99, 99}})
+	m.MulDenseParInto(d, out)
+	want := FromRows([][]float64{{2, 4}, {9, 12}})
+	if out.MaxAbsDiff(want) != 0 {
+		t.Fatalf("got %v", out.Data)
+	}
 }

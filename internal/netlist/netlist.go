@@ -235,21 +235,20 @@ func (nl *Netlist) Stats() Stats {
 // node per cell, one edge driver→sink per (driver, sink) pair of every net,
 // deduplicated.
 func (nl *Netlist) ToGraph() *graph.Digraph {
-	g := graph.NewDigraph(len(nl.Cells))
-	seen := make(map[[2]int]bool)
+	total := 0
+	for _, n := range nl.Nets {
+		total += len(n.Sinks)
+	}
+	keys := make([]uint64, 0, total)
 	for _, n := range nl.Nets {
 		for _, s := range n.Sinks {
 			if n.Driver == s {
 				continue
 			}
-			k := [2]int{n.Driver, s}
-			if !seen[k] {
-				seen[k] = true
-				g.AddEdge(n.Driver, s)
-			}
+			keys = append(keys, graph.EdgeKey(n.Driver, s))
 		}
 	}
-	return g
+	return graph.FromEdgeKeys(len(nl.Cells), graph.DedupEdges(keys))
 }
 
 // Validate checks structural invariants and returns the first violation:
