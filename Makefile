@@ -20,11 +20,15 @@ ci:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# End-to-end service smoke: dsplacerd serves on a random loopback port,
-# places the quickstart netlist with final DRC gating through the real
-# HTTP API, and checks /metrics reports the completed job.
+# End-to-end service smoke, two stages: (1) one dsplacerd serves on a
+# random loopback port, places the quickstart netlist with final DRC gating
+# through the real HTTP API, and checks /metrics reports the completed job;
+# (2) two dsplacerd processes share a result cache over the cache/remote
+# TCP protocol, and the second must serve the first's placement without
+# recomputing it (cross-process cache hit).
 serve-smoke:
 	go run ./cmd/dsplacerd -smoke
+	go run ./cmd/dsplacerd -smoke-cluster
 
 # Seconds of coverage-guided fuzzing per target in fuzz-smoke. Raise for a
 # real fuzzing session: make fuzz-smoke FUZZTIME=5m
@@ -53,7 +57,8 @@ bench-smoke:
 # compare against BENCH_*.json).
 bench:
 	go test -run '^$$' -bench 'DSPGraphBuild|AssignIteration|MinCostFlow|GlobalPlace|Features' -benchmem .  && \
-	go test -run '^$$' -bench . -benchmem ./internal/mcmf/
+	go test -run '^$$' -bench . -benchmem ./internal/mcmf/ && \
+	go test -run '^$$' -bench 'SubmitThroughput' -benchmem ./internal/jobs/
 
 # CPU-profile one Table II regeneration at mini scale; open with
 # `go tool pprof cpu.pb.gz`.

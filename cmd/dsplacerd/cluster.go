@@ -1,0 +1,247 @@
+// Two-daemon shared-cache smoke (-smoke-cluster): re-exec this binary as
+// two real dsplacerd processes whose caches are crossed via -cache-listen /
+// -cache-peers, place a netlist on daemon A, and assert daemon B serves the
+// identical request from the shared cache without running a placement —
+// the end-to-end proof of the DESIGN.md §14 scale-out story.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/gen"
+	"dsplacer/internal/server"
+)
+
+// freePort reserves an ephemeral loopback port and returns "127.0.0.1:N".
+// The port is released before use — a benign race for a self-test.
+func freePort() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// daemon is one child dsplacerd process in the smoke cluster.
+type daemon struct {
+	name string
+	base string // http://127.0.0.1:N
+	cmd  *exec.Cmd
+}
+
+func startDaemon(exe, name, httpAddr, cacheAddr, peerAddr string) (*daemon, error) {
+	cmd := exec.Command(exe,
+		"-addr", httpAddr,
+		"-cache-listen", cacheAddr,
+		"-cache-peers", peerAddr,
+		"-workers", "2",
+		"-drain-grace", "30s",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("cluster: start %s: %w", name, err)
+	}
+	return &daemon{name: name, base: "http://" + httpAddr, cmd: cmd}, nil
+}
+
+func (d *daemon) waitHealthy(deadline time.Time) error {
+	for {
+		resp, err := http.Get(d.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: %s never became healthy: %v", d.name, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func (d *daemon) stop() {
+	if d == nil || d.cmd == nil || d.cmd.Process == nil {
+		return
+	}
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { d.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(45 * time.Second):
+		d.cmd.Process.Kill()
+		<-done
+	}
+}
+
+// placeOn submits body to the daemon and polls the job to completion.
+func (d *daemon) placeOn(body []byte) (server.JobDoc, error) {
+	var doc server.JobDoc
+	resp, err := http.Post(d.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return doc, fmt.Errorf("cluster: submit to %s: %w", d.name, err)
+	}
+	var sub struct{ ID, State, Error string }
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		return doc, err
+	}
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		return doc, fmt.Errorf("cluster: submit to %s: status %d (%s)", d.name, resp.StatusCode, sub.Error)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := http.Get(d.base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			return doc, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			return doc, err
+		}
+		switch doc.State {
+		case "done":
+			if doc.Result == nil {
+				return doc, fmt.Errorf("cluster: %s: done without result", d.name)
+			}
+			return doc, nil
+		case "failed", "canceled":
+			return doc, fmt.Errorf("cluster: %s: job %s: %s", d.name, doc.State, doc.Error)
+		}
+		if time.Now().After(deadline) {
+			return doc, fmt.Errorf("cluster: %s: job stuck in %s", d.name, doc.State)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func (d *daemon) metrics() (string, error) {
+	resp, err := http.Get(d.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	return string(text), err
+}
+
+func runClusterSmoke() error {
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("cluster: locate own binary: %w", err)
+	}
+	httpA, err := freePort()
+	if err != nil {
+		return err
+	}
+	httpB, err := freePort()
+	if err != nil {
+		return err
+	}
+	cacheA, err := freePort()
+	if err != nil {
+		return err
+	}
+	cacheB, err := freePort()
+	if err != nil {
+		return err
+	}
+
+	a, err := startDaemon(exe, "daemon-a", httpA, cacheA, cacheB)
+	if err != nil {
+		return err
+	}
+	defer a.stop()
+	b, err := startDaemon(exe, "daemon-b", httpB, cacheB, cacheA)
+	if err != nil {
+		return err
+	}
+	defer b.stop()
+	deadline := time.Now().Add(30 * time.Second)
+	if err := a.waitHealthy(deadline); err != nil {
+		return err
+	}
+	if err := b.waitHealthy(deadline); err != nil {
+		return err
+	}
+
+	// One request body, byte-identical on both daemons: the cache key is
+	// content-addressed, so this is the same cache entry cluster-wide.
+	nl, err := gen.Generate(gen.Small(), fpga.NewZCU104())
+	if err != nil {
+		return err
+	}
+	nlJSON, err := json.Marshal(nl)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(map[string]any{
+		"netlist":  json.RawMessage(nlJSON),
+		"validate": "final",
+		"seed":     1,
+		"tenant":   "smoke",
+	})
+	if err != nil {
+		return err
+	}
+
+	docA, err := a.placeOn(body)
+	if err != nil {
+		return err
+	}
+	if docA.Result.Cached {
+		return fmt.Errorf("cluster: first placement on daemon-a reported cached")
+	}
+	docB, err := b.placeOn(body)
+	if err != nil {
+		return err
+	}
+	if !docB.Result.Cached {
+		return fmt.Errorf("cluster: daemon-b recomputed a placement daemon-a already cached")
+	}
+	if docB.Result.HPWL != docA.Result.HPWL || docB.Result.WNS != docA.Result.WNS {
+		return fmt.Errorf("cluster: shared result differs: A HPWL %g WNS %g, B HPWL %g WNS %g",
+			docA.Result.HPWL, docA.Result.WNS, docB.Result.HPWL, docB.Result.WNS)
+	}
+
+	// B must have served the hit locally (A's write-through landed) and run
+	// zero placements of its own; A must have pushed the value to its peer.
+	mB, err := b.metrics()
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(mB, "dsplacer_placements_total 0") {
+		return fmt.Errorf("cluster: daemon-b ran a placement despite the shared cache")
+	}
+	if !strings.Contains(mB, "dsplacer_cache_hits_total 1") {
+		return fmt.Errorf("cluster: daemon-b metrics missing the cross-process cache hit")
+	}
+	mA, err := a.metrics()
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(mA, "dsplacer_cache_peer_puts_total 1") {
+		return fmt.Errorf("cluster: daemon-a metrics missing the peer write-through")
+	}
+
+	fmt.Printf("cluster smoke: daemon-a placed %s (HPWL %.0f), daemon-b served it from the shared cache\n",
+		nl.Name, docA.Result.HPWL)
+	return nil
+}

@@ -5,15 +5,24 @@
 // Usage:
 //
 //	dsplacerd -addr :8080 -workers 2 -queue-depth 64 -cache-size 64 -ttl 10m
+//	dsplacerd -tenant-quota 16 -tenant-weights "interactive=3,batch=1"
+//	dsplacerd -cache-shards 8 -cache-listen :7070 -cache-peers host2:7070
 //	dsplacerd -smoke          # in-process self-test: serve, place, verify
+//	dsplacerd -smoke-cluster  # two-daemon shared-cache self-test
 //
 // Endpoints:
 //
-//	POST   /v1/jobs       submit  {"netlist": {...}, "flow": "dsplacer", ...}
-//	GET    /v1/jobs/{id}  poll
-//	DELETE /v1/jobs/{id}  cancel
-//	GET    /healthz       liveness (503 while draining)
-//	GET    /metrics       Prometheus text
+//	POST   /v1/jobs              submit  {"netlist": {...}, "flow": "dsplacer", ...}
+//	GET    /v1/jobs/{id}         poll
+//	GET    /v1/jobs/{id}/events  progress stream (SSE; ?poll=1 long-polls)
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /healthz              liveness (503 while draining)
+//	GET    /metrics              Prometheus text
+//
+// With -cache-listen the daemon serves its result cache to peers over the
+// cache/remote TCP protocol, and with -cache-peers it consults (and writes
+// through to) other daemons' caches, so a cluster shares one logical
+// placement cache (DESIGN.md §14).
 //
 // SIGTERM/SIGINT starts a graceful drain: new submissions get 503 while
 // queued and running jobs finish (bounded by -drain-grace, after which
@@ -32,10 +41,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"dsplacer/internal/cache"
+	"dsplacer/internal/cache/remote"
 	"dsplacer/internal/cli"
 	"dsplacer/internal/fpga"
 	"dsplacer/internal/gen"
@@ -43,22 +55,97 @@ import (
 	"dsplacer/internal/server"
 )
 
+// parseTenantWeights parses "acme=2,batch=1" into a weight map.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad tenant weight %q (want name=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad tenant weight %q: weight must be a positive integer", part)
+		}
+		weights[name] = w
+	}
+	return weights, nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 2, "concurrent placement jobs")
-	queueDepth := flag.Int("queue-depth", 64, "max queued jobs before 429")
+	queueDepth := flag.Int("queue-depth", 64, "max queued jobs across tenants before 429")
+	tenantQuota := flag.Int("tenant-quota", 0, "max queued jobs per tenant (0 = queue-depth)")
+	tenantWeights := flag.String("tenant-weights", "", `fair-share weights, e.g. "interactive=3,batch=1"`)
 	cacheSize := flag.Int("cache-size", 64, "result cache capacity (entries)")
+	cacheShards := flag.Int("cache-shards", 1, "shard the result cache N ways (1 = single LRU)")
+	cacheListen := flag.String("cache-listen", "", "serve the local result cache to peer daemons on this address")
+	cachePeers := flag.String("cache-peers", "", "comma-separated peer cache addresses to share placements with")
 	ttl := flag.Duration("ttl", 10*time.Minute, "terminal job retention before eviction")
 	drainGrace := flag.Duration("drain-grace", time.Minute, "max wait for in-flight jobs on shutdown")
 	smoke := flag.Bool("smoke", false, "run the in-process smoke test and exit")
+	smokeCluster := flag.Bool("smoke-cluster", false, "run the two-daemon shared-cache smoke test and exit")
 	common := cli.RegisterCommon(flag.CommandLine, 1, "off")
 	flag.Parse()
 	stop := common.Start()
 	defer stop()
 
+	if *smokeCluster {
+		if err := runClusterSmoke(); err != nil {
+			stop()
+			cli.Fatal(err)
+		}
+		fmt.Println("cluster smoke test passed")
+		return
+	}
+
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		stop()
+		cli.Fatal(err)
+	}
+
+	// The local store (optionally sharded) is what -cache-listen serves;
+	// the server sees it wrapped with the peers so lookups fall back to and
+	// fills write through to the rest of the cluster.
+	var local cache.Store
+	if *cacheShards > 1 {
+		local = cache.NewSharded(*cacheShards, *cacheSize)
+	} else {
+		local = cache.NewLRU(*cacheSize)
+	}
+	store := local
+	if *cacheListen != "" {
+		ln, err := remote.Listen(*cacheListen, local)
+		if err != nil {
+			stop()
+			cli.Fatal(err)
+		}
+		defer ln.Close()
+		log.Printf("dsplacerd cache served to peers on %s", ln.Addr())
+	}
+	if *cachePeers != "" {
+		var peers []cache.Store
+		for _, addr := range strings.Split(*cachePeers, ",") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				peers = append(peers, remote.Dial(addr, 2*time.Second))
+			}
+		}
+		if len(peers) > 0 {
+			store = &cache.Peered{Local: local, Peers: peers}
+		}
+	}
+
 	srv := server.New(server.Config{
-		Jobs:      jobs.Config{Workers: *workers, QueueDepth: *queueDepth, ResultTTL: *ttl},
-		CacheSize: *cacheSize,
+		Jobs: jobs.Config{
+			Workers: *workers, QueueDepth: *queueDepth, ResultTTL: *ttl,
+			TenantQuota: *tenantQuota, TenantWeights: weights,
+		},
+		Cache: store,
 	})
 
 	if *smoke {

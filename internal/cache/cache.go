@@ -1,9 +1,16 @@
 // Package cache is the content-addressed result cache behind dsplacerd
-// (DESIGN.md §11). Keys are SHA-256 digests over the request's semantic
-// inputs — netlist JSON, device config, and the placement core.Config — so
-// an identical resubmission is served from memory without a second
-// placement run. Entries are evicted least-recently-used once Capacity is
-// exceeded; hit/miss counters feed the /metrics endpoint.
+// (DESIGN.md §11, §14). Keys are SHA-256 digests over the request's
+// semantic inputs — netlist JSON, device config, and the placement
+// core.Config — so an identical resubmission is served from memory without
+// a second placement run; because the key is pure content, results are
+// location-independent and can be shared across daemons.
+//
+// Storage is pluggable behind the Store interface: LRU is the single-lock
+// in-process implementation, Sharded fans keys out over N LRU shards with
+// per-shard locking, Peered composes a local store with remote peers, and
+// cache/remote serves any Store over TCP. Values are opaque byte blobs so
+// every implementation — in-process or across the network — speaks the
+// same type. Hit/miss counters feed the /metrics endpoint.
 package cache
 
 import (
@@ -12,6 +19,19 @@ import (
 	"encoding/binary"
 	"sync"
 )
+
+// Store is a pluggable placement-result cache. Implementations must be safe
+// for concurrent use. Callers must treat returned values as shared and
+// immutable; implementations may likewise retain the Put value without
+// copying.
+type Store interface {
+	// Get returns the value cached under k, if any.
+	Get(k Key) ([]byte, bool)
+	// Put stores v under k, replacing any existing value.
+	Put(k Key, v []byte)
+	// Stats returns cumulative hit/miss counters and current occupancy.
+	Stats() Stats
+}
 
 // Key is the content digest of a request's inputs.
 type Key [sha256.Size]byte
@@ -50,12 +70,12 @@ func (s Stats) HitRatio() float64 {
 
 type entry struct {
 	key Key
-	val any
+	val []byte
 }
 
-// LRU is a fixed-capacity least-recently-used cache, safe for concurrent
-// use. Values are stored as-is (the service stores *core.Result); callers
-// must treat returned values as shared and immutable.
+// LRU is a fixed-capacity least-recently-used Store guarded by one lock.
+// Values are stored as-is; callers must treat returned values as shared
+// and immutable.
 type LRU struct {
 	mu       sync.Mutex
 	capacity int
@@ -79,7 +99,7 @@ func NewLRU(capacity int) *LRU {
 }
 
 // Get returns the cached value for k and marks it most recently used.
-func (c *LRU) Get(k Key) (any, bool) {
+func (c *LRU) Get(k Key) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[k]
@@ -94,7 +114,7 @@ func (c *LRU) Get(k Key) (any, bool) {
 
 // Put stores v under k, replacing any existing value, and evicts the least
 // recently used entry if the cache is over capacity.
-func (c *LRU) Put(k Key, v any) {
+func (c *LRU) Put(k Key, v []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[k]; ok {

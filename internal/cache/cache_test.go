@@ -27,10 +27,10 @@ func TestGetPutRoundTrip(t *testing.T) {
 	if _, ok := c.Get(k); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.Put(k, "result")
+	c.Put(k, []byte("result"))
 	v, ok := c.Get(k)
-	if !ok || v != "result" {
-		t.Fatalf("got %v %v, want result true", v, ok)
+	if !ok || string(v) != "result" {
+		t.Fatalf("got %q %v, want result true", v, ok)
 	}
 	st := c.Stats()
 	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Capacity != 4 {
@@ -44,10 +44,10 @@ func TestGetPutRoundTrip(t *testing.T) {
 func TestLRUEvictsOldest(t *testing.T) {
 	c := NewLRU(2)
 	k1, k2, k3 := KeyOf([]byte("1")), KeyOf([]byte("2")), KeyOf([]byte("3"))
-	c.Put(k1, 1)
-	c.Put(k2, 2)
+	c.Put(k1, []byte("1"))
+	c.Put(k2, []byte("2"))
 	c.Get(k1) // k1 becomes most recent; k2 is now the eviction candidate
-	c.Put(k3, 3)
+	c.Put(k3, []byte("3"))
 	if _, ok := c.Get(k2); ok {
 		t.Fatal("least recently used entry survived eviction")
 	}
@@ -62,10 +62,10 @@ func TestLRUEvictsOldest(t *testing.T) {
 func TestPutReplacesInPlace(t *testing.T) {
 	c := NewLRU(2)
 	k := KeyOf([]byte("k"))
-	c.Put(k, "old")
-	c.Put(k, "new")
-	if v, _ := c.Get(k); v != "new" {
-		t.Fatalf("got %v, want new", v)
+	c.Put(k, []byte("old"))
+	c.Put(k, []byte("new"))
+	if v, _ := c.Get(k); string(v) != "new" {
+		t.Fatalf("got %q, want new", v)
 	}
 	if c.Len() != 1 {
 		t.Fatalf("replacement grew the cache to %d entries", c.Len())
@@ -89,7 +89,7 @@ func TestConcurrentAccess(t *testing.T) {
 			for i := 0; i < 500; i++ {
 				k := KeyOf([]byte(fmt.Sprintf("key-%d", i%32)))
 				if i%2 == 0 {
-					c.Put(k, i)
+					c.Put(k, []byte{byte(i)})
 				} else {
 					c.Get(k)
 				}

@@ -1,0 +1,52 @@
+package cache
+
+import "sync/atomic"
+
+// Peered composes a local Store with remote peers so N daemons share one
+// logical placement cache. Get consults the local store first and falls
+// back to the peers, promoting a peer hit into the local store; Put writes
+// through to the local store and every peer, so a result computed on one
+// daemon is immediately servable by the others. Peer stores are expected to
+// degrade to miss/no-op on network failure (cache/remote.Client does), so a
+// dead peer slows nothing down beyond its dial timeout.
+type Peered struct {
+	Local Store
+	Peers []Store
+
+	peerHits atomic.Int64
+	peerPuts atomic.Int64
+}
+
+// Get implements Store: local first, then each peer in order.
+func (p *Peered) Get(k Key) ([]byte, bool) {
+	if v, ok := p.Local.Get(k); ok {
+		return v, true
+	}
+	for _, peer := range p.Peers {
+		if v, ok := peer.Get(k); ok {
+			p.peerHits.Add(1)
+			p.Local.Put(k, v) // promote so the next lookup stays local
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Put implements Store: write through to the local store and every peer.
+func (p *Peered) Put(k Key, v []byte) {
+	p.Local.Put(k, v)
+	for _, peer := range p.Peers {
+		peer.Put(k, v)
+		p.peerPuts.Add(1)
+	}
+}
+
+// Stats returns the local store's counters; peer traffic is reported
+// separately by PeerHits/PeerPuts (remote daemons own their own stats).
+func (p *Peered) Stats() Stats { return p.Local.Stats() }
+
+// PeerHits returns how many Gets were served by a peer after a local miss.
+func (p *Peered) PeerHits() int64 { return p.peerHits.Load() }
+
+// PeerPuts returns how many values were written through to peers.
+func (p *Peered) PeerPuts() int64 { return p.peerPuts.Load() }

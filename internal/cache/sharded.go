@@ -1,0 +1,66 @@
+package cache
+
+import "encoding/binary"
+
+// Sharded is an N-way sharded Store: the key's leading bytes (uniform,
+// since keys are SHA-256 digests) pick one of N independent LRU shards,
+// each with its own lock, so concurrent placements on different keys never
+// contend on a single cache mutex.
+type Sharded struct {
+	shards []*LRU
+}
+
+// NewSharded creates a store of n shards holding at most capacity entries
+// in total (split evenly, rounded up per shard). n <= 0 selects 8 shards;
+// capacity <= 0 selects the LRU default per shard.
+func NewSharded(n, capacity int) *Sharded {
+	if n <= 0 {
+		n = 8
+	}
+	per := 0
+	if capacity > 0 {
+		per = (capacity + n - 1) / n
+	}
+	s := &Sharded{shards: make([]*LRU, n)}
+	for i := range s.shards {
+		s.shards[i] = NewLRU(per)
+	}
+	return s
+}
+
+// shard maps k to its shard. Keys are content digests, so the first four
+// bytes are already uniformly distributed.
+func (s *Sharded) shard(k Key) *LRU {
+	return s.shards[binary.LittleEndian.Uint32(k[:4])%uint32(len(s.shards))]
+}
+
+// Get implements Store.
+func (s *Sharded) Get(k Key) ([]byte, bool) { return s.shard(k).Get(k) }
+
+// Put implements Store.
+func (s *Sharded) Put(k Key, v []byte) { s.shard(k).Put(k, v) }
+
+// Len returns the number of live entries across all shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Stats aggregates the per-shard counters.
+func (s *Sharded) Stats() Stats {
+	var st Stats
+	for _, sh := range s.shards {
+		ss := sh.Stats()
+		st.Hits += ss.Hits
+		st.Misses += ss.Misses
+		st.Entries += ss.Entries
+		st.Capacity += ss.Capacity
+	}
+	return st
+}

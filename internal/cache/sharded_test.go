@@ -1,0 +1,129 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// storeImpls pins that every implementation satisfies Store.
+var _ = []Store{(*LRU)(nil), (*Sharded)(nil), (*Peered)(nil)}
+
+func TestShardedRoundTripAndStats(t *testing.T) {
+	s := NewSharded(4, 400) // roomy: all 100 keys stay resident
+	if s.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", s.Shards())
+	}
+	keys := make([]Key, 100)
+	for i := range keys {
+		keys[i] = KeyOf([]byte(fmt.Sprintf("design-%d", i)))
+		s.Put(keys[i], []byte{byte(i)})
+	}
+	for i, k := range keys {
+		v, ok := s.Get(k)
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("key %d: got %v %v", i, v, ok)
+		}
+	}
+	if _, ok := s.Get(KeyOf([]byte("absent"))); ok {
+		t.Fatal("hit for an absent key")
+	}
+	st := s.Stats()
+	if st.Hits != 100 || st.Misses != 1 {
+		t.Fatalf("aggregated stats %+v, want 100 hits / 1 miss", st)
+	}
+	if st.Capacity < 400 {
+		t.Fatalf("aggregate capacity %d, want >= requested 400", st.Capacity)
+	}
+	if st.Entries != s.Len() {
+		t.Fatalf("entries %d != Len %d", st.Entries, s.Len())
+	}
+}
+
+// TestShardedSpreadsKeys: content digests must land on more than one shard
+// (with 100 SHA-256 keys over 4 shards, a single-shard pileup means the
+// shard function is broken).
+func TestShardedSpreadsKeys(t *testing.T) {
+	s := NewSharded(4, 400)
+	for i := 0; i < 100; i++ {
+		s.Put(KeyOf([]byte(fmt.Sprintf("k%d", i))), nil)
+	}
+	occupied := 0
+	for _, sh := range s.shards {
+		if sh.Len() > 0 {
+			occupied++
+		}
+	}
+	if occupied < 2 {
+		t.Fatalf("only %d of 4 shards occupied", occupied)
+	}
+}
+
+// TestShardedCapacitySplit: total occupancy stays bounded by the per-shard
+// split even under a hot single shard.
+func TestShardedCapacitySplit(t *testing.T) {
+	s := NewSharded(2, 8)
+	for i := 0; i < 100; i++ {
+		s.Put(KeyOf([]byte(fmt.Sprintf("k%d", i))), nil)
+	}
+	// Per-shard cap is ceil(8/2) = 4, so at most 8 entries survive.
+	if got := s.Len(); got > 8 {
+		t.Fatalf("sharded store holds %d entries, cap 8", got)
+	}
+}
+
+func TestShardedConcurrent(t *testing.T) {
+	s := NewSharded(8, 128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := KeyOf([]byte(fmt.Sprintf("key-%d", (w*500+i)%64)))
+				if i%2 == 0 {
+					s.Put(k, []byte{byte(i)})
+				} else {
+					s.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Hits+st.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}
+
+func TestPeeredPromotesAndWritesThrough(t *testing.T) {
+	local, peerA, peerB := NewLRU(8), NewLRU(8), NewLRU(8)
+	p := &Peered{Local: local, Peers: []Store{peerA, peerB}}
+
+	k1 := KeyOf([]byte("computed-elsewhere"))
+	peerB.Put(k1, []byte("remote"))
+	v, ok := p.Get(k1)
+	if !ok || string(v) != "remote" {
+		t.Fatalf("peer value not served: %q %v", v, ok)
+	}
+	if p.PeerHits() != 1 {
+		t.Fatalf("peer hits %d, want 1", p.PeerHits())
+	}
+	// The peer hit was promoted: the next Get is local.
+	if _, ok := local.Get(k1); !ok {
+		t.Fatal("peer hit was not promoted into the local store")
+	}
+
+	k2 := KeyOf([]byte("computed-here"))
+	p.Put(k2, []byte("mine"))
+	for i, peer := range []*LRU{peerA, peerB} {
+		if v, ok := peer.Get(k2); !ok || string(v) != "mine" {
+			t.Fatalf("peer %d missing written-through value", i)
+		}
+	}
+	if p.PeerPuts() != 2 {
+		t.Fatalf("peer puts %d, want 2", p.PeerPuts())
+	}
+	if _, ok := p.Get(KeyOf([]byte("nowhere"))); ok {
+		t.Fatal("hit for a key no store holds")
+	}
+}

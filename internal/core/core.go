@@ -74,6 +74,15 @@ func (g *GCNIdentifier) WithStages(rec *stage.Recorder) Identifier {
 	return &c
 }
 
+// WithFeatureMode returns a copy whose feature extraction uses the given
+// centrality backend, so a per-request mode (Config.FeatureMode) overrides
+// the identifier's default without mutating the shared identifier.
+func (g *GCNIdentifier) WithFeatureMode(m features.Mode) Identifier {
+	c := *g
+	c.FeatureCfg.Mode = m
+	return &c
+}
+
 // Identify implements Identifier.
 func (g *GCNIdentifier) Identify(ctx context.Context, nl *netlist.Netlist) ([]int, error) {
 	if g.Model == nil {
@@ -108,6 +117,14 @@ func (d *DistilledIdentifier) Name() string { return "distilled" }
 func (d *DistilledIdentifier) WithStages(rec *stage.Recorder) Identifier {
 	c := *d
 	c.FeatureCfg.Stages = rec
+	return &c
+}
+
+// WithFeatureMode returns a copy whose feature extraction uses the given
+// centrality backend; see GCNIdentifier.WithFeatureMode.
+func (d *DistilledIdentifier) WithFeatureMode(m features.Mode) Identifier {
+	c := *d
+	c.FeatureCfg.Mode = m
 	return &c
 }
 
@@ -172,6 +189,13 @@ type Config struct {
 	Rounds int
 	// Identifier defaults to the oracle.
 	Identifier Identifier
+	// FeatureMode overrides the centrality backend of feature-extracting
+	// identifiers (exact/sampled/gsp; features.ModeAuto leaves the
+	// identifier's own configuration untouched). The service threads the
+	// request's `features` field through here, and the mode is part of the
+	// result-cache key — the backends are approximations of each other, so
+	// their results must never be served interchangeably.
+	FeatureMode features.Mode
 	// Seed drives every stochastic component.
 	Seed int64
 	// TimingDriven enables one criticality-reweighting pass (applied
@@ -304,6 +328,15 @@ func Run(ctx context.Context, dev *fpga.Device, nl *netlist.Netlist, cfg Config)
 	}
 	t1 := time.Now()
 	ident := cfg.Identifier
+	if cfg.FeatureMode != features.ModeAuto {
+		// Per-request mode selection (the service's `features` field):
+		// identifiers that extract features get a mode-scoped copy.
+		if fm, ok := ident.(interface {
+			WithFeatureMode(features.Mode) Identifier
+		}); ok {
+			ident = fm.WithFeatureMode(cfg.FeatureMode)
+		}
+	}
 	if cfg.Stages != nil {
 		// Per-job recorders (dsplacerd) must also capture the identifier's
 		// extraction timers (features.centrality, gsp.filter, ...), so

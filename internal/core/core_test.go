@@ -327,6 +327,70 @@ func (s *stagedOracleIdentifier) Identify(ctx context.Context, nl *netlist.Netli
 	return OracleIdentifier{}.Identify(ctx, nl)
 }
 
+// WithFeatureMode must return a mode-scoped copy, leaving the shared
+// identifier's default backend untouched.
+func TestIdentifierWithFeatureModeIsolation(t *testing.T) {
+	g := &GCNIdentifier{FeatureCfg: features.Config{Mode: features.ModeExact}}
+	got := g.WithFeatureMode(features.ModeGSP)
+	if g.FeatureCfg.Mode != features.ModeExact {
+		t.Fatal("WithFeatureMode mutated the original GCNIdentifier")
+	}
+	if got.(*GCNIdentifier).FeatureCfg.Mode != features.ModeGSP {
+		t.Fatal("copy lacks the requested mode")
+	}
+	d := &DistilledIdentifier{FeatureCfg: features.Config{Mode: features.ModeExact}}
+	got2 := d.WithFeatureMode(features.ModeSampled)
+	if d.FeatureCfg.Mode != features.ModeExact ||
+		got2.(*DistilledIdentifier).FeatureCfg.Mode != features.ModeSampled {
+		t.Fatal("DistilledIdentifier WithFeatureMode broken")
+	}
+}
+
+// modeProbeIdentifier records the mode it ran under so tests can observe
+// whether Run applied Config.FeatureMode.
+type modeProbeIdentifier struct {
+	fcfg features.Config
+	ran  *features.Mode
+}
+
+func (p *modeProbeIdentifier) Name() string { return "mode-probe" }
+
+func (p *modeProbeIdentifier) WithFeatureMode(m features.Mode) Identifier {
+	c := *p
+	c.fcfg.Mode = m
+	return &c
+}
+
+func (p *modeProbeIdentifier) Identify(ctx context.Context, nl *netlist.Netlist) ([]int, error) {
+	*p.ran = p.fcfg.Mode
+	return OracleIdentifier{}.Identify(ctx, nl)
+}
+
+// Run must thread Config.FeatureMode into identifiers that support it, and
+// ModeAuto must leave the identifier's own default alone.
+func TestRunAppliesFeatureMode(t *testing.T) {
+	dev, nl := miniSetup(t)
+	var ran features.Mode
+	base := Config{ClockMHz: 150, MCFIterations: 2, Rounds: 1,
+		Identifier: &modeProbeIdentifier{fcfg: features.Config{Mode: features.ModeExact}, ran: &ran}}
+
+	cfg := base
+	cfg.FeatureMode = features.ModeGSP
+	if _, err := Run(context.Background(), dev, nl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if ran != features.ModeGSP {
+		t.Fatalf("identifier ran with mode %v, want ModeGSP", ran)
+	}
+
+	if _, err := Run(context.Background(), dev, nl, base); err != nil {
+		t.Fatal(err)
+	}
+	if ran != features.ModeExact {
+		t.Fatalf("ModeAuto overrode the identifier default: ran %v", ran)
+	}
+}
+
 // The features.centrality and gsp.filter timers must land in the run's own
 // recorder when the flow uses a feature-extracting identifier: Run hands
 // cfg.Stages to identifiers that support WithStages.

@@ -1,0 +1,38 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSubmitThroughput measures the admission + dispatch + completion
+// pipeline of the fair-share scheduler with no-op jobs spread across four
+// tenants: the per-job overhead a placement run pays before any real work
+// starts. Reported to BENCH_8.json.
+func BenchmarkSubmitThroughput(b *testing.B) {
+	s := New(Config{Workers: 4, QueueDepth: 1 << 20,
+		TenantWeights: map[string]int{"t0": 2, "t1": 1, "t2": 1, "t3": 1}})
+	defer s.Shutdown(context.Background())
+	tenants := [4]string{"t0", "t1", "t2", "t3"}
+	noop := func(ctx context.Context) (any, error) { return nil, nil }
+	ids := make([]string, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := s.Submit(noop, Options{Tenant: tenants[i%len(tenants)]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for _, id := range ids {
+		if _, err := s.Wait(context.Background(), id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := s.Stats(); st.Done != int64(b.N) {
+		b.Fatal(fmt.Sprintf("done=%d want %d", st.Done, b.N))
+	}
+}

@@ -1,0 +1,349 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// runOrder blocks the single worker with a gate job, queues the given
+// (tenant, index) jobs while the worker is held, then releases the gate and
+// returns the order in which the queued jobs executed.
+func runOrder(t *testing.T, s *Scheduler, submits [][2]string) []string {
+	t.Helper()
+	gate := make(chan struct{})
+	if _, err := s.Submit(func(ctx context.Context) (any, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}, Options{Tenant: "gate"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.Stats().Running == 1 })
+	var mu sync.Mutex
+	var order []string
+	for _, sub := range submits {
+		tag := sub[0] + sub[1]
+		if _, err := s.Submit(func(ctx context.Context) (any, error) {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+			return nil, nil
+		}, Options{Tenant: sub[0]}); err != nil {
+			t.Fatalf("submit %s: %v", tag, err)
+		}
+	}
+	close(gate)
+	waitFor(t, func() bool {
+		st := s.Stats()
+		return st.Queued == 0 && st.Running == 0
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	return order
+}
+
+// TestFairShareInterleavesTenants: with equal weights, one flooding tenant
+// cannot starve another — the single worker alternates A,B even though every
+// A job was submitted before any B job (the old global FIFO ran all A first).
+func TestFairShareInterleavesTenants(t *testing.T) {
+	s := newTest(t, Config{Workers: 1, QueueDepth: 16})
+	order := runOrder(t, s, [][2]string{
+		{"A", "1"}, {"A", "2"}, {"A", "3"}, {"A", "4"},
+		{"B", "1"}, {"B", "2"}, {"B", "3"}, {"B", "4"},
+	})
+	want := []string{"A1", "B1", "A2", "B2", "A3", "B3", "A4", "B4"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("execution order %v, want round-robin %v", order, want)
+	}
+}
+
+// TestFairShareWeights: a tenant with weight 2 dispatches two jobs per
+// scheduler visit, and per-tenant FIFO order is preserved throughout.
+func TestFairShareWeights(t *testing.T) {
+	s := newTest(t, Config{Workers: 1, QueueDepth: 16,
+		TenantWeights: map[string]int{"A": 2, "B": 1}})
+	order := runOrder(t, s, [][2]string{
+		{"A", "1"}, {"A", "2"}, {"A", "3"}, {"A", "4"},
+		{"B", "1"}, {"B", "2"}, {"B", "3"}, {"B", "4"},
+	})
+	want := []string{"A1", "A2", "B1", "A3", "A4", "B2", "B3", "B4"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("execution order %v, want weighted %v", order, want)
+	}
+}
+
+// TestTenantQuota: a tenant at its queued-job quota is rejected with
+// ErrQuotaExceeded while other tenants (and the global queue) still accept.
+func TestTenantQuota(t *testing.T) {
+	s := newTest(t, Config{Workers: 1, QueueDepth: 8, TenantQuota: 2})
+	gate := make(chan struct{})
+	defer close(gate)
+	block := func(ctx context.Context) (any, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	if _, err := s.Submit(block, Options{Tenant: "gate"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.Stats().Running == 1 })
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(block, Options{Tenant: "A"}); err != nil {
+			t.Fatalf("A submit %d under quota: %v", i, err)
+		}
+	}
+	if _, err := s.Submit(block, Options{Tenant: "A"}); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("got %v, want ErrQuotaExceeded", err)
+	}
+	// The quota is per tenant: B is unaffected.
+	if _, err := s.Submit(block, Options{Tenant: "B"}); err != nil {
+		t.Fatalf("B submit while A over quota: %v", err)
+	}
+	st := s.Stats()
+	if st.Tenants["A"].Rejected != 1 || st.Rejected != 1 {
+		t.Fatalf("rejections %+v, want one charged to A", st.Tenants)
+	}
+	if st.Tenants["A"].Queued != 2 || st.Tenants["B"].Queued != 1 {
+		t.Fatalf("queued per tenant %+v, want A=2 B=1", st.Tenants)
+	}
+}
+
+// TestGlobalDepthStillBounds: the global QueueDepth caps the sum across
+// tenants even when no single tenant exceeds its quota.
+func TestGlobalDepthStillBounds(t *testing.T) {
+	s := newTest(t, Config{Workers: 1, QueueDepth: 3, TenantQuota: 2})
+	gate := make(chan struct{})
+	defer close(gate)
+	block := func(ctx context.Context) (any, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	if _, err := s.Submit(block, Options{Tenant: "gate"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.Stats().Running == 1 })
+	for _, tenant := range []string{"A", "A", "B"} {
+		if _, err := s.Submit(block, Options{Tenant: tenant}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Submit(block, Options{Tenant: "C"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull at the global bound", err)
+	}
+}
+
+// TestQueueTimeTracked: dispatched jobs contribute their queue wait to the
+// tenant's SLO aggregates.
+func TestQueueTimeTracked(t *testing.T) {
+	s := newTest(t, Config{Workers: 1})
+	gate := make(chan struct{})
+	if _, err := s.Submit(func(ctx context.Context) (any, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}, Options{Tenant: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.Stats().Running == 1 })
+	id, err := s.Submit(func(ctx context.Context) (any, error) { return nil, nil }, Options{Tenant: "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // the second job accrues queue wait
+	close(gate)
+	if _, err := s.Wait(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	ts := s.Stats().Tenants["A"]
+	if ts.Started != 2 {
+		t.Fatalf("started = %d, want 2", ts.Started)
+	}
+	if ts.QueueWaitMax < 15*time.Millisecond {
+		t.Fatalf("max queue wait %v, want >= 15ms", ts.QueueWaitMax)
+	}
+	if ts.QueueWaitAvg() <= 0 || ts.QueueWaitAvg() > ts.QueueWaitMax {
+		t.Fatalf("avg %v outside (0, max=%v]", ts.QueueWaitAvg(), ts.QueueWaitMax)
+	}
+}
+
+// TestObserverTransitions: the submission observer sees Running then the
+// terminal state for an executed job, and a single Canceled notification
+// for a job canceled while queued.
+func TestObserverTransitions(t *testing.T) {
+	s := newTest(t, Config{Workers: 1})
+	var mu sync.Mutex
+	var states []State
+	obs := func(snap Snapshot) {
+		mu.Lock()
+		states = append(states, snap.State)
+		mu.Unlock()
+	}
+	id, err := s.Submit(func(ctx context.Context) (any, error) { return 1, nil },
+		Options{Tenant: "A", Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(states) == 2
+	})
+	mu.Lock()
+	if states[0] != Running || states[1] != Done {
+		t.Fatalf("observer saw %v, want [Running Done]", states)
+	}
+	mu.Unlock()
+
+	// Canceled while queued: exactly one notification, state Canceled.
+	gate := make(chan struct{})
+	defer close(gate)
+	s.Submit(func(ctx context.Context) (any, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}, Options{})
+	waitFor(t, func() bool { return s.Stats().Running == 1 })
+	var qmu sync.Mutex
+	var qstates []State
+	qid, _ := s.Submit(func(ctx context.Context) (any, error) { return nil, nil },
+		Options{Observer: func(snap Snapshot) {
+			qmu.Lock()
+			qstates = append(qstates, snap.State)
+			qmu.Unlock()
+		}})
+	if err := s.Cancel(qid); err != nil {
+		t.Fatal(err)
+	}
+	qmu.Lock()
+	defer qmu.Unlock()
+	if len(qstates) != 1 || qstates[0] != Canceled {
+		t.Fatalf("queued-cancel observer saw %v, want [Canceled]", qstates)
+	}
+}
+
+// TestFairShareChurnNoLeak is the race-mode stress in the PR 4-review
+// deadlock-repro style: N tenants × M jobs with cancels mixed in must leave
+// the scheduler with zero queued entries, zero stranded wake tokens, and
+// internally consistent per-tenant accounting — and the queue must still
+// accept exactly QueueDepth further jobs without Submit wedging.
+func TestFairShareChurnNoLeak(t *testing.T) {
+	const (
+		tenants = 4
+		each    = 20
+		depth   = 16
+	)
+	s := newTest(t, Config{Workers: 2, QueueDepth: depth, TenantQuota: depth,
+		TenantWeights: map[string]int{"t0": 3, "t1": 2}})
+	var wg sync.WaitGroup
+	var ran atomic.Int64
+	for ti := 0; ti < tenants; ti++ {
+		tenant := fmt.Sprintf("t%d", ti)
+		for m := 0; m < each; m++ {
+			wg.Add(1)
+			go func(m int) {
+				defer wg.Done()
+				id, err := s.Submit(func(ctx context.Context) (any, error) {
+					ran.Add(1)
+					select {
+					case <-time.After(time.Duration(m%3) * time.Millisecond):
+						return m, nil
+					case <-ctx.Done():
+						return nil, ctx.Err()
+					}
+				}, Options{Tenant: tenant})
+				if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrQuotaExceeded) {
+					return // load shedding is a valid outcome under churn
+				}
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if m%3 == 0 {
+					s.Cancel(id)
+				}
+				if _, err := s.Wait(context.Background(), id); err != nil {
+					t.Errorf("wait: %v", err)
+				}
+			}(m)
+		}
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("after churn: queued=%d running=%d, want 0/0", st.Queued, st.Running)
+	}
+	if st.Done+st.Failed+st.Canceled+st.Rejected != int64(tenants*each) {
+		t.Fatalf("outcomes %+v do not account for all %d submissions", st, tenants*each)
+	}
+	var started, queued int64
+	for _, ts := range st.Tenants {
+		started += ts.Started
+		queued += int64(ts.Queued)
+		if ts.Running != 0 {
+			t.Fatalf("tenant census leaks running jobs: %+v", ts)
+		}
+	}
+	if queued != 0 {
+		t.Fatalf("tenant census leaks queued entries: %+v", st.Tenants)
+	}
+	if started != ran.Load() {
+		t.Fatalf("tenant started sum %d != %d jobs actually run", started, ran.Load())
+	}
+
+	// Token/entry 1:1 after churn: a held worker plus exactly QueueDepth
+	// queued jobs must fit, and Submit must not block on a stale token.
+	gate := make(chan struct{})
+	defer close(gate)
+	block := func(ctx context.Context) (any, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	for i := 0; i < 2; i++ { // occupy both workers
+		if _, err := s.Submit(block, Options{Tenant: "gate"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return s.Stats().Running == 2 })
+	submitted := make(chan error, depth)
+	go func() {
+		for i := 0; i < depth; i++ {
+			_, err := s.Submit(block, Options{Tenant: fmt.Sprintf("t%d", i%tenants)})
+			submitted <- err
+		}
+	}()
+	for i := 0; i < depth; i++ {
+		select {
+		case err := <-submitted:
+			if err != nil {
+				t.Fatalf("post-churn submit %d: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Submit deadlocked after churn (stale wake token)")
+		}
+	}
+	if _, err := s.Submit(block, Options{Tenant: "t0"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull at exactly QueueDepth", err)
+	}
+}

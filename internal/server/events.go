@@ -1,0 +1,286 @@
+// Job-progress streaming (DESIGN.md §14): every job owns a hub — an
+// append-only, replayable event log fed by the scheduler's Observer and the
+// job's stage.Recorder observer. GET /v1/jobs/{id}/events serves the log as
+// Server-Sent Events by default and as long-poll JSON with ?poll=1, so
+// clients behind SSE-hostile proxies still see live progress.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Event is one entry in a job's progress stream. Seq is 1-based and dense,
+// so a client reconnecting with Last-Event-ID (SSE) or ?after= (long poll)
+// resumes exactly where it left off.
+type Event struct {
+	Seq  int       `json:"seq"`
+	Time time.Time `json:"time"`
+	// Type is "state" (job lifecycle) or "stage" (flow progress).
+	Type string `json:"type"`
+	// State is set on state events: queued, running, done, failed, canceled.
+	State string `json:"state,omitempty"`
+	// Stage/Phase are set on stage events: Phase is "start" or "end", and
+	// ElapsedMS carries the stage duration on "end".
+	Stage     string  `json:"stage,omitempty"`
+	Phase     string  `json:"phase,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// maxHubEvents bounds one job's replay buffer. A placement flow emits tens
+// of events; a pathological recorder cannot grow a hub without bound — older
+// stage events are dropped first (state events always fit).
+const maxHubEvents = 4096
+
+// hub is one job's event log plus its live subscribers. publish is called
+// from worker goroutines (scheduler observer, stage recorder observer) and
+// from handleSubmit; readers replay the buffer and then wait on a wake
+// channel, so a slow client never blocks a publisher.
+type hub struct {
+	mu     sync.Mutex
+	events []Event
+	closed bool      // terminal state event published
+	ended  time.Time // when closed flipped, for pruning
+	subs   map[chan struct{}]struct{}
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan struct{}]struct{})}
+}
+
+// publish appends ev (assigning its Seq), closes the hub on terminal state
+// events, and wakes every subscriber.
+func (h *hub) publish(ev Event) {
+	h.mu.Lock()
+	if h.closed {
+		// Late stage timers racing the terminal notification are dropped;
+		// the stream already ended for every reader.
+		h.mu.Unlock()
+		return
+	}
+	if len(h.events) >= maxHubEvents && ev.Type == "stage" {
+		h.mu.Unlock()
+		return
+	}
+	ev.Seq = len(h.events) + 1
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	h.events = append(h.events, ev)
+	if ev.Type == "state" {
+		switch ev.State {
+		case "done", "failed", "canceled":
+			h.closed = true
+			h.ended = ev.Time
+		}
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // already signaled; the reader will drain everything new
+		}
+	}
+	h.mu.Unlock()
+}
+
+// since returns the events after seq `after` and whether the stream has
+// ended (no further events will ever arrive).
+func (h *hub) since(after int) ([]Event, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if after < 0 {
+		after = 0
+	}
+	if after >= len(h.events) {
+		return nil, h.closed
+	}
+	out := make([]Event, len(h.events)-after)
+	copy(out, h.events[after:])
+	return out, h.closed
+}
+
+// subscribe registers a wake channel; the caller must unsubscribe it.
+func (h *hub) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch
+}
+
+func (h *hub) unsubscribe(ch chan struct{}) {
+	h.mu.Lock()
+	delete(h.subs, ch)
+	h.mu.Unlock()
+}
+
+// subscribers reports the live reader count (used by tests to prove a
+// canceled stream cleans up after itself).
+func (h *hub) subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// hubFor returns the job's hub, or nil when the job is unknown or its
+// stream has been pruned.
+func (s *Server) hubFor(id string) *hub {
+	s.hubMu.Lock()
+	defer s.hubMu.Unlock()
+	return s.hubs[id]
+}
+
+// addHub registers a fresh hub for a new job and lazily prunes streams of
+// jobs that ended more than eventTTL ago — the same lifetime the scheduler
+// grants terminal results, so /events stays available as long as GET does.
+func (s *Server) addHub(id string, h *hub) {
+	now := time.Now()
+	s.hubMu.Lock()
+	defer s.hubMu.Unlock()
+	for old, oh := range s.hubs {
+		oh.mu.Lock()
+		dead := oh.closed && now.Sub(oh.ended) >= s.eventTTL
+		oh.mu.Unlock()
+		if dead {
+			delete(s.hubs, old)
+		}
+	}
+	s.hubs[id] = h
+}
+
+func (s *Server) dropHub(id string) {
+	s.hubMu.Lock()
+	delete(s.hubs, id)
+	s.hubMu.Unlock()
+}
+
+// stateEvent builds a state Event from a scheduler snapshot.
+func stateEvent(state string, err error) Event {
+	ev := Event{Type: "state", State: state}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	return ev
+}
+
+// handleEvents streams a job's progress. Default: Server-Sent Events
+// (`curl -N .../events`), resumable via the Last-Event-ID header. With
+// ?poll=1 it long-polls instead: it waits up to timeout_ms (default 30s)
+// for events after ?after=N and returns them as one JSON document.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	h := s.hubFor(id)
+	if h == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if r.URL.Query().Get("poll") != "" {
+		s.longPoll(w, r, h)
+		return
+	}
+	s.streamSSE(w, r, h)
+}
+
+func (s *Server) streamSSE(w http.ResponseWriter, r *http.Request, h *hub) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "streaming unsupported; use ?poll=1")
+		return
+	}
+	after := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			after = n
+		}
+	}
+	if v := r.URL.Query().Get("after"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			after = n
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	wake := h.subscribe()
+	defer h.unsubscribe(wake)
+	for {
+		evs, closed := h.since(after)
+		for _, ev := range evs {
+			data, _ := json.Marshal(ev)
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+				return // client went away
+			}
+			after = ev.Seq
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// pollResponse is the long-poll JSON document.
+type pollResponse struct {
+	Events []Event `json:"events"`
+	Closed bool    `json:"closed"`
+	Next   int     `json:"next"` // pass back as ?after=
+}
+
+func (s *Server) longPoll(w http.ResponseWriter, r *http.Request, h *hub) {
+	after := 0
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad after %q", v)
+			return
+		}
+		after = n
+	}
+	timeout := 30 * time.Second
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad timeout_ms %q", v)
+			return
+		}
+		timeout = time.Duration(n) * time.Millisecond
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	wake := h.subscribe()
+	defer h.unsubscribe(wake)
+	for {
+		evs, closed := h.since(after)
+		if len(evs) > 0 || closed {
+			next := after
+			if len(evs) > 0 {
+				next = evs[len(evs)-1].Seq
+			}
+			writeJSON(w, http.StatusOK, pollResponse{Events: evs, Closed: closed, Next: next})
+			return
+		}
+		select {
+		case <-wake:
+		case <-deadline.C:
+			writeJSON(w, http.StatusOK, pollResponse{Events: nil, Closed: false, Next: after})
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

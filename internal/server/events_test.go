@@ -1,0 +1,241 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dsplacer/internal/jobs"
+)
+
+// readSSE consumes one SSE stream to EOF and returns the decoded events.
+func readSSE(t *testing.T, resp *http.Response) []Event {
+	t.Helper()
+	var evs []Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE data line %q: %v", line, err)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// An SSE client sees the full lifecycle in order — queued first (published
+// before the scheduler can dispatch), then running, stage progress, and the
+// terminal state — with dense 1-based sequence numbers.
+func TestEventsSSEStreamsToDone(t *testing.T) {
+	env := startServer(t, Config{})
+	id, status := env.submit(t, map[string]any{
+		"netlist": json.RawMessage(smallNetlistJSON(t, 101)),
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d", status)
+	}
+	resp, err := http.Get(env.http.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	evs := readSSE(t, resp) // the server ends the stream at the terminal event
+	if len(evs) < 4 {
+		t.Fatalf("only %d events: %+v", len(evs), evs)
+	}
+	for i, ev := range evs {
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has seq %d (not dense): %+v", i, ev.Seq, evs)
+		}
+	}
+	if evs[0].Type != "state" || evs[0].State != "queued" {
+		t.Fatalf("first event %+v, want queued state", evs[0])
+	}
+	if evs[len(evs)-1].State != "done" {
+		t.Fatalf("last event %+v, want done state", evs[len(evs)-1])
+	}
+	var sawRunning, sawStageEnd bool
+	for _, ev := range evs {
+		if ev.Type == "state" && ev.State == "running" {
+			sawRunning = true
+		}
+		if ev.Type == "stage" && ev.Phase == "end" && ev.Stage == "core.total" && ev.ElapsedMS > 0 {
+			sawStageEnd = true
+		}
+	}
+	if !sawRunning || !sawStageEnd {
+		t.Fatalf("stream missing running=%v stageEnd=%v: %+v", sawRunning, sawStageEnd, evs)
+	}
+}
+
+// Resume: a client reconnecting with Last-Event-ID must not see events it
+// already consumed.
+func TestEventsSSEResume(t *testing.T) {
+	env := startServer(t, Config{})
+	id, _ := env.submit(t, map[string]any{
+		"netlist": json.RawMessage(smallNetlistJSON(t, 103)),
+	})
+	env.pollUntil(t, id, terminal)
+	req, _ := http.NewRequest(http.MethodGet, env.http.URL+"/v1/jobs/"+id+"/events", nil)
+	req.Header.Set("Last-Event-ID", "2")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	evs := readSSE(t, resp)
+	if len(evs) == 0 || evs[0].Seq != 3 {
+		t.Fatalf("resume at Last-Event-ID 2 got %+v, want first seq 3", evs)
+	}
+}
+
+// A client dropping mid-stream must not leak its subscription: the handler
+// returns on request-context cancellation and unsubscribes from the hub.
+func TestEventsSSEClientCancelCleansUp(t *testing.T) {
+	env := startServer(t, Config{})
+	id, _ := env.submit(t, map[string]any{
+		"netlist": json.RawMessage(smallNetlistJSON(t, 105)),
+		"rounds":  500, // still running when the client hangs up
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, env.http.URL+"/v1/jobs/"+id+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the first frame so the subscription is provably live.
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	h := env.srv.hubFor(id)
+	if h == nil {
+		t.Fatal("no hub for a live job")
+	}
+	waitSubs := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for h.subscribers() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("hub has %d subscribers, want %d", h.subscribers(), want)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitSubs(1)
+	cancel() // client goes away mid-stream
+	resp.Body.Close()
+	waitSubs(0)
+	// The job is unaffected; cancel it so test cleanup drains fast.
+	delReq, _ := http.NewRequest(http.MethodDelete, env.http.URL+"/v1/jobs/"+id, nil)
+	if dresp, err := http.DefaultClient.Do(delReq); err == nil {
+		dresp.Body.Close()
+	}
+}
+
+// Long-poll fallback: ?poll=1 returns batches of JSON events; following the
+// returned cursor replays the same dense stream SSE would deliver.
+func TestEventsLongPoll(t *testing.T) {
+	env := startServer(t, Config{})
+	id, _ := env.submit(t, map[string]any{
+		"netlist": json.RawMessage(smallNetlistJSON(t, 107)),
+	})
+	var all []Event
+	after, deadline := 0, time.Now().Add(60*time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream never closed; got %+v", all)
+		}
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?poll=1&after=%d&timeout_ms=2000", env.http.URL, id, after))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pr pollResponse
+		err = json.NewDecoder(resp.Body).Decode(&pr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, pr.Events...)
+		after = pr.Next
+		if pr.Closed {
+			break
+		}
+	}
+	if len(all) < 4 {
+		t.Fatalf("only %d events: %+v", len(all), all)
+	}
+	for i, ev := range all {
+		if ev.Seq != i+1 {
+			t.Fatalf("long-poll stream not dense at %d: %+v", i, all)
+		}
+	}
+	if all[0].State != "queued" || all[len(all)-1].State != "done" {
+		t.Fatalf("lifecycle ends missing: first %+v last %+v", all[0], all[len(all)-1])
+	}
+}
+
+// Long-poll input validation and unknown-job behavior.
+func TestEventsEdgeCases(t *testing.T) {
+	env := startServer(t, Config{})
+	if resp, err := http.Get(env.http.URL + "/v1/jobs/job-999999/events"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown job events: %d, want 404", resp.StatusCode)
+		}
+	}
+	id, _ := env.submit(t, map[string]any{
+		"netlist": json.RawMessage(smallNetlistJSON(t, 109)),
+	})
+	env.pollUntil(t, id, terminal)
+	for _, q := range []string{"poll=1&after=x", "poll=1&timeout_ms=-5"} {
+		resp, err := http.Get(env.http.URL + "/v1/jobs/" + id + "/events?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("query %q: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+	// A canceled-while-queued job still closes its stream with "canceled".
+	env2 := startServer(t, Config{Jobs: jobs.Config{Workers: 1, QueueDepth: 8}})
+	blocker, _ := env2.submit(t, map[string]any{
+		"netlist": json.RawMessage(smallNetlistJSON(t, 110)),
+		"rounds":  500,
+	})
+	env2.pollUntil(t, blocker, func(d JobDoc) bool { return d.State == "running" })
+	queued, _ := env2.submit(t, map[string]any{
+		"netlist": json.RawMessage(smallNetlistJSON(t, 111)),
+	})
+	for _, target := range []string{queued, blocker} {
+		req, _ := http.NewRequest(http.MethodDelete, env2.http.URL+"/v1/jobs/"+target, nil)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+	resp, err := http.Get(env2.http.URL + "/v1/jobs/" + queued + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	evs := readSSE(t, resp)
+	if len(evs) == 0 || evs[len(evs)-1].State != "canceled" {
+		t.Fatalf("queued-cancel stream %+v, want terminal canceled", evs)
+	}
+}

@@ -1,0 +1,265 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"dsplacer/internal/core"
+	"dsplacer/internal/features"
+	"dsplacer/internal/jobs"
+	"dsplacer/internal/netlist"
+	"dsplacer/internal/placer"
+)
+
+// fakeScheduler lets tests force error paths the real scheduler cannot
+// produce (an internal fault that is not ErrNotFound).
+type fakeScheduler struct {
+	getErr    error
+	cancelErr error
+	snap      jobs.Snapshot
+}
+
+func (f *fakeScheduler) Submit(fn jobs.Fn, opts jobs.Options) (string, error) { return "job-1", nil }
+func (f *fakeScheduler) Get(id string) (jobs.Snapshot, error)                 { return f.snap, f.getErr }
+func (f *fakeScheduler) Cancel(id string) error                               { return f.cancelErr }
+func (f *fakeScheduler) Stats() jobs.Stats                                    { return jobs.Stats{} }
+func (f *fakeScheduler) Shutdown(ctx context.Context) error                   { return nil }
+
+// A scheduler fault on GET must surface as 500 — the old handler swallowed
+// every non-NotFound error and answered 200 with a phantom "queued" doc.
+func TestGetSchedulerFaultIs500(t *testing.T) {
+	env := startServer(t, Config{})
+	env.srv.sched = &fakeScheduler{getErr: errors.New("jobs: store wedged")}
+	doc, status := env.getJob(t, "job-1")
+	if status != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500 (doc %+v)", status, doc)
+	}
+	if doc.State == jobs.Queued.String() {
+		t.Fatal("fault reported as a phantom queued job")
+	}
+}
+
+// Cancel→Get window: when the janitor evicts the job between a successful
+// Cancel and the follow-up Get, the cancellation still succeeded — answer
+// 202 with the terminal state, not 404.
+func TestCancelEvictionWindowIs202(t *testing.T) {
+	env := startServer(t, Config{})
+	env.srv.sched = &fakeScheduler{getErr: jobs.ErrNotFound}
+	req, _ := http.NewRequest(http.MethodDelete, env.http.URL+"/v1/jobs/job-1", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+}
+
+// A genuine scheduler fault during Cancel (or the Get after it) is a 500.
+func TestCancelSchedulerFaultIs500(t *testing.T) {
+	env := startServer(t, Config{})
+	for _, fake := range []*fakeScheduler{
+		{cancelErr: errors.New("jobs: store wedged")},
+		{getErr: errors.New("jobs: store wedged")},
+	} {
+		env.srv.sched = fake
+		req, _ := http.NewRequest(http.MethodDelete, env.http.URL+"/v1/jobs/job-1", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("fake %+v: status %d, want 500", fake, resp.StatusCode)
+		}
+	}
+}
+
+// The feature-extraction mode is a semantic input: two requests differing
+// only in features must derive different cache keys (the backends are
+// approximations of each other), while the mode's absence and "auto" agree.
+func TestRequestKeyIncludesFeatureMode(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	req := PlaceRequest{Netlist: []byte(`{"cells":[],"nets":[]}`), Seed: 1}
+	kExact := s.requestKey(req, "dsplacer", core.ValidateOff, features.ModeExact)
+	kGSP := s.requestKey(req, "dsplacer", core.ValidateOff, features.ModeGSP)
+	if kExact == kGSP {
+		t.Fatal("exact and gsp feature modes share a cache key")
+	}
+	if again := s.requestKey(req, "dsplacer", core.ValidateOff, features.ModeExact); again != kExact {
+		t.Fatal("same mode produced a different key")
+	}
+	// Tenant must NOT split the cache: identical work is shared.
+	req2 := req
+	req2.Tenant = "acme"
+	if s.requestKey(req2, "dsplacer", core.ValidateOff, features.ModeExact) != kExact {
+		t.Fatal("tenant leaked into the cache key")
+	}
+}
+
+func TestBadFeaturesModeIs400(t *testing.T) {
+	env := startServer(t, Config{})
+	_, status := env.submit(t, map[string]any{
+		"netlist":  json.RawMessage(`{"cells":[],"nets":[]}`),
+		"features": "psychic",
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", status)
+	}
+}
+
+// Two concurrent submissions of the identical request must run ONE
+// placement: the first becomes the single-flight leader, the second waits
+// on it and reports cached. Before the fix both ran (both missed the cache
+// before either could fill it).
+func TestDuplicateSubmissionsSingleFlight(t *testing.T) {
+	env := startServer(t, Config{Jobs: jobs.Config{Workers: 2, QueueDepth: 8}})
+	req := map[string]any{
+		"netlist": json.RawMessage(smallNetlistJSON(t, 71)),
+		"rounds":  2, // long enough that the duplicate arrives mid-run
+		"seed":    5,
+	}
+	id1, status := env.submit(t, req)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit 1: status %d", status)
+	}
+	env.pollUntil(t, id1, func(d JobDoc) bool { return d.State == "running" })
+	id2, status := env.submit(t, req)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit 2: status %d", status)
+	}
+	doc1 := env.pollUntil(t, id1, terminal)
+	doc2 := env.pollUntil(t, id2, terminal)
+	if doc1.State != "done" || doc2.State != "done" {
+		t.Fatalf("states %s / %s (%s %s)", doc1.State, doc2.State, doc1.Error, doc2.Error)
+	}
+	if got := env.srv.runs.Load(); got != 1 {
+		t.Fatalf("%d placements ran for identical concurrent submissions, want 1", got)
+	}
+	if !doc2.Result.Cached {
+		t.Fatal("duplicate submission did not report cached")
+	}
+	if doc1.Result.Cached {
+		t.Fatal("leader reported cached")
+	}
+	if doc1.Result.HPWL != doc2.Result.HPWL {
+		t.Fatalf("coalesced results differ: %g vs %g", doc1.Result.HPWL, doc2.Result.HPWL)
+	}
+}
+
+// A canceled single-flight leader must not poison its followers: the
+// follower retries, becomes the leader, and completes.
+func TestSingleFlightFollowerSurvivesLeaderCancel(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	nlData := smallNetlistJSON(t, 73)
+	key := s.requestKey(PlaceRequest{Netlist: nlData}, "dsplacer", core.ValidateOff, features.ModeAuto)
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	var leaderErr, followerErr error
+	var followerOut *outcome
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		nl, _ := netlist.Read(bytes.NewReader(nlData))
+		close(started)
+		_, leaderErr = s.place(leaderCtx, key, "dsplacer", placer.ModeVivado, nl, core.Config{Rounds: 50}, nil)
+	}()
+	go func() {
+		defer wg.Done()
+		<-started
+		time.Sleep(20 * time.Millisecond) // let the leader claim the flight
+		nl, _ := netlist.Read(bytes.NewReader(nlData))
+		followerOut, followerErr = s.place(context.Background(), key, "dsplacer", placer.ModeVivado, nl, core.Config{Rounds: 50}, nil)
+	}()
+	time.Sleep(60 * time.Millisecond)
+	cancelLeader()
+	wg.Wait()
+	if leaderErr == nil {
+		t.Fatal("canceled leader returned no error")
+	}
+	if followerErr != nil {
+		t.Fatalf("follower failed after leader cancel: %v", followerErr)
+	}
+	if followerOut == nil || followerOut.cached {
+		t.Fatalf("follower should have recomputed as the new leader, got %+v", followerOut)
+	}
+}
+
+// Per-tenant quota exhaustion is load shedding: 429, while another tenant
+// still gets in.
+func TestTenantQuota429(t *testing.T) {
+	env := startServer(t, Config{Jobs: jobs.Config{Workers: 1, QueueDepth: 8, TenantQuota: 1}})
+	id1, status := env.submit(t, map[string]any{
+		"netlist": json.RawMessage(smallNetlistJSON(t, 81)),
+		"rounds":  500,
+		"tenant":  "acme",
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit 1: status %d", status)
+	}
+	env.pollUntil(t, id1, func(d JobDoc) bool { return d.State == "running" })
+	// The worker is busy: the next acme job queues (quota 1)...
+	if _, status := env.submit(t, map[string]any{
+		"netlist": json.RawMessage(smallNetlistJSON(t, 82)), "tenant": "acme",
+	}); status != http.StatusAccepted {
+		t.Fatalf("submit 2: status %d", status)
+	}
+	// ...and the one after that trips the quota.
+	if _, status := env.submit(t, map[string]any{
+		"netlist": json.RawMessage(smallNetlistJSON(t, 83)), "tenant": "acme",
+	}); status != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: status %d, want 429", status)
+	}
+	// A different tenant is unaffected by acme's backlog.
+	if _, status := env.submit(t, map[string]any{
+		"netlist": json.RawMessage(smallNetlistJSON(t, 84)), "tenant": "globex",
+	}); status != http.StatusAccepted {
+		t.Fatalf("other tenant: status %d, want 202", status)
+	}
+	// Unblock the worker so Cleanup's drain is quick.
+	req, _ := http.NewRequest(http.MethodDelete, env.http.URL+"/v1/jobs/"+id1, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// /metrics carries the per-tenant SLO gauges and the placement counter.
+func TestMetricsTenantGauges(t *testing.T) {
+	env := startServer(t, Config{})
+	id, _ := env.submit(t, map[string]any{
+		"netlist": json.RawMessage(smallNetlistJSON(t, 91)),
+		"tenant":  "acme",
+	})
+	env.pollUntil(t, id, terminal)
+	resp, err := http.Get(env.http.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+	for _, want := range []string{
+		`dsplacer_tenant_jobs{tenant="acme",state="queued"} 0`,
+		`dsplacer_tenant_started_total{tenant="acme"} 1`,
+		`dsplacer_tenant_queue_wait_seconds{tenant="acme",stat="avg"}`,
+		`dsplacer_tenant_queue_wait_seconds{tenant="acme",stat="max"}`,
+		`dsplacer_tenant_weight{tenant="acme"} 1`,
+		"dsplacer_placements_total 1",
+	} {
+		if !bytes.Contains([]byte(text), []byte(want)) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

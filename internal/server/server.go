@@ -1,20 +1,24 @@
-// Package server implements the dsplacerd HTTP API (DESIGN.md §11): a JSON
-// job interface over the placement flows in internal/core, backed by the
-// bounded FIFO scheduler in internal/jobs and the content-addressed result
-// cache in internal/cache.
+// Package server implements the dsplacerd HTTP API (DESIGN.md §11, §14): a
+// JSON job interface over the placement flows in internal/core, backed by
+// the fair-share scheduler in internal/jobs and a pluggable content-addressed
+// result cache (internal/cache.Store — in-process LRU, sharded, or peered
+// across daemons via cache/remote).
 //
 // Endpoints:
 //
-//	POST   /v1/jobs      submit a placement job  → 202 {"id": ..., "state": "queued"}
-//	GET    /v1/jobs/{id} poll a job              → 200 job document
-//	DELETE /v1/jobs/{id} cancel a job            → 202 job document
-//	GET    /healthz      liveness                → 200 ok | 503 draining
-//	GET    /metrics      Prometheus text: job counts, queue depth, cache
-//	                     hit ratio, per-stage wall-time histograms
+//	POST   /v1/jobs             submit a placement job  → 202 {"id": ..., "state": "queued"}
+//	GET    /v1/jobs/{id}        poll a job              → 200 job document
+//	GET    /v1/jobs/{id}/events stream progress         → SSE (default) or ?poll=1 long poll
+//	DELETE /v1/jobs/{id}        cancel a job            → 202 job document
+//	GET    /healthz             liveness                → 200 ok | 503 draining
+//	GET    /metrics             Prometheus text: job counts, queue depth,
+//	                            per-tenant queue-time SLO gauges, cache and
+//	                            peer-cache counters, per-stage histograms
 //
 // Every job runs under its own context (canceled by DELETE or a per-job
 // timeout) and its own stage.Recorder, so concurrent jobs report isolated
-// per-stage timings.
+// per-stage timings. Concurrent submissions of the same request are
+// single-flighted: one placement runs, the rest wait and share its result.
 package server
 
 import (
@@ -32,6 +36,7 @@ import (
 
 	"dsplacer/internal/cache"
 	"dsplacer/internal/core"
+	"dsplacer/internal/features"
 	"dsplacer/internal/fpga"
 	"dsplacer/internal/jobs"
 	"dsplacer/internal/metrics"
@@ -47,20 +52,44 @@ const defaultMaxBodyBytes = 256 << 20
 // Config tunes a Server. Zero values select the documented defaults.
 type Config struct {
 	Device       *fpga.Device // target device; default fpga.NewZCU104()
-	Jobs         jobs.Config  // scheduler tuning (workers, queue depth, TTL)
+	Jobs         jobs.Config  // scheduler tuning (workers, queue depth, TTL, tenants)
 	CacheSize    int          // result cache capacity; default 64
 	MaxBodyBytes int64        // request body cap; default 256 MiB
+
+	// Cache, when non-nil, replaces the built-in LRU with any cache.Store —
+	// a Sharded store, or a Peered composition reaching other daemons
+	// through cache/remote clients. CacheSize is ignored when set.
+	Cache cache.Store
+}
+
+// scheduler is the slice of *jobs.Scheduler the server uses; tests inject
+// failing fakes to exercise error paths the real scheduler cannot produce.
+type scheduler interface {
+	Submit(fn jobs.Fn, opts jobs.Options) (string, error)
+	Get(id string) (jobs.Snapshot, error)
+	Cancel(id string) error
+	Stats() jobs.Stats
+	Shutdown(ctx context.Context) error
 }
 
 // Server is the dsplacerd request handler plus its scheduler and cache.
 type Server struct {
 	dev     *fpga.Device
-	sched   *jobs.Scheduler
-	cache   *cache.LRU
+	sched   scheduler
+	cache   cache.Store
+	peered  *cache.Peered // non-nil when the store is peered, for /metrics
 	mux     *http.ServeMux
 	maxBody int64
 
 	draining atomic.Bool
+	runs     atomic.Int64 // placements actually computed (cache misses)
+
+	flightMu sync.Mutex
+	flights  map[cache.Key]*flight
+
+	hubMu    sync.Mutex
+	hubs     map[string]*hub
+	eventTTL time.Duration
 
 	histMu sync.Mutex
 	hist   map[string]*metrics.Histogram // per-stage wall time, seconds
@@ -76,16 +105,31 @@ func New(cfg Config) *Server {
 	if maxBody <= 0 {
 		maxBody = defaultMaxBodyBytes
 	}
+	store := cfg.Cache
+	if store == nil {
+		store = cache.NewLRU(cfg.CacheSize)
+	}
+	eventTTL := cfg.Jobs.ResultTTL
+	if eventTTL <= 0 {
+		eventTTL = 10 * time.Minute // mirror the scheduler's ResultTTL default
+	}
 	s := &Server{
-		dev:     dev,
-		sched:   jobs.New(cfg.Jobs),
-		cache:   cache.NewLRU(cfg.CacheSize),
-		mux:     http.NewServeMux(),
-		maxBody: maxBody,
-		hist:    make(map[string]*metrics.Histogram),
+		dev:      dev,
+		sched:    jobs.New(cfg.Jobs),
+		cache:    store,
+		mux:      http.NewServeMux(),
+		maxBody:  maxBody,
+		flights:  make(map[cache.Key]*flight),
+		hubs:     make(map[string]*hub),
+		eventTTL: eventTTL,
+		hist:     make(map[string]*metrics.Histogram),
+	}
+	if p, ok := store.(*cache.Peered); ok {
+		s.peered = p
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -116,8 +160,16 @@ type PlaceRequest struct {
 	MCFIters int   `json:"mcf_iters,omitempty"`
 	Rounds   int   `json:"rounds,omitempty"`
 	Seed     int64 `json:"seed,omitempty"`
+	// Features selects the centrality backend for feature-extracting
+	// identifiers: auto (default), exact, sampled or gsp. The backends are
+	// approximations of one another, so the mode is part of the cache key.
+	Features string `json:"features,omitempty"`
 	// Validate is the stage-boundary DRC gating level: off, final or stages.
 	Validate string `json:"validate,omitempty"`
+	// Tenant selects the fair-share queue this job is charged to; empty
+	// means the default tenant. It does NOT affect the cache key — identical
+	// requests from different tenants share one cached placement.
+	Tenant string `json:"tenant,omitempty"`
 	// TimeoutMS bounds the job's run time once it starts; zero = unlimited.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
@@ -126,6 +178,7 @@ type PlaceRequest struct {
 type JobDoc struct {
 	ID       string     `json:"id"`
 	State    string     `json:"state"`
+	Tenant   string     `json:"tenant,omitempty"`
 	Error    string     `json:"error,omitempty"`
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
@@ -147,12 +200,43 @@ type ResultDoc struct {
 	StagesS      map[string]float64 `json:"stages_s,omitempty"`
 }
 
-// outcome is what a job fn returns and what the cache stores: the core
-// result plus the per-job stage timing snapshot it was computed under.
+// outcome is what a job fn returns: the core result plus the per-job stage
+// timing snapshot it was computed under.
 type outcome struct {
 	res    *core.Result
 	stages map[string]stage.Stat
 	cached bool
+}
+
+// storedOutcome is the cache wire form of an outcome. The cache stores
+// opaque bytes (so remote peers can serve them without sharing memory), and
+// core.Result is plain exported data, so JSON round-trips it exactly.
+type storedOutcome struct {
+	Res    *core.Result          `json:"res"`
+	Stages map[string]stage.Stat `json:"stages,omitempty"`
+}
+
+func encodeOutcome(o *outcome) ([]byte, bool) {
+	b, err := json.Marshal(storedOutcome{Res: o.res, Stages: o.stages})
+	return b, err == nil
+}
+
+// decodeOutcome parses a cached value; any corruption reads as a miss, so a
+// bad peer byte-stream degrades to recomputation, never to a bad result.
+func decodeOutcome(b []byte) (*outcome, bool) {
+	var so storedOutcome
+	if err := json.Unmarshal(b, &so); err != nil || so.Res == nil {
+		return nil, false
+	}
+	return &outcome{res: so.Res, stages: so.Stages}, true
+}
+
+// flight is one in-progress placement for a cache key. Followers wait on
+// done and then read o/err; the leader fills the cache before closing done.
+type flight struct {
+	done chan struct{}
+	o    *outcome
+	err  error
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -209,19 +293,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	fmode, err := features.ParseMode(req.Features)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	cfg := core.Config{
 		ClockMHz: req.FreqMHz, Lambda: req.Lambda, Eta: req.Eta,
 		MCFIterations: req.MCFIters, Rounds: req.Rounds, Seed: req.Seed,
-		Validate: level,
+		Validate: level, FeatureMode: fmode,
 	}
-	key := s.requestKey(req, flow, level)
+	key := s.requestKey(req, flow, level, fmode)
 
+	// The hub exists (with its "queued" event) before the scheduler sees the
+	// job, so a worker dispatching immediately can never publish "running"
+	// ahead of "queued".
+	h := newHub()
+	h.publish(stateEvent(jobs.Queued.String(), nil))
 	id, err := s.sched.Submit(func(ctx context.Context) (any, error) {
-		return s.place(ctx, key, flow, mode, nl, cfg)
-	}, jobs.Options{Timeout: time.Duration(req.TimeoutMS) * time.Millisecond})
+		return s.place(ctx, key, flow, mode, nl, cfg, h)
+	}, jobs.Options{
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		Tenant:  req.Tenant,
+		Observer: func(snap jobs.Snapshot) {
+			h.publish(stateEvent(snap.State.String(), snap.Err))
+		},
+	})
 	switch {
 	case errors.Is(err, jobs.ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	case errors.Is(err, jobs.ErrQuotaExceeded):
+		httpError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, jobs.ErrQueueFull):
 		httpError(w, http.StatusTooManyRequests, "queue full")
@@ -230,26 +333,91 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	s.addHub(id, h)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": jobs.Queued.String()})
 }
 
 // requestKey derives the cache key from the request's semantic inputs:
-// netlist bytes, target device, flow, and every placement parameter.
-func (s *Server) requestKey(req PlaceRequest, flow string, level core.ValidateLevel) cache.Key {
-	params := fmt.Sprintf("%s|%g|%g|%g|%d|%d|%d|%d",
+// netlist bytes, target device, flow, and every placement parameter —
+// including the feature-extraction mode, whose backends approximate each
+// other and must not share results. Tenant is deliberately excluded.
+func (s *Server) requestKey(req PlaceRequest, flow string, level core.ValidateLevel, fmode features.Mode) cache.Key {
+	params := fmt.Sprintf("%s|%g|%g|%g|%d|%d|%d|%d|%s",
 		flow, req.FreqMHz, req.Lambda, req.Eta,
-		req.MCFIters, req.Rounds, req.Seed, level)
+		req.MCFIters, req.Rounds, req.Seed, level, fmode)
 	return cache.KeyOf(req.Netlist, []byte(s.dev.Name), []byte(params))
 }
 
-// place is the job body: cache lookup, full placement run under a per-job
-// stage recorder, histogram observation, cache fill.
-func (s *Server) place(ctx context.Context, key cache.Key, flow string, mode placer.Mode, nl *netlist.Netlist, cfg core.Config) (*outcome, error) {
-	if v, ok := s.cache.Get(key); ok {
-		prior := v.(*outcome)
-		return &outcome{res: prior.res, stages: prior.stages, cached: true}, nil
+// cacheGet decodes a stored outcome; decode failure reads as a miss.
+func (s *Server) cacheGet(key cache.Key) (*outcome, bool) {
+	b, ok := s.cache.Get(key)
+	if !ok {
+		return nil, false
 	}
+	return decodeOutcome(b)
+}
+
+// place is the job body: cache lookup, single-flight coalescing, full
+// placement run under a per-job stage recorder (streamed to the job's hub),
+// histogram observation, cache fill.
+func (s *Server) place(ctx context.Context, key cache.Key, flow string, mode placer.Mode, nl *netlist.Netlist, cfg core.Config, h *hub) (*outcome, error) {
+	for {
+		if o, ok := s.cacheGet(key); ok {
+			return &outcome{res: o.res, stages: o.stages, cached: true}, nil
+		}
+		s.flightMu.Lock()
+		if f, ok := s.flights[key]; ok {
+			// Same request already computing: wait for the leader instead of
+			// burning a second worker on an identical placement.
+			s.flightMu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, fmt.Errorf("server: canceled waiting for duplicate run: %w", ctx.Err())
+			}
+			if f.err == nil {
+				return &outcome{res: f.o.res, stages: f.o.stages, cached: true}, nil
+			}
+			// The leader failed — possibly from its own cancellation, which
+			// must not fail this job. Loop and try to become the leader.
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.flightMu.Unlock()
+
+		o, err := s.runPlacement(ctx, flow, mode, nl, cfg, h)
+		if err == nil {
+			if b, ok := encodeOutcome(o); ok {
+				s.cache.Put(key, b) // fill before releasing followers
+			}
+		}
+		f.o, f.err = o, err
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		close(f.done)
+		return o, err
+	}
+}
+
+// runPlacement executes one real placement (a cache miss) and streams its
+// stage boundaries to the job's hub.
+func (s *Server) runPlacement(ctx context.Context, flow string, mode placer.Mode, nl *netlist.Netlist, cfg core.Config, h *hub) (*outcome, error) {
+	s.runs.Add(1)
 	rec := stage.NewRecorder()
+	if h != nil {
+		rec.SetObserver(func(name string, d time.Duration, start bool) {
+			ev := Event{Type: "stage", Stage: name}
+			if start {
+				ev.Phase = "start"
+			} else {
+				ev.Phase = "end"
+				ev.ElapsedMS = float64(d) / float64(time.Millisecond)
+			}
+			h.publish(ev)
+		})
+	}
 	cfg.Stages = rec
 	var res *core.Result
 	var err error
@@ -263,9 +431,7 @@ func (s *Server) place(ctx context.Context, key cache.Key, flow string, mode pla
 	}
 	snap := rec.Snapshot()
 	s.observeStages(snap)
-	o := &outcome{res: res, stages: snap}
-	s.cache.Put(key, o)
-	return o, nil
+	return &outcome{res: res, stages: snap}, nil
 }
 
 func (s *Server) observeStages(snap map[string]stage.Stat) {
@@ -283,8 +449,14 @@ func (s *Server) observeStages(snap map[string]stage.Stat) {
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.sched.Get(r.PathValue("id"))
-	if errors.Is(err, jobs.ErrNotFound) {
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
 		httpError(w, http.StatusNotFound, "no such job")
+		return
+	case err != nil:
+		// A scheduler fault must surface as a fault: returning the zero
+		// snapshot here reported phantom "queued" jobs for any error.
+		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, jobDoc(snap))
@@ -292,13 +464,24 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if err := s.sched.Cancel(id); errors.Is(err, jobs.ErrNotFound) {
-		httpError(w, http.StatusNotFound, "no such job")
+	if err := s.sched.Cancel(id); err != nil {
+		if errors.Is(err, jobs.ErrNotFound) {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	snap, err := s.sched.Get(id)
-	if err != nil {
-		httpError(w, http.StatusNotFound, "no such job")
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		// The cancel landed but the janitor evicted the job in the window
+		// between Cancel and Get. The cancellation itself succeeded, so
+		// answer 202 with the terminal state instead of a bogus 404.
+		writeJSON(w, http.StatusAccepted, JobDoc{ID: id, State: jobs.Canceled.String()})
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, jobDoc(snap))
@@ -337,6 +520,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "dsplacer_workers %d\n", st.Workers)
 	fmt.Fprintf(w, "# TYPE dsplacer_draining gauge\n")
 	fmt.Fprintf(w, "dsplacer_draining %d\n", boolInt(s.draining.Load()))
+	fmt.Fprintf(w, "# TYPE dsplacer_placements_total counter\n")
+	fmt.Fprintf(w, "dsplacer_placements_total %d\n", s.runs.Load())
+
+	// Per-tenant fair-share occupancy and queue-time SLO gauges.
+	tenants := make([]string, 0, len(st.Tenants))
+	for name := range st.Tenants {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	if len(tenants) > 0 {
+		fmt.Fprintf(w, "# TYPE dsplacer_tenant_jobs gauge\n")
+		for _, name := range tenants {
+			ts := st.Tenants[name]
+			fmt.Fprintf(w, "dsplacer_tenant_jobs{tenant=%q,state=\"queued\"} %d\n", name, ts.Queued)
+			fmt.Fprintf(w, "dsplacer_tenant_jobs{tenant=%q,state=\"running\"} %d\n", name, ts.Running)
+		}
+		fmt.Fprintf(w, "# TYPE dsplacer_tenant_weight gauge\n")
+		for _, name := range tenants {
+			fmt.Fprintf(w, "dsplacer_tenant_weight{tenant=%q} %d\n", name, st.Tenants[name].Weight)
+		}
+		fmt.Fprintf(w, "# TYPE dsplacer_tenant_started_total counter\n")
+		for _, name := range tenants {
+			fmt.Fprintf(w, "dsplacer_tenant_started_total{tenant=%q} %d\n", name, st.Tenants[name].Started)
+		}
+		fmt.Fprintf(w, "# TYPE dsplacer_tenant_rejected_total counter\n")
+		for _, name := range tenants {
+			fmt.Fprintf(w, "dsplacer_tenant_rejected_total{tenant=%q} %d\n", name, st.Tenants[name].Rejected)
+		}
+		fmt.Fprintf(w, "# TYPE dsplacer_tenant_queue_wait_seconds gauge\n")
+		for _, name := range tenants {
+			ts := st.Tenants[name]
+			fmt.Fprintf(w, "dsplacer_tenant_queue_wait_seconds{tenant=%q,stat=\"avg\"} %g\n", name, ts.QueueWaitAvg().Seconds())
+			fmt.Fprintf(w, "dsplacer_tenant_queue_wait_seconds{tenant=%q,stat=\"max\"} %g\n", name, ts.QueueWaitMax.Seconds())
+		}
+	}
+
 	fmt.Fprintf(w, "# TYPE dsplacer_cache_hits_total counter\n")
 	fmt.Fprintf(w, "dsplacer_cache_hits_total %d\n", cs.Hits)
 	fmt.Fprintf(w, "# TYPE dsplacer_cache_misses_total counter\n")
@@ -345,6 +564,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "dsplacer_cache_entries %d\n", cs.Entries)
 	fmt.Fprintf(w, "# TYPE dsplacer_cache_hit_ratio gauge\n")
 	fmt.Fprintf(w, "dsplacer_cache_hit_ratio %g\n", cs.HitRatio())
+	if s.peered != nil {
+		fmt.Fprintf(w, "# TYPE dsplacer_cache_peer_hits_total counter\n")
+		fmt.Fprintf(w, "dsplacer_cache_peer_hits_total %d\n", s.peered.PeerHits())
+		fmt.Fprintf(w, "# TYPE dsplacer_cache_peer_puts_total counter\n")
+		fmt.Fprintf(w, "dsplacer_cache_peer_puts_total %d\n", s.peered.PeerPuts())
+	}
 
 	s.histMu.Lock()
 	names := make([]string, 0, len(s.hist))
@@ -369,6 +594,7 @@ func jobDoc(snap jobs.Snapshot) JobDoc {
 	doc := JobDoc{
 		ID:      snap.ID,
 		State:   snap.State.String(),
+		Tenant:  snap.Tenant,
 		Created: snap.Created,
 	}
 	if !snap.Started.IsZero() {

@@ -32,6 +32,14 @@ type Stat struct {
 	Total time.Duration
 }
 
+// Observer receives live stage activity from a Recorder: one call with
+// start=true when a stage invocation begins (d is zero), and one with
+// start=false carrying the wall time when it completes. Observers are
+// invoked outside the recorder's lock, in publication order per goroutine;
+// they must be safe for concurrent use and return promptly (the placement
+// daemon fans them out to job-event subscribers).
+type Observer func(name string, d time.Duration, start bool)
+
 // Recorder is one isolated set of stage accumulators. All methods are safe
 // for concurrent use, and all of them treat a nil receiver as Default, so
 // an optional `Stages *stage.Recorder` field needs no nil checks at the
@@ -39,6 +47,7 @@ type Stat struct {
 type Recorder struct {
 	mu     sync.Mutex
 	stages map[string]*Stat
+	obs    Observer
 }
 
 // NewRecorder returns an empty, ready-to-use recorder.
@@ -56,11 +65,32 @@ func (r *Recorder) or() *Recorder {
 	return r
 }
 
+// SetObserver registers obs to be notified of every Start and Add on this
+// recorder (nil disables). The placement daemon uses it to stream per-stage
+// progress events for a job without any change to the flows that record.
+func (r *Recorder) SetObserver(obs Observer) {
+	r = r.or()
+	r.mu.Lock()
+	r.obs = obs
+	r.mu.Unlock()
+}
+
+// observer returns the current observer under the lock.
+func (r *Recorder) observer() Observer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.obs
+}
+
 // Start records the start of one invocation of the named stage and returns
 // the function that stops the clock. Intended usage:
 //
 //	defer rec.Start("dspgraph.build")()
 func (r *Recorder) Start(name string) func() {
+	rr := r.or()
+	if obs := rr.observer(); obs != nil {
+		obs(name, 0, true)
+	}
 	t0 := time.Now()
 	return func() { r.Add(name, time.Since(t0)) }
 }
@@ -79,7 +109,11 @@ func (r *Recorder) Add(name string, d time.Duration) {
 	}
 	s.Count++
 	s.Total += d
+	obs := r.obs
 	r.mu.Unlock()
+	if obs != nil {
+		obs(name, d, false)
+	}
 }
 
 // Snapshot returns a copy of every stage accumulator. The Stat values are

@@ -147,3 +147,50 @@ func TestPackageShimUsesDefault(t *testing.T) {
 		t.Fatalf("package Report missing stage:\n%s", sb.String())
 	}
 }
+
+// TestObserverSeesStartAndAdd: the observer hook fires once with start=true
+// per Start and once with the wall time per Add, so the placement daemon can
+// stream stage enter/exit events off an unmodified recording flow.
+func TestObserverSeesStartAndAdd(t *testing.T) {
+	r := NewRecorder()
+	type ev struct {
+		name  string
+		d     time.Duration
+		start bool
+	}
+	var mu sync.Mutex
+	var got []ev
+	r.SetObserver(func(name string, d time.Duration, start bool) {
+		mu.Lock()
+		got = append(got, ev{name, d, start})
+		mu.Unlock()
+	})
+	stop := r.Start("obs.stage")
+	time.Sleep(time.Millisecond)
+	stop()
+	r.Add("obs.direct", 7*time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("observer saw %d events, want 3: %+v", len(got), got)
+	}
+	if got[0] != (ev{"obs.stage", 0, true}) {
+		t.Fatalf("first event %+v, want start of obs.stage", got[0])
+	}
+	if got[1].name != "obs.stage" || got[1].start || got[1].d <= 0 {
+		t.Fatalf("second event %+v, want timed end of obs.stage", got[1])
+	}
+	if got[2] != (ev{"obs.direct", 7 * time.Millisecond, false}) {
+		t.Fatalf("third event %+v, want direct Add", got[2])
+	}
+	// Accumulators are unaffected by observation.
+	if s := r.Snapshot()["obs.direct"]; s.Count != 1 || s.Total != 7*time.Millisecond {
+		t.Fatalf("obs.direct=%+v", s)
+	}
+	// Detaching stops delivery.
+	r.SetObserver(nil)
+	r.Add("obs.after", time.Millisecond)
+	if len(got) != 3 {
+		t.Fatalf("observer fired after SetObserver(nil): %+v", got)
+	}
+}
