@@ -1,7 +1,7 @@
 # Convenience targets mirroring the commands CI (and the tier-1 verify in
 # ROADMAP.md) runs. Everything is stdlib-only Go; no other tooling needed.
 
-.PHONY: build test ci fmt-check serve-smoke bench bench-smoke fuzz-smoke profile
+.PHONY: build test ci fmt-check serve-smoke bench bench-smoke fuzz-smoke qor-smoke profile
 
 # Tier-1 verify (ROADMAP.md).
 test:
@@ -12,9 +12,10 @@ test:
 # service must stay race-free — plus a single-iteration pass over every
 # benchmark so bench-only code (bench harnesses, solver warm-start paths)
 # cannot bit-rot unnoticed, a short run of every native fuzz target over
-# its seed corpus, and an end-to-end smoke of the placement service.
+# its seed corpus, a golden-QoR smoke on the smallest registered device,
+# and an end-to-end smoke of the placement service.
 ci:
-	$(MAKE) fmt-check && go vet ./... && go test -race ./... && $(MAKE) bench-smoke && $(MAKE) fuzz-smoke && $(MAKE) serve-smoke
+	$(MAKE) fmt-check && go vet ./... && go test -race ./... && $(MAKE) bench-smoke && $(MAKE) fuzz-smoke && $(MAKE) qor-smoke && $(MAKE) serve-smoke
 
 # Fail if any file is not gofmt-clean (gofmt -l prints offenders).
 fmt-check:
@@ -44,6 +45,14 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzSiteName$$' -fuzztime $(FUZZTIME) ./internal/xdc/
 	go test -run '^$$' -fuzz '^FuzzGenerate$$' -fuzztime $(FUZZTIME) ./internal/gen/
 	go test -run '^$$' -fuzz '^FuzzNewDevice$$' -fuzztime $(FUZZTIME) ./internal/fpga/
+
+# Golden-QoR smoke: run the frozen-seed regression harness on the smallest
+# registered device (every family, plus the drift-injection self-check).
+# The full matrix over all devices runs as part of `go test ./...`; this
+# slice is the fast re-check after a QoR-affecting change. Regenerate the
+# envelopes after an intentional change: go test -run TestGoldenQoR -update .
+qor-smoke:
+	go test -run 'TestGoldenQoR/pynq-z2|TestGoldenQoRDetectsDrift' -v .
 
 build:
 	go build ./...

@@ -1,10 +1,11 @@
 // Command dsplacer places a netlist end to end with the DSPlacer flow (or
-// a baseline flow) on the ZCU104-like device and prints the post-route
-// timing/wirelength report, optionally dumping the layout.
+// a baseline flow) on a registered device (ZCU104 by default) and prints
+// the post-route timing/wirelength report, optionally dumping the layout.
 //
 // Usage:
 //
 //	dsplacer -netlist design.json -freq 150 [-flow dsplacer|vivado|amf]
+//	         [-device zcu104|pynq-z2|zu15eg|arria10]
 //	         [-lambda 100] [-mcf-iters 50] [-rounds 2] [-seed 1]
 //	         [-svg layout.svg] [-ascii]
 package main
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"dsplacer/internal/cli"
@@ -34,6 +36,7 @@ import (
 
 func main() {
 	path := flag.String("netlist", "", "JSON netlist to place (required)")
+	device := flag.String("device", "zcu104", "target device from the registry: "+strings.Join(fpga.Names(), ", "))
 	freq := flag.Float64("freq", 150, "target clock frequency in MHz")
 	flow := flag.String("flow", "dsplacer", "flow: dsplacer, vivado or amf")
 	lambda := flag.Float64("lambda", 100, "datapath penalty λ (Eq. 6/7)")
@@ -65,7 +68,10 @@ func main() {
 	if err != nil {
 		cli.Fatal(err)
 	}
-	dev := fpga.NewZCU104()
+	dev, err := fpga.Lookup(*device)
+	if err != nil {
+		cli.Fatal(err)
+	}
 	cfg := core.Config{
 		ClockMHz: *freq, Lambda: *lambda,
 		MCFIterations: *mcfIters, Rounds: *rounds, Seed: common.Seed,

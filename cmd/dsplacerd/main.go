@@ -77,6 +77,7 @@ func parseTenantWeights(s string) (map[string]int, error) {
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	device := flag.String("device", "zcu104", "default target device for jobs that name none: "+strings.Join(fpga.Names(), ", "))
 	workers := flag.Int("workers", 2, "concurrent placement jobs")
 	queueDepth := flag.Int("queue-depth", 64, "max queued jobs across tenants before 429")
 	tenantQuota := flag.Int("tenant-quota", 0, "max queued jobs per tenant (0 = queue-depth)")
@@ -104,6 +105,11 @@ func main() {
 	}
 
 	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		stop()
+		cli.Fatal(err)
+	}
+	dev, err := fpga.Lookup(*device)
 	if err != nil {
 		stop()
 		cli.Fatal(err)
@@ -141,6 +147,7 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
+		Device: dev,
 		Jobs: jobs.Config{
 			Workers: *workers, QueueDepth: *queueDepth, ResultTTL: *ttl,
 			TenantQuota: *tenantQuota, TenantWeights: weights,

@@ -9,6 +9,8 @@
 //	experiments -fig9 -out DIR     # Fig 9     layout visualizations (+SVG)
 //	experiments -ablations         # λ / MCF-iteration / filtering sweeps
 //	experiments -agreement -mini   # exact-vs-GSP feature backend agreement
+//	experiments -matrix            # device × family QoR matrix
+//	experiments -matrix -devices pynq-z2,zcu104   # subset of the device axis
 //	experiments -all               # everything above
 //	experiments -mini              # use ~1/16-scale benchmarks (fast)
 //
@@ -23,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dsplacer/internal/cli"
 	"dsplacer/internal/experiments"
@@ -41,6 +44,8 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
 	agreement := flag.Bool("agreement", false, "run the exact-vs-GSP feature-backend agreement study")
 	extension := flag.Bool("extension", false, "run the R-SAD systolic-vs-diverse extension study")
+	matrix := flag.Bool("matrix", false, "run the device × family QoR matrix")
+	devices := flag.String("devices", "", "comma-separated device names for -matrix (default: every registered device)")
 	all := flag.Bool("all", false, "run everything")
 	mini := flag.Bool("mini", false, "use ~1/16-scale mini benchmarks")
 	out := flag.String("out", ".", "output directory for SVG figures")
@@ -55,9 +60,9 @@ func main() {
 	defer stop()
 
 	if *all {
-		*table1, *table2, *fig7a, *fig7b, *fig8, *fig9, *ablations, *extension, *agreement = true, true, true, true, true, true, true, true, true
+		*table1, *table2, *fig7a, *fig7b, *fig8, *fig9, *ablations, *extension, *agreement, *matrix = true, true, true, true, true, true, true, true, true, true
 	}
-	if !(*table1 || *table2 || *fig7a || *fig7b || *fig8 || *fig9 || *ablations || *extension || *agreement) {
+	if !(*table1 || *table2 || *fig7a || *fig7b || *fig8 || *fig9 || *ablations || *extension || *agreement || *matrix) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -123,6 +128,15 @@ func main() {
 	if *agreement {
 		section(w, "Feature agreement")
 		_, err := suite.FeatureAgreement(w, f7)
+		check(err)
+	}
+	if *matrix {
+		section(w, "QoR matrix")
+		var devNames []string
+		if *devices != "" {
+			devNames = strings.Split(*devices, ",")
+		}
+		_, err := experiments.QoRMatrix(w, devNames, gen.FamilySpecs(), cfg)
 		check(err)
 	}
 	if *ablations {

@@ -1,9 +1,10 @@
 // Command genbench emits the Table-I benchmark netlists (or the miniature
-// variants) as JSON files ready for cmd/dsplacer.
+// variants, or the topology-family presets) as JSON files ready for
+// cmd/dsplacer.
 //
 // Usage:
 //
-//	genbench [-out DIR] [-mini] [-only NAME]
+//	genbench [-out DIR] [-mini] [-families] [-device NAME] [-only NAME]
 package main
 
 import (
@@ -11,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"dsplacer/internal/cli"
 	"dsplacer/internal/experiments"
@@ -22,15 +24,25 @@ import (
 func main() {
 	out := flag.String("out", ".", "output directory")
 	mini := flag.Bool("mini", false, "emit the ~1/16-scale mini variants")
+	families := flag.Bool("families", false, "emit the topology-family presets (cnn, sparse-systolic, memmapped, multi-accel)")
+	device := flag.String("device", "zcu104", "target device from the registry: "+strings.Join(fpga.Names(), ", "))
 	only := flag.String("only", "", "emit only the named benchmark")
 	emitVerilog := flag.Bool("verilog", false, "also emit structural Verilog next to each JSON netlist")
 	flag.Parse()
 
 	specs := gen.TableI()
-	if *mini {
+	switch {
+	case *families && *mini:
+		cli.Fatal(fmt.Errorf("-families and -mini are mutually exclusive"))
+	case *families:
+		specs = gen.FamilySpecs()
+	case *mini:
 		specs = experiments.MiniSpecs()
 	}
-	dev := fpga.NewZCU104()
+	dev, err := fpga.Lookup(*device)
+	if err != nil {
+		cli.Fatal(err)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		cli.Fatal(err)
 	}

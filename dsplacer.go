@@ -17,6 +17,12 @@
 // datapath DSP extraction → iterative MCF placement + ILP legalization →
 // incremental re-placement → routing → timing). RunBaseline provides the
 // Vivado-like and AMF-like comparison flows of Table II.
+//
+// Beyond the ZCU104 evaluation part, LookupDevice resolves any fabric in
+// the named registry (DeviceNames lists them), and beyond the paper's CNN
+// benchmarks the generator offers further topology families (Spec.Family,
+// FamilySpecs). Golden QoR envelopes for every (device, family) cell live
+// under testdata/golden/qor.
 package dsplacer
 
 import (
@@ -57,8 +63,18 @@ type (
 	Netlist = netlist.Netlist
 	// Spec describes a benchmark for the generator.
 	Spec = gen.Spec
+	// Family selects a generator topology family (Spec.Family).
+	Family = gen.Family
 	// Mode selects a baseline placer personality.
 	Mode = placer.Mode
+)
+
+// Generator topology families for Spec.Family.
+const (
+	FamilyCNN            = gen.FamilyCNN
+	FamilySparseSystolic = gen.FamilySparseSystolic
+	FamilyMemMapped      = gen.FamilyMemMapped
+	FamilyMultiAccel     = gen.FamilyMultiAccel
 )
 
 // Baseline placer modes for RunBaseline.
@@ -108,6 +124,22 @@ func NewZCU104() *Device { return fpga.NewZCU104() }
 
 // NewDevice builds a custom device from a column pattern.
 func NewDevice(cfg DeviceConfig) (*Device, error) { return fpga.NewDevice(cfg) }
+
+// LookupDevice resolves a named device from the registry ("zcu104",
+// "pynq-z2", "zu15eg", "arria10", ...); the error on an unknown name lists
+// every registered part.
+func LookupDevice(name string) (*Device, error) { return fpga.Lookup(name) }
+
+// DeviceNames lists every registered device name, sorted.
+func DeviceNames() []string { return fpga.Names() }
+
+// ParseFamily resolves a topology family by name ("cnn",
+// "sparse-systolic", "memmapped", "multi-accel").
+func ParseFamily(name string) (Family, error) { return gen.ParseFamily(name) }
+
+// FamilySpecs returns one preset benchmark spec per topology family,
+// sized to fit every registered device.
+func FamilySpecs() []Spec { return gen.FamilySpecs() }
 
 // Generate synthesizes a CNN-accelerator benchmark netlist.
 func Generate(spec Spec, dev *Device) (*Netlist, error) { return gen.Generate(spec, dev) }

@@ -1,0 +1,82 @@
+package dsplacer
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"dsplacer/internal/core"
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/gen"
+)
+
+// TestFamilyFlowDeterminism runs the complete DSPlacer flow for every new
+// topology family on every newly registered device at GOMAXPROCS=1 and
+// GOMAXPROCS=8 and demands bit-identical output: same cell positions, same
+// DSP site assignment, same timing and wirelength numbers. The golden-QoR
+// envelopes only hold if worker count can never leak into results, so this
+// is the determinism contract behind testdata/golden/qor.
+func TestFamilyFlowDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-flow determinism sweep is not a -short test")
+	}
+	newDevices := []string{"pynq-z2", "zu15eg", "arria10"}
+	newFamilies := []gen.Family{gen.FamilySparseSystolic, gen.FamilyMemMapped, gen.FamilyMultiAccel}
+
+	specOf := make(map[gen.Family]gen.Spec)
+	for _, spec := range gen.FamilySpecs() {
+		specOf[spec.Family] = spec
+	}
+
+	for _, device := range newDevices {
+		dev := fpga.MustDevice(device)
+		for _, fam := range newFamilies {
+			spec, ok := specOf[fam]
+			if !ok {
+				t.Fatalf("no preset spec for family %s", fam)
+			}
+			t.Run(device+"/"+fam.String(), func(t *testing.T) {
+				nl, err := gen.Generate(spec, dev)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := core.Config{
+					ClockMHz: spec.FreqMHz, Lambda: 100,
+					MCFIterations: 4, Rounds: 1, Seed: 7,
+				}
+				runAt := func(procs int) *core.Result {
+					old := runtime.GOMAXPROCS(procs)
+					defer runtime.GOMAXPROCS(old)
+					res, err := core.Run(context.Background(), dev, nl, cfg)
+					if err != nil {
+						t.Fatalf("core.Run at GOMAXPROCS=%d: %v", procs, err)
+					}
+					res.Profile = core.Profile{} // wall-clock timings legitimately differ
+					return res
+				}
+				serial := runAt(1)
+				parallel := runAt(8)
+
+				if !reflect.DeepEqual(serial.Pos, parallel.Pos) {
+					t.Error("cell positions differ between GOMAXPROCS=1 and 8")
+				}
+				if !reflect.DeepEqual(serial.SiteOfDSP, parallel.SiteOfDSP) {
+					t.Error("DSP site assignment differs between GOMAXPROCS=1 and 8")
+				}
+				if !reflect.DeepEqual(serial.DatapathDSPs, parallel.DatapathDSPs) {
+					t.Error("datapath DSP extraction differs between GOMAXPROCS=1 and 8")
+				}
+				if serial.WNS != parallel.WNS || serial.TNS != parallel.TNS {
+					t.Errorf("timing differs: WNS %v vs %v, TNS %v vs %v",
+						serial.WNS, parallel.WNS, serial.TNS, parallel.TNS)
+				}
+				if serial.HPWL != parallel.HPWL || serial.RoutedWL != parallel.RoutedWL || serial.Overflow != parallel.Overflow {
+					t.Errorf("wirelength/routing differs: HPWL %v vs %v, routed %v vs %v, overflow %d vs %d",
+						serial.HPWL, parallel.HPWL, serial.RoutedWL, parallel.RoutedWL,
+						serial.Overflow, parallel.Overflow)
+				}
+			})
+		}
+	}
+}

@@ -34,13 +34,20 @@ type netlistEntry struct {
 	err  error
 }
 
-// NewSuite builds a suite over the given specs (TableI() by default).
+// NewSuite builds a suite over the given specs (TableI() by default) on the
+// paper's ZCU104 evaluation device.
 func NewSuite(specs []gen.Spec) *Suite {
+	return NewSuiteOn(fpga.NewZCU104(), specs)
+}
+
+// NewSuiteOn builds a suite targeting an arbitrary registered device — the
+// device axis of the QoR matrix.
+func NewSuiteOn(dev *fpga.Device, specs []gen.Spec) *Suite {
 	if specs == nil {
 		specs = gen.TableI()
 	}
 	return &Suite{
-		Dev:   fpga.NewZCU104(),
+		Dev:   dev,
 		Specs: specs,
 		cache: make(map[string]*netlistEntry),
 	}

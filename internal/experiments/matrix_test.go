@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"dsplacer/internal/gen"
+)
+
+func TestQoRMatrixOnSmallDevice(t *testing.T) {
+	specs := []gen.Spec{gen.SparseSystolic(), gen.MemMapped()}
+	cfg := TableIIConfig{MCFIterations: 4, Rounds: 1, Lambda: 100, Seed: 1}
+	var buf bytes.Buffer
+	cells, err := QoRMatrix(&buf, []string{"pynq-z2"}, specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(specs) {
+		t.Fatalf("%d cells for %d specs", len(cells), len(specs))
+	}
+	for i, c := range cells {
+		if c.Device != "pynq-z2" || c.Family != specs[i].Family {
+			t.Fatalf("cell %d is (%s, %v), want (pynq-z2, %v)", i, c.Device, c.Family, specs[i].Family)
+		}
+		if c.CascadeAlign < 0 || c.CascadeAlign > 1 {
+			t.Fatalf("cascade alignment %v outside [0,1]", c.CascadeAlign)
+		}
+		if math.IsNaN(c.WNS) || math.IsNaN(c.HPWL) || c.HPWL <= 0 {
+			t.Fatalf("cell %d has degenerate QoR %+v", i, c)
+		}
+	}
+	for _, want := range []string{"pynq-z2", "sparse-systolic", "memmapped"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("matrix output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestQoRMatrixRejectsUnknownDevice(t *testing.T) {
+	cfg := TableIIConfig{MCFIterations: 4, Rounds: 1, Lambda: 100}
+	if _, err := QoRMatrix(&bytes.Buffer{}, []string{"no-such-part"}, []gen.Spec{gen.MemMapped()}, cfg); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if _, err := RunMatrixCell(context.Background(), "no-such-part", gen.MemMapped(), cfg); err == nil {
+		t.Fatal("unknown device accepted by RunMatrixCell")
+	}
+}

@@ -171,6 +171,10 @@ type Config struct {
 	CLBPerRegion int
 	// BRAMPerRegion is the RAMB36 site count per region column (12 on US+).
 	BRAMPerRegion int
+	// DSPPerRegion is the DSP site count per region column (24 DSP48E2 on
+	// US+; 7-series regions hold 20 DSP48E1s, Arria-10-like fabrics pack
+	// their variable-precision blocks denser still).
+	DSPPerRegion int
 	// PSWidth/PSHeight size the PS block in fabric units (0 = no PS).
 	PSWidth, PSHeight float64
 }
@@ -194,6 +198,9 @@ func NewDevice(cfg Config) (*Device, error) {
 	if cfg.BRAMPerRegion == 0 {
 		cfg.BRAMPerRegion = 12
 	}
+	if cfg.DSPPerRegion == 0 {
+		cfg.DSPPerRegion = dspPerRegion
+	}
 	regionH := float64(cfg.CLBPerRegion) // one CLB site per unit height
 	d := &Device{Name: cfg.Name}
 	d.Height = regionH * float64(cfg.RegionRows)
@@ -216,7 +223,7 @@ func NewDevice(cfg Config) (*Device, error) {
 			case 'C':
 				add(CLB, cfg.CLBPerRegion, 8)
 			case 'D':
-				add(DSPRes, dspPerRegion, 1)
+				add(DSPRes, cfg.DSPPerRegion, 1)
 			case 'B':
 				add(BRAMRes, cfg.BRAMPerRegion, 1)
 			case 'I':
@@ -239,19 +246,8 @@ func NewDevice(cfg Config) (*Device, error) {
 // NewZCU104 builds the ZCU104-like device used throughout the experiments:
 // a Zynq UltraScale+ fabric with 1728 DSP48E2 sites (12 DSP columns × 6
 // clock-region rows × 24 sites), matching the XCZU7EV's DSP budget so that
-// SkrSkr-3's 1431 DSPs occupy 83% of the device as in Table I.
+// SkrSkr-3's 1431 DSPs occupy 83% of the device as in Table I. It is the
+// registry's "zcu104" entry (and the registry default).
 func NewZCU104() *Device {
-	d, err := NewDevice(Config{
-		Name: "zcu104",
-		// Per period: 4 CLB columns, one DSP column, 2 CLB, one BRAM column.
-		Pattern:    "CCCCDCCB",
-		Repeats:    12,
-		RegionRows: 6,
-		PSWidth:    8,
-		PSHeight:   70,
-	})
-	if err != nil {
-		panic("fpga: ZCU104 config invalid: " + err.Error())
-	}
-	return d
+	return MustDevice("zcu104")
 }

@@ -10,20 +10,23 @@ import (
 // site location must fall inside the die — the invariants the placer,
 // assignment and DRC layers all build on.
 func FuzzNewDevice(f *testing.F) {
-	f.Add("CCDCB", 3, 2, 0, 0, 2.0, 20.0)
-	f.Add("CCCCDCCB", 12, 6, 60, 12, 8.0, 70.0) // the ZCU104 recipe
-	f.Add("D", 1, 1, 1, 1, 0.0, 0.0)
-	f.Add("X", 1, 1, 0, 0, 0.0, 0.0)
-	f.Add("", 5, 5, -3, -3, -1.0, 1.0)
+	f.Add("CCDCB", 3, 2, 0, 0, 0, 2.0, 20.0)
+	f.Add("CCCCDCCB", 12, 6, 60, 12, 24, 8.0, 70.0) // the ZCU104 recipe
+	f.Add("CCDCB", 6, 2, 50, 10, 20, 6.0, 40.0)     // the pynq-z2 recipe
+	f.Add("CCBDBC", 10, 5, 0, 16, 30, 6.0, 50.0)    // the arria10 recipe
+	f.Add("D", 1, 1, 1, 1, 1, 0.0, 0.0)
+	f.Add("X", 1, 1, 0, 0, 0, 0.0, 0.0)
+	f.Add("", 5, 5, -3, -3, -3, -1.0, 1.0)
 
-	f.Fuzz(func(t *testing.T, pattern string, repeats, rows, clb, bram int, psW, psH float64) {
+	f.Fuzz(func(t *testing.T, pattern string, repeats, rows, clb, bram, dsp int, psW, psH float64) {
 		// Bound fabric size; degenerate shapes, not scale, are the target.
-		if repeats > 64 || rows > 64 || len(pattern) > 32 || clb > 4096 || bram > 4096 {
+		if repeats > 64 || rows > 64 || len(pattern) > 32 || clb > 4096 || bram > 4096 || dsp > 4096 {
 			t.Skip()
 		}
 		dev, err := NewDevice(Config{
 			Name: "fz", Pattern: pattern, Repeats: repeats, RegionRows: rows,
-			CLBPerRegion: clb, BRAMPerRegion: bram, PSWidth: psW, PSHeight: psH,
+			CLBPerRegion: clb, BRAMPerRegion: bram, DSPPerRegion: dsp,
+			PSWidth: psW, PSHeight: psH,
 		})
 		if err != nil {
 			return

@@ -1,0 +1,179 @@
+package fpga
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The device registry maps part names to declarative Configs, so every
+// layer that targets hardware — the generator, the flows, the experiment
+// matrix, the dsplacerd API — selects a fabric by name instead of
+// hard-coding one factory. Built devices are cached per entry: a *Device is
+// immutable after construction (the DSP site list builds lazily under a
+// sync.Once), so one instance is safely shared across concurrent jobs.
+
+// RegistryEntry is one named device recipe.
+type RegistryEntry struct {
+	Name   string
+	Config Config
+	// Summary is the one-line part description shown in listings.
+	Summary string
+}
+
+// regEntry caches the built device behind the declarative config.
+type regEntry struct {
+	RegistryEntry
+	once sync.Once
+	dev  *Device
+	err  error
+}
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]*regEntry)
+)
+
+// Register adds a named device recipe. The name comes from cfg.Name and
+// must be unique; the config is validated eagerly by building the device
+// once on first Lookup.
+func Register(e RegistryEntry) error {
+	if e.Name == "" {
+		return fmt.Errorf("fpga: register: empty device name")
+	}
+	if e.Config.Name == "" {
+		e.Config.Name = e.Name
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[e.Name]; dup {
+		return fmt.Errorf("fpga: device %q already registered", e.Name)
+	}
+	registry[e.Name] = &regEntry{RegistryEntry: e}
+	return nil
+}
+
+func mustRegister(e RegistryEntry) {
+	if err := Register(e); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the named device, building (and caching) it on first use.
+// Unknown names report the registered alternatives, so API errors double as
+// a listing.
+func Lookup(name string) (*Device, error) {
+	regMu.Lock()
+	e, ok := registry[name]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fpga: unknown device %q (available: %s)", name, strings.Join(Names(), ", "))
+	}
+	e.once.Do(func() { e.dev, e.err = NewDevice(e.Config) })
+	return e.dev, e.err
+}
+
+// MustDevice is Lookup for names that are known to be registered (the
+// built-in parts); it panics on unknown names or invalid configs.
+func MustDevice(name string) *Device {
+	d, err := Lookup(name)
+	if err != nil {
+		panic("fpga: " + err.Error())
+	}
+	return d
+}
+
+// Names returns every registered device name, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entries returns the declarative recipe of every registered device,
+// sorted by name, so tests can cross-check built fabrics against their
+// configs.
+func Entries() []RegistryEntry {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]RegistryEntry, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e.RegistryEntry)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// The built-in parts. zcu104 reproduces the paper's evaluation target;
+// the other three span the device axes ROADMAP item 1 calls out: a small
+// embedded Zynq-7000, a wider UltraScale+ fabric, and an Arria-10-like
+// column mix.
+func init() {
+	mustRegister(RegistryEntry{
+		Name:    "zcu104",
+		Summary: "Zynq US+ XCZU7EV-class: 1728 DSP48E2 (12 cols x 6 regions x 24), PS bottom-left",
+		Config: Config{
+			Name: "zcu104",
+			// Per period: 4 CLB columns, one DSP column, 2 CLB, one BRAM column.
+			Pattern:    "CCCCDCCB",
+			Repeats:    12,
+			RegionRows: 6,
+			PSWidth:    8,
+			PSHeight:   70,
+		},
+	})
+	mustRegister(RegistryEntry{
+		Name:    "pynq-z2",
+		Summary: "Zynq-7000 XC7Z020-class (PYNQ-Z2): 240 DSP48E1 (6 cols x 2 regions x 20), small PS",
+		Config: Config{
+			Name:    "pynq-z2",
+			Pattern: "CCDCB",
+			Repeats: 6,
+			// 7-series clock regions are 50 CLBs tall and hold 20 DSP48E1s
+			// and 10 RAMB36s per column-region.
+			RegionRows:    2,
+			CLBPerRegion:  50,
+			BRAMPerRegion: 10,
+			DSPPerRegion:  20,
+			PSWidth:       6,
+			PSHeight:      40,
+		},
+	})
+	mustRegister(RegistryEntry{
+		Name:    "zu15eg",
+		Summary: "wide Zynq US+ XCZU15EG-class: 3528 DSP48E2 (21 cols x 7 regions x 24)",
+		Config: Config{
+			Name:       "zu15eg",
+			Pattern:    "CCCDCCB",
+			Repeats:    21,
+			RegionRows: 7,
+			PSWidth:    8,
+			PSHeight:   70,
+		},
+	})
+	mustRegister(RegistryEntry{
+		Name:    "arria10",
+		Summary: "Arria-10-like column mix (MCBBS target): 1500 variable-precision DSPs, dense M20K columns",
+		Config: Config{
+			Name:    "arria10",
+			Pattern: "CCBDBC",
+			Repeats: 10,
+			// Arria 10 packs its variable-precision DSP blocks denser per
+			// column and surrounds them with M20K columns on both sides.
+			RegionRows:    5,
+			DSPPerRegion:  30,
+			BRAMPerRegion: 16,
+			// Arria 10 has no Zynq PS; the block models the host/PCIe
+			// bridge corner where the OpenCL kernels' I/O lands (MCBBS
+			// drives the accelerator from a host through that corner).
+			PSWidth:  6,
+			PSHeight: 50,
+		},
+	})
+}

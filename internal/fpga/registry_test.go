@@ -1,0 +1,212 @@
+package fpga
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dsplacer/internal/geom"
+)
+
+// perRegionFor returns the declared per-region site count and capacity for
+// a resource under cfg (post-default), mirroring NewDevice's letter table.
+func perRegionFor(cfg Config, r Resource) (perRegion, capacity int) {
+	clb := cfg.CLBPerRegion
+	if clb == 0 {
+		clb = 60
+	}
+	bram := cfg.BRAMPerRegion
+	if bram == 0 {
+		bram = 12
+	}
+	dsp := cfg.DSPPerRegion
+	if dsp == 0 {
+		dsp = 24
+	}
+	switch r {
+	case CLB:
+		return clb, 8
+	case DSPRes:
+		return dsp, 1
+	case BRAMRes:
+		return bram, 1
+	default: // IORes
+		return clb / 2, 1
+	}
+}
+
+// Every registered device must build, validate, and match its declared
+// config column by column: counts, capacities, and the sorted DSP site
+// order the assignment formulation indexes.
+func TestRegistryDevices(t *testing.T) {
+	entries := Entries()
+	if len(entries) < 4 {
+		t.Fatalf("registry has %d entries, want at least 4", len(entries))
+	}
+	for _, e := range entries {
+		t.Run(e.Name, func(t *testing.T) {
+			dev, err := Lookup(e.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dev.Name != e.Name {
+				t.Fatalf("device name %q, registry name %q", dev.Name, e.Name)
+			}
+			if err := dev.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			// The generator pins PS bus endpoints on the block's edges, so
+			// every registered part must declare one inside the die.
+			if dev.PS.Empty() || dev.PS.MaxX > dev.Width || dev.PS.MaxY > dev.Height {
+				t.Fatalf("PS block %+v missing or outside the %gx%g die", dev.PS, dev.Width, dev.Height)
+			}
+
+			// Column capacities and site counts match the declared config.
+			period := []rune(e.Config.Pattern)
+			for i := range dev.Columns {
+				c := &dev.Columns[i]
+				letter := period[i%len(period)]
+				wantRes := map[rune]Resource{'C': CLB, 'D': DSPRes, 'B': BRAMRes, 'I': IORes}[letter]
+				if c.Res != wantRes {
+					t.Fatalf("column %d is %v, pattern says %q", i, c.Res, letter)
+				}
+				perRegion, capacity := perRegionFor(e.Config, c.Res)
+				if want := perRegion * e.Config.RegionRows; c.NumSites != want {
+					t.Fatalf("column %d (%v) has %d sites, config declares %d", i, c.Res, c.NumSites, want)
+				}
+				if c.Capacity != capacity {
+					t.Fatalf("column %d (%v) capacity %d, want %d", i, c.Res, c.Capacity, capacity)
+				}
+			}
+
+			// DSP sites: sorted ascending by (x, row), consecutive within a
+			// column, and inside the die.
+			sites := dev.DSPSites()
+			if len(sites) == 0 {
+				t.Fatal("no DSP sites")
+			}
+			for i, s := range sites {
+				p := dev.Loc(s)
+				if p.X < 0 || p.X > dev.Width || p.Y < 0 || p.Y > dev.Height {
+					t.Fatalf("site %d at %v outside die", i, p)
+				}
+				if i == 0 {
+					continue
+				}
+				q := dev.Loc(sites[i-1])
+				if p.X < q.X || (p.X == q.X && p.Y <= q.Y) {
+					t.Fatalf("site %d (%v) not after site %d (%v)", i, p, i-1, q)
+				}
+				if sites[i-1].Col == s.Col && s.Row != sites[i-1].Row+1 {
+					t.Fatalf("rows not consecutive at site %d", i)
+				}
+			}
+		})
+	}
+}
+
+// The registry's new parts pin the DSP budgets the matrix and the golden
+// harness assume: a ZCU104 evaluation target plus a small Zynq-7000, a
+// wider US+ part, and an Arria-10-like mix.
+func TestRegistryDSPBudgets(t *testing.T) {
+	want := map[string]int{
+		"zcu104":  1728,
+		"pynq-z2": 240,
+		"zu15eg":  3528,
+		"arria10": 1500,
+	}
+	for name, dsp := range want {
+		dev, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := dev.NumDSPSites(); got != dsp {
+			t.Fatalf("%s: %d DSP sites, want %d", name, got, dsp)
+		}
+	}
+}
+
+// Loc must be injective over every site of every registered device: two
+// distinct (column, row) pairs may never share fabric coordinates, or the
+// DRC column index and the site-keyed capacity rules would alias.
+func TestRegistryLocInjective(t *testing.T) {
+	for _, e := range Entries() {
+		dev := MustDevice(e.Name)
+		seen := make(map[geom.Point]Site)
+		for ci := range dev.Columns {
+			for r := 0; r < dev.Columns[ci].NumSites; r++ {
+				s := Site{Col: ci, Row: r}
+				p := dev.Loc(s)
+				if prev, dup := seen[p]; dup {
+					t.Fatalf("%s: sites %+v and %+v share location %v", e.Name, prev, s, p)
+				}
+				seen[p] = s
+			}
+		}
+	}
+}
+
+// Property: for any accepted config, Loc stays injective over the DSP
+// sites — the registry invariant holds for arbitrary recipes, not just the
+// built-ins.
+func TestLocInjectiveProperty(t *testing.T) {
+	f := func(repeats, rows, dspPer uint8) bool {
+		cfg := Config{
+			Name: "prop", Pattern: "CDCB",
+			Repeats:      int(repeats%5) + 1,
+			RegionRows:   int(rows%4) + 1,
+			DSPPerRegion: int(dspPer%40) + 1,
+		}
+		d, err := NewDevice(cfg)
+		if err != nil {
+			return false
+		}
+		seen := make(map[geom.Point]bool)
+		for _, s := range d.DSPSites() {
+			p := d.Loc(s)
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupUnknownListsDevices(t *testing.T) {
+	_, err := Lookup("no-such-part")
+	if err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	for _, name := range []string{"zcu104", "pynq-z2", "zu15eg", "arria10"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("lookup error %q does not list %s", err, name)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	if err := Register(RegistryEntry{Name: "zcu104"}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := Register(RegistryEntry{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+// Lookup must hand every caller the same cached instance: devices are
+// shared across concurrent jobs, and the lazily built DSP site list is
+// only safe because there is one copy.
+func TestLookupCachesInstance(t *testing.T) {
+	a := MustDevice("pynq-z2")
+	b := MustDevice("pynq-z2")
+	if a != b {
+		t.Fatal("two lookups built two devices")
+	}
+	if NewZCU104() != MustDevice("zcu104") {
+		t.Fatal("NewZCU104 is not the registry's zcu104 instance")
+	}
+}

@@ -1,0 +1,439 @@
+// Topology families beyond the paper's Table-I CNN structure. Each family
+// reproduces the DSP/netlist topology of a different accelerator class so
+// the cross-device QoR matrix exercises the placer on structurally distinct
+// designs: bank-balanced sparse systolic arrays (the MCBBS architecture),
+// DMA-less memory-mapped designs whose operands all cross the PS-PL
+// boundary through an AXI-Lite register file, and multi-accelerator SoCs
+// where several processing units compete for the same DSP columns.
+package gen
+
+import (
+	"fmt"
+
+	"dsplacer/internal/fpga"
+)
+
+// Family selects the accelerator topology Generate synthesizes.
+type Family int
+
+const (
+	// FamilyCNN is the paper's Table-I structure: PE arrays of long DSP
+	// cascades behind a pipelined DMA distribution tree.
+	FamilyCNN Family = iota
+	// FamilySparseSystolic is a bank-balanced sparse systolic array: every
+	// bank holds an equal share of short PE cascades behind index/value
+	// stream buffers and a nonzero-selection window.
+	FamilySparseSystolic
+	// FamilyMemMapped is a DMA-less memory-mapped design: all operands and
+	// results cross the PS-PL boundary through an AXI-Lite register file,
+	// so control traffic dominates and cascades are short.
+	FamilyMemMapped
+	// FamilyMultiAccel is a multi-accelerator SoC: several independent
+	// processing units with private buffers compete for DSP columns and
+	// couple through a shared round-robin interconnect arbiter.
+	FamilyMultiAccel
+
+	numFamilies
+)
+
+var familyNames = [numFamilies]string{
+	FamilyCNN:            "cnn",
+	FamilySparseSystolic: "sparse-systolic",
+	FamilyMemMapped:      "memmapped",
+	FamilyMultiAccel:     "multi-accel",
+}
+
+func (f Family) String() string {
+	if f < 0 || f >= numFamilies {
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+	return familyNames[f]
+}
+
+// ParseFamily maps a family name (as printed by String) back to its value.
+func ParseFamily(name string) (Family, error) {
+	for f, n := range familyNames {
+		if n == name {
+			return Family(f), nil
+		}
+	}
+	return 0, fmt.Errorf("gen: unknown family %q (available: %s)", name, familyList())
+}
+
+func familyList() string {
+	out := ""
+	for i, n := range familyNames {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// Families returns every topology family, in declaration order.
+func Families() []Family {
+	out := make([]Family, numFamilies)
+	for i := range out {
+		out[i] = Family(i)
+	}
+	return out
+}
+
+// CNNMini is the FamilyCNN matrix preset: a miniature Table-I-style design
+// sized to fit the smallest registered device (pynq-z2, 240 DSPs).
+func CNNMini() Spec {
+	return Spec{
+		Name: "cnn", LUT: 2400, LUTRAM: 160, FF: 2800, BRAM: 36, DSP: 144,
+		FreqMHz: 200, Family: FamilyCNN, Seed: 37,
+	}
+}
+
+// SparseSystolic is the FamilySparseSystolic matrix preset.
+func SparseSystolic() Spec {
+	return Spec{
+		Name: "sparse-systolic", LUT: 2200, LUTRAM: 160, FF: 2600, BRAM: 40, DSP: 128,
+		FreqMHz: 200, Family: FamilySparseSystolic, Seed: 41,
+	}
+}
+
+// MemMapped is the FamilyMemMapped matrix preset.
+func MemMapped() Spec {
+	return Spec{
+		Name: "memmapped", LUT: 1800, LUTRAM: 120, FF: 2200, BRAM: 24, DSP: 64,
+		FreqMHz: 150, Family: FamilyMemMapped, Seed: 43,
+	}
+}
+
+// MultiAccel is the FamilyMultiAccel matrix preset.
+func MultiAccel() Spec {
+	return Spec{
+		Name: "multi-accel", LUT: 3600, LUTRAM: 200, FF: 4200, BRAM: 48, DSP: 180,
+		FreqMHz: 180, Family: FamilyMultiAccel, Seed: 47,
+	}
+}
+
+// FamilySpecs returns one matrix preset per family, in family order. Every
+// preset fits the smallest registered device.
+func FamilySpecs() []Spec {
+	return []Spec{CNNMini(), SparseSystolic(), MemMapped(), MultiAccel()}
+}
+
+// splitDSP partitions the DSP budget into control and datapath shares.
+func splitDSP(spec Spec) (nCtrl, nData int) {
+	nCtrl = int(float64(spec.DSP)*spec.ControlDSPFrac + 0.5)
+	if nCtrl < 1 {
+		nCtrl = 1
+	}
+	return nCtrl, spec.DSP - nCtrl
+}
+
+// dspChains consumes n datapath DSPs as cascade macros of at most l cells.
+func dspChains(bl *builder, n, l int) [][]int {
+	var chains [][]int
+	for n > 0 {
+		ll := l
+		if n < ll {
+			ll = n
+		}
+		chain := make([]int, ll)
+		for i := range chain {
+			chain[i] = bl.dsp(true)
+		}
+		if ll >= 2 {
+			bl.nl.AddMacro(chain)
+		}
+		chains = append(chains, chain)
+		n -= ll
+	}
+	return chains
+}
+
+// broadcastEnables fans the control subsystem's enable registers out over
+// the datapath's stage registers with bounded per-net fanout.
+func broadcastEnables(bl *builder, enables, targets []int) {
+	if len(enables) == 0 || len(targets) == 0 {
+		return
+	}
+	for i, e := range enables {
+		lo := i * len(targets) / len(enables)
+		hi := (i + 1) * len(targets) / len(enables)
+		if hi > lo {
+			bl.net(e, targets[lo:hi]...)
+		}
+	}
+}
+
+// buildSparseSystolic synthesizes a bank-balanced sparse systolic array.
+// Each bank streams a compressed (index, value) pair out of BRAM, picks
+// nonzeros through a LUTRAM selection window, and feeds an equal share of
+// short PE cascades whose partial sums accumulate through registered
+// feedback — the bank-balanced pruning structure MCBBS maps onto Arria-10
+// class fabrics.
+func buildSparseSystolic(bl *builder, spec Spec, dev *fpga.Device) {
+	psIn, psOut := psBuses(bl, dev, 4)
+	nCtrl, nData := splitDSP(spec)
+
+	banks := spec.Banks
+	if banks > nData && nData > 0 {
+		banks = nData
+	}
+	if banks < 1 {
+		banks = 1
+	}
+
+	var firstStage int
+	var targets []int
+	for k := 0; k < banks; k++ {
+		// Bank-balanced partition: every bank gets an equal (±1) share of
+		// the datapath DSPs, so no DSP column is oversubscribed by one bank.
+		share := nData / banks
+		if k < nData%banks {
+			share++
+		}
+
+		// Stream-in stage off the bank's PS bus.
+		s1 := bl.lut()
+		s2 := bl.ff()
+		bl.net(psIn[k%len(psIn)], s1)
+		bl.net(s1, s2)
+		bl.nl.AddDataflow(psIn[k%len(psIn)], s2, 1)
+		if k == 0 {
+			firstStage = s2
+		}
+		targets = append(targets, s2)
+
+		// Compressed-sparse fetch: an index BRAM steers a value BRAM through
+		// a LUTRAM selection window that drops the pruned zeros.
+		gate := bl.lut()
+		if bl.b.bram > 0 {
+			idx := bl.bram()
+			bl.net(s2, idx)
+			if bl.b.lutram > 0 {
+				sel := bl.lutram()
+				bl.net(idx, sel)
+				bl.net(sel, gate)
+			} else {
+				bl.net(idx, gate)
+			}
+		} else {
+			bl.net(s2, gate)
+		}
+		if bl.b.bram > 0 {
+			val := bl.bram()
+			bl.net(s2, val)
+			bl.net(val, gate)
+		}
+		feed := bl.ff()
+		bl.net(gate, feed)
+
+		// The bank's PE cascades: weight register per DSP, cascade nets as
+		// the strongest dataflow edges, a partial-sum accumulator loop.
+		out := bl.lut()
+		for _, chain := range dspChains(bl, share, spec.CascadeLen) {
+			bl.nl.AddDataflow(feed, chain[0], 1)
+			for di, d := range chain {
+				w := bl.ff()
+				bl.net(feed, w)
+				bl.net(w, d)
+				if di+1 < len(chain) {
+					bl.net(d, chain[di+1])
+					bl.nl.AddDataflow(d, chain[di+1], 2)
+				}
+			}
+			tail := chain[len(chain)-1]
+			acc := bl.ff()
+			bl.net(tail, acc)
+			bl.net(acc, tail) // partial-sum accumulation feedback
+			bl.net(acc, out)
+		}
+		og := bl.ff()
+		bl.net(out, og)
+		bl.net(og, psOut[k%len(psOut)])
+		bl.nl.AddDataflow(og, psOut[k%len(psOut)], 1)
+		targets = append(targets, og)
+	}
+
+	ctrl := makeControl(bl, firstStage, nCtrl, spec.BRAM/6)
+	broadcastEnables(bl, ctrl.enables, targets)
+	fill(bl, firstStage)
+}
+
+// buildMemMapped synthesizes a DMA-less memory-mapped design: an AXI-Lite
+// register file decoded off every PS→PL bus, PEs whose operands are polled
+// out of those registers, and a result readback mux path carrying the heavy
+// PL→PS half of the control traffic. No burst engine exists, so the PS-PL
+// boundary dominates the netlist's connectivity.
+func buildMemMapped(bl *builder, spec Spec, dev *fpga.Device) {
+	psIn, psOut := psBuses(bl, dev, 8)
+	nCtrl, nData := splitDSP(spec)
+
+	// AXI-Lite register file: per bus an address decoder and a bank of
+	// memory-mapped registers. Every operand and result crosses here.
+	const regsPerBus = 4
+	var regs []int
+	for _, p := range psIn {
+		dec := bl.lut()
+		bl.net(p, dec)
+		for j := 0; j < regsPerBus; j++ {
+			en := bl.lut()
+			r := bl.ff()
+			bl.net(dec, en)
+			bl.net(en, r)
+			bl.nl.AddDataflow(p, r, 1)
+			regs = append(regs, r)
+		}
+	}
+
+	// PEs: short cascades polled through the register file.
+	var results []int
+	for ci, chain := range dspChains(bl, nData, spec.CascadeLen) {
+		a := bl.ff()
+		b := bl.ff()
+		opA := regs[bl.rng.Intn(len(regs))]
+		opB := regs[bl.rng.Intn(len(regs))]
+		bl.net(opA, a)
+		bl.net(opB, b)
+		bl.net(a, chain[0])
+		bl.net(b, chain[0])
+		bl.nl.AddDataflow(opA, chain[0], 1)
+		for di := 0; di+1 < len(chain); di++ {
+			w := bl.ff()
+			bl.net(regs[(ci+di)%len(regs)], w)
+			bl.net(w, chain[di+1])
+			bl.net(chain[di], chain[di+1])
+			bl.nl.AddDataflow(chain[di], chain[di+1], 2)
+		}
+		res := bl.ff()
+		bl.net(chain[len(chain)-1], res)
+		results = append(results, res)
+	}
+
+	// Readback: result and status registers mux back toward the PS.
+	for i, res := range results {
+		mux := bl.lut()
+		st := bl.ff()
+		bl.net(res, mux)
+		bl.net(mux, st)
+		bl.net(st, psOut[i%len(psOut)])
+		bl.nl.AddDataflow(res, psOut[i%len(psOut)], 1)
+	}
+
+	// Memory-mapped scratchpads: BRAMs written word-by-word from the
+	// register file (the PS is the only data mover).
+	for i := 0; i < spec.BRAM/2 && bl.b.bram > 0; i++ {
+		b := bl.bram()
+		bl.net(regs[i%len(regs)], b)
+		t := bl.lut()
+		f := bl.ff()
+		bl.net(b, t)
+		bl.net(t, f)
+	}
+
+	ctrl := makeControl(bl, regs[0], nCtrl, spec.BRAM/4)
+	broadcastEnables(bl, ctrl.enables, regs)
+	fill(bl, regs[0])
+}
+
+// buildMultiAccel synthesizes a multi-accelerator SoC: several independent
+// processing units, each with its own PS bus pair, private BRAM buffers and
+// cascade array, coupled only through a shared round-robin interconnect
+// arbiter. The units' DSP demands land on the same columns, so the
+// assignment has to arbitrate between competing clusters.
+func buildMultiAccel(bl *builder, spec Spec, dev *fpga.Device) {
+	psIn, psOut := psBuses(bl, dev, 8)
+	nCtrl, nData := splitDSP(spec)
+
+	accels := spec.Accels
+	if accels > nData && nData > 0 {
+		accels = nData
+	}
+	if accels < 1 {
+		accels = 1
+	}
+	puBRAM := spec.BRAM * 2 / 3
+
+	var firstStage int
+	var reqs, targets []int
+	for a := 0; a < accels; a++ {
+		share := nData / accels
+		if a < nData%accels {
+			share++
+		}
+
+		// Per-accelerator input stage off its own bus.
+		s1 := bl.lut()
+		s2 := bl.ff()
+		bl.net(psIn[a%len(psIn)], s1)
+		bl.net(s1, s2)
+		bl.nl.AddDataflow(psIn[a%len(psIn)], s2, 1)
+		if a == 0 {
+			firstStage = s2
+		}
+		targets = append(targets, s2)
+
+		// Private buffers.
+		feed := s2
+		for i := 0; i < puBRAM/accels && bl.b.bram > 0; i++ {
+			b := bl.bram()
+			bl.net(s2, b)
+			if i == 0 && bl.b.lutram > 0 {
+				lb := bl.lutram()
+				bl.net(b, lb)
+				fl := bl.ff()
+				bl.net(lb, fl)
+				feed = fl
+			}
+		}
+
+		// The accelerator's cascade array.
+		out := bl.lut()
+		for _, chain := range dspChains(bl, share, spec.CascadeLen) {
+			bl.nl.AddDataflow(feed, chain[0], 1)
+			for di, d := range chain {
+				w := bl.ff()
+				bl.net(feed, w)
+				bl.net(w, d)
+				if di+1 < len(chain) {
+					bl.net(d, chain[di+1])
+					bl.nl.AddDataflow(d, chain[di+1], 2)
+				}
+			}
+			tail := chain[len(chain)-1]
+			acc := bl.ff()
+			bl.net(tail, acc)
+			if bl.rng.Float64() < 0.4 {
+				bl.net(acc, tail) // MACC accumulation feedback
+			}
+			bl.net(acc, out)
+		}
+		og := bl.ff()
+		bl.net(out, og)
+		bl.net(og, psOut[a%len(psOut)])
+		bl.nl.AddDataflow(out, psOut[a%len(psOut)], 1)
+		targets = append(targets, og)
+
+		// Interconnect request register toward the shared arbiter.
+		req := bl.ff()
+		bl.net(s2, req)
+		reqs = append(reqs, req)
+	}
+
+	// Shared round-robin arbiter: a registered grant ring threading every
+	// accelerator's request — the contention point of the SoC interconnect.
+	prev := reqs[len(reqs)-1]
+	for _, req := range reqs {
+		g1 := bl.lut()
+		g2 := bl.ff()
+		bl.net(req, g1)
+		bl.net(prev, g1)
+		bl.net(g1, g2)
+		bl.net(g2, req)
+		targets = append(targets, g2)
+		prev = g2
+	}
+
+	ctrl := makeControl(bl, firstStage, nCtrl, spec.BRAM-puBRAM)
+	broadcastEnables(bl, ctrl.enables, targets)
+	fill(bl, firstStage)
+}

@@ -13,11 +13,16 @@ import (
 // still catches count mismatches and invalid output).
 func FuzzGenerate(f *testing.F) {
 	s := Small()
-	f.Add(s.LUT, s.LUTRAM, s.FF, s.BRAM, s.DSP, s.CascadeLen, s.ControlDSPFrac, s.Seed)
-	f.Add(0, 0, 0, 0, 1, 1, 0.5, int64(1))
-	f.Add(10, 0, 10, 0, 2, 9, 1.0, int64(2)) // all-control: no PE array
-	f.Add(-1, 5, 5, 5, 5, 3, 0.1, int64(3))
-	f.Add(100, 5, 100, 3, 12, 1, 0.0, int64(4)) // length-1 cascades: no macros
+	f.Add(s.LUT, s.LUTRAM, s.FF, s.BRAM, s.DSP, s.CascadeLen, s.ControlDSPFrac, int(FamilyCNN), s.Seed)
+	f.Add(0, 0, 0, 0, 1, 1, 0.5, 0, int64(1))
+	f.Add(10, 0, 10, 0, 2, 9, 1.0, 0, int64(2)) // all-control: no PE array
+	f.Add(-1, 5, 5, 5, 5, 3, 0.1, 0, int64(3))
+	f.Add(100, 5, 100, 3, 12, 1, 0.0, 0, int64(4)) // length-1 cascades: no macros
+	// One seed per topology family, scaled down from the matrix presets.
+	f.Add(600, 40, 700, 12, 36, 4, 0.03, int(FamilySparseSystolic), int64(41))
+	f.Add(600, 40, 700, 12, 24, 3, 0.30, int(FamilyMemMapped), int64(43))
+	f.Add(900, 60, 1000, 16, 48, 9, 0.12, int(FamilyMultiAccel), int64(47))
+	f.Add(10, 0, 10, 0, 2, 3, 0.5, int(numFamilies), int64(5)) // out-of-range family
 
 	dev, err := fpga.NewDevice(fpga.Config{
 		Name: "fz", Pattern: "CCDCB", Repeats: 3, RegionRows: 2, PSWidth: 2, PSHeight: 20,
@@ -26,7 +31,7 @@ func FuzzGenerate(f *testing.F) {
 		f.Fatal(err)
 	}
 
-	f.Fuzz(func(t *testing.T, lut, lutram, ff, bram, dsp, cascade int, frac float64, seed int64) {
+	f.Fuzz(func(t *testing.T, lut, lutram, ff, bram, dsp, cascade int, frac float64, family int, seed int64) {
 		// Bound the build size so each exec stays fast; the interesting
 		// space is shape and degenerate values, not scale.
 		const lim = 2000
@@ -35,7 +40,8 @@ func FuzzGenerate(f *testing.F) {
 		}
 		spec := Spec{
 			Name: "fz", LUT: lut, LUTRAM: lutram, FF: ff, BRAM: bram, DSP: dsp,
-			FreqMHz: 100, CascadeLen: cascade, ControlDSPFrac: frac, Seed: seed,
+			FreqMHz: 100, CascadeLen: cascade, ControlDSPFrac: frac,
+			Family: Family(family), Seed: seed,
 		}
 		nl, err := Generate(spec, dev)
 		if err != nil {

@@ -27,12 +27,23 @@ type Spec struct {
 	BRAM    int
 	DSP     int
 	FreqMHz float64
-	// CascadeLen is the DSP macro chain length (default 9, a 3×3 kernel).
+	// Family selects the accelerator topology family (default FamilyCNN,
+	// the paper's Table-I structure). See family.go for the others.
+	Family Family
+	// CascadeLen is the DSP macro chain length. The default is per family:
+	// 9 (a 3×3 kernel) for CNN and multi-accel, 4 for the sparse systolic
+	// banks, 3 for the memory-mapped PEs.
 	CascadeLen int
-	// ControlDSPFrac is the fraction of DSPs in the control path
-	// (default 0.12).
+	// ControlDSPFrac is the fraction of DSPs in the control path. The
+	// default is per family: 0.12 for CNN and multi-accel, 0.03 for the
+	// systolic arrays, 0.30 for the control-heavy memory-mapped designs.
 	ControlDSPFrac float64
-	Seed           int64
+	// Banks is the bank count of FamilySparseSystolic (default 4): PE
+	// clusters receive an equal (bank-balanced) share of the cascades.
+	Banks int
+	// Accels is the accelerator count of FamilyMultiAccel (default 3).
+	Accels int
+	Seed   int64
 }
 
 // TableI returns the five benchmark specs of the paper with their Table-I
@@ -65,10 +76,30 @@ func Systolic() Spec {
 
 func (s Spec) withDefaults() Spec {
 	if s.CascadeLen == 0 {
-		s.CascadeLen = 9
+		switch s.Family {
+		case FamilySparseSystolic:
+			s.CascadeLen = 4
+		case FamilyMemMapped:
+			s.CascadeLen = 3
+		default:
+			s.CascadeLen = 9
+		}
 	}
 	if s.ControlDSPFrac == 0 {
-		s.ControlDSPFrac = 0.12
+		switch s.Family {
+		case FamilySparseSystolic:
+			s.ControlDSPFrac = 0.03
+		case FamilyMemMapped:
+			s.ControlDSPFrac = 0.30
+		default:
+			s.ControlDSPFrac = 0.12
+		}
+	}
+	if s.Banks == 0 {
+		s.Banks = 4
+	}
+	if s.Accels == 0 {
+		s.Accels = 3
 	}
 	return s
 }
@@ -100,6 +131,15 @@ func (s Spec) Validate() error {
 	}
 	if math.IsNaN(s.FreqMHz) || math.IsInf(s.FreqMHz, 0) || s.FreqMHz < 0 {
 		return fmt.Errorf("gen %s: frequency %v MHz not finite and non-negative", s.Name, s.FreqMHz)
+	}
+	if s.Family < 0 || s.Family >= numFamilies {
+		return fmt.Errorf("gen %s: unknown family %d", s.Name, int(s.Family))
+	}
+	if s.Banks < 1 {
+		return fmt.Errorf("gen %s: bank count %d, need at least 1", s.Name, s.Banks)
+	}
+	if s.Accels < 1 {
+		return fmt.Errorf("gen %s: accelerator count %d, need at least 1", s.Name, s.Accels)
 	}
 	return nil
 }
@@ -179,7 +219,9 @@ func (bl *builder) net(driver int, sinks ...int) {
 }
 
 // Generate synthesizes the benchmark netlist on the given device (the
-// device provides the fixed PS port locations).
+// device provides the fixed PS port locations). The spec's Family selects
+// the topology: the Table-I CNN structure (default) or one of the family
+// builders in family.go.
 func Generate(spec Spec, dev *fpga.Device) (nl *netlist.Netlist, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -197,16 +239,50 @@ func Generate(spec Spec, dev *fpga.Device) (nl *netlist.Netlist, err error) {
 		rng: rand.New(rand.NewSource(spec.Seed)),
 	}
 
-	// --- PS data buses (fixed) -------------------------------------------
-	nBus := 8
-	psIn := make([]int, nBus)  // PS→PL (above the PS)
-	psOut := make([]int, nBus) // PL→PS (right of the PS)
+	switch spec.Family {
+	case FamilyCNN:
+		buildCNN(bl, spec, dev)
+	case FamilySparseSystolic:
+		buildSparseSystolic(bl, spec, dev)
+	case FamilyMemMapped:
+		buildMemMapped(bl, spec, dev)
+	case FamilyMultiAccel:
+		buildMultiAccel(bl, spec, dev)
+	default:
+		return nil, fmt.Errorf("gen %s: unknown family %v", spec.Name, spec.Family)
+	}
+
+	if err := bl.nl.Validate(); err != nil {
+		return nil, err
+	}
+	got := bl.nl.Stats()
+	if got.LUT != spec.LUT || got.LUTRAM != spec.LUTRAM || got.FF != spec.FF ||
+		got.BRAM != spec.BRAM || got.DSP != spec.DSP {
+		return nil, fmt.Errorf("gen %s: counts %+v do not match spec %+v", spec.Name, got, spec)
+	}
+	return bl.nl, nil
+}
+
+// psBuses pins the fixed PS↔PL bus endpoints: nBus PS→PL ports along the
+// top edge of the PS block and nBus PL→PS ports along its right edge.
+func psBuses(bl *builder, dev *fpga.Device, nBus int) (psIn, psOut []int) {
+	psIn = make([]int, nBus)  // PS→PL (above the PS)
+	psOut = make([]int, nBus) // PL→PS (right of the PS)
 	for i, p := range dev.PSToPLPorts(nBus) {
 		psIn[i] = bl.nl.AddFixedCell(fmt.Sprintf("ps_in%d", i), netlist.PSPort, p).ID
 	}
 	for i, p := range dev.PLToPSPorts(nBus) {
 		psOut[i] = bl.nl.AddFixedCell(fmt.Sprintf("ps_out%d", i), netlist.PSPort, p).ID
 	}
+	return psIn, psOut
+}
+
+// buildCNN is the paper's Table-I structure: PE arrays of cascaded DSP
+// macros fed by a pipelined DMA distribution tree, BRAM/LUTRAM buffers per
+// processing unit, and an FSM control subsystem with storage-coupled
+// control DSPs.
+func buildCNN(bl *builder, spec Spec, dev *fpga.Device) {
+	psIn, psOut := psBuses(bl, dev, 8)
 
 	// --- DSP partitioning -------------------------------------------------
 	nCtrl := int(float64(spec.DSP)*spec.ControlDSPFrac + 0.5)
@@ -397,16 +473,6 @@ func Generate(spec Spec, dev *fpga.Device) (nl *netlist.Netlist, err error) {
 
 	// --- Spend remaining budget on realistic filler ----------------------------
 	fill(bl, pus[0].inStage)
-
-	if err := bl.nl.Validate(); err != nil {
-		return nil, err
-	}
-	got := bl.nl.Stats()
-	if got.LUT != spec.LUT || got.LUTRAM != spec.LUTRAM || got.FF != spec.FF ||
-		got.BRAM != spec.BRAM || got.DSP != spec.DSP {
-		return nil, fmt.Errorf("gen %s: counts %+v do not match spec %+v", spec.Name, got, spec)
-	}
-	return bl.nl, nil
 }
 
 // control holds the control subsystem's broadcast sources.

@@ -4,6 +4,7 @@ import (
 	"dsplacer/internal/dspgraph"
 	"dsplacer/internal/fpga"
 	"dsplacer/internal/geom"
+	"dsplacer/internal/netlist"
 )
 
 // DatapathDisorder reports the mean Eq. 6 penalty per datapath DSP-graph
@@ -25,6 +26,35 @@ func DatapathDisorder(dev *fpga.Device, dg *dspgraph.Graph, pos []geom.Point) fl
 		sum += cp - cs
 	}
 	return sum / float64(len(dg.Edges))
+}
+
+// CascadeAlignment reports the fraction of the netlist's cascade pairs
+// whose two DSPs landed on consecutive rows of one DSP column — the hard
+// constraint (5) the legalizer enforces, expressed as a [0,1] quality
+// metric. Pairs with either end unassigned are counted as misaligned (the
+// flow is expected to site every cascade member); a netlist with no
+// cascade pairs is vacuously aligned. The golden-QoR harness freezes this
+// value per (device, family) so a legalization regression on any fabric
+// shows up as drift, not just as a worse HPWL.
+func CascadeAlignment(dev *fpga.Device, nl *netlist.Netlist, siteOf map[int]int) float64 {
+	pairs := nl.CascadePairs()
+	if len(pairs) == 0 {
+		return 1
+	}
+	sites := dev.DSPSites()
+	aligned := 0
+	for _, pair := range pairs {
+		jp, okP := siteOf[pair[0]]
+		js, okS := siteOf[pair[1]]
+		if !okP || !okS || jp < 0 || jp >= len(sites) || js < 0 || js >= len(sites) {
+			continue
+		}
+		sp, ss := sites[jp], sites[js]
+		if sp.Col == ss.Col && ss.Row == sp.Row+1 {
+			aligned++
+		}
+	}
+	return float64(aligned) / float64(len(pairs))
 }
 
 // DatapathPSDistance is Fig. 9's quantitative companion: the mean Manhattan

@@ -89,18 +89,18 @@ func TestRequestKeyIncludesFeatureMode(t *testing.T) {
 	s := New(Config{})
 	defer s.Shutdown(context.Background())
 	req := PlaceRequest{Netlist: []byte(`{"cells":[],"nets":[]}`), Seed: 1}
-	kExact := s.requestKey(req, "dsplacer", core.ValidateOff, features.ModeExact)
-	kGSP := s.requestKey(req, "dsplacer", core.ValidateOff, features.ModeGSP)
+	kExact := s.requestKey(req, s.dev, "dsplacer", core.ValidateOff, features.ModeExact)
+	kGSP := s.requestKey(req, s.dev, "dsplacer", core.ValidateOff, features.ModeGSP)
 	if kExact == kGSP {
 		t.Fatal("exact and gsp feature modes share a cache key")
 	}
-	if again := s.requestKey(req, "dsplacer", core.ValidateOff, features.ModeExact); again != kExact {
+	if again := s.requestKey(req, s.dev, "dsplacer", core.ValidateOff, features.ModeExact); again != kExact {
 		t.Fatal("same mode produced a different key")
 	}
 	// Tenant must NOT split the cache: identical work is shared.
 	req2 := req
 	req2.Tenant = "acme"
-	if s.requestKey(req2, "dsplacer", core.ValidateOff, features.ModeExact) != kExact {
+	if s.requestKey(req2, s.dev, "dsplacer", core.ValidateOff, features.ModeExact) != kExact {
 		t.Fatal("tenant leaked into the cache key")
 	}
 }
@@ -161,7 +161,7 @@ func TestSingleFlightFollowerSurvivesLeaderCancel(t *testing.T) {
 	s := New(Config{})
 	defer s.Shutdown(context.Background())
 	nlData := smallNetlistJSON(t, 73)
-	key := s.requestKey(PlaceRequest{Netlist: nlData}, "dsplacer", core.ValidateOff, features.ModeAuto)
+	key := s.requestKey(PlaceRequest{Netlist: nlData}, s.dev, "dsplacer", core.ValidateOff, features.ModeAuto)
 
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
 	started := make(chan struct{})
@@ -173,14 +173,14 @@ func TestSingleFlightFollowerSurvivesLeaderCancel(t *testing.T) {
 		defer wg.Done()
 		nl, _ := netlist.Read(bytes.NewReader(nlData))
 		close(started)
-		_, leaderErr = s.place(leaderCtx, key, "dsplacer", placer.ModeVivado, nl, core.Config{Rounds: 50}, nil)
+		_, leaderErr = s.place(leaderCtx, key, s.dev, "dsplacer", placer.ModeVivado, nl, core.Config{Rounds: 50}, nil)
 	}()
 	go func() {
 		defer wg.Done()
 		<-started
 		time.Sleep(20 * time.Millisecond) // let the leader claim the flight
 		nl, _ := netlist.Read(bytes.NewReader(nlData))
-		followerOut, followerErr = s.place(context.Background(), key, "dsplacer", placer.ModeVivado, nl, core.Config{Rounds: 50}, nil)
+		followerOut, followerErr = s.place(context.Background(), key, s.dev, "dsplacer", placer.ModeVivado, nl, core.Config{Rounds: 50}, nil)
 	}()
 	time.Sleep(60 * time.Millisecond)
 	cancelLeader()

@@ -164,6 +164,12 @@ type PlaceRequest struct {
 	// identifiers: auto (default), exact, sampled or gsp. The backends are
 	// approximations of one another, so the mode is part of the cache key.
 	Features string `json:"features,omitempty"`
+	// Device selects the target fabric by registry name (fpga.Names());
+	// empty means the server's default device. Unknown names are rejected
+	// with 400 and the error lists the registered alternatives. The device
+	// is part of the cache key: the same netlist placed on two fabrics is
+	// two different results.
+	Device string `json:"device,omitempty"`
 	// Validate is the stage-boundary DRC gating level: off, final or stages.
 	Validate string `json:"validate,omitempty"`
 	// Tenant selects the fair-share queue this job is charged to; empty
@@ -298,12 +304,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	dev := s.dev
+	if req.Device != "" {
+		dev, err = fpga.Lookup(req.Device)
+		if err != nil {
+			// The lookup error lists every registered device, so the 400
+			// doubles as a discovery response.
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 	cfg := core.Config{
 		ClockMHz: req.FreqMHz, Lambda: req.Lambda, Eta: req.Eta,
 		MCFIterations: req.MCFIters, Rounds: req.Rounds, Seed: req.Seed,
 		Validate: level, FeatureMode: fmode,
 	}
-	key := s.requestKey(req, flow, level, fmode)
+	key := s.requestKey(req, dev, flow, level, fmode)
 
 	// The hub exists (with its "queued" event) before the scheduler sees the
 	// job, so a worker dispatching immediately can never publish "running"
@@ -311,7 +327,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	h := newHub()
 	h.publish(stateEvent(jobs.Queued.String(), nil))
 	id, err := s.sched.Submit(func(ctx context.Context) (any, error) {
-		return s.place(ctx, key, flow, mode, nl, cfg, h)
+		return s.place(ctx, key, dev, flow, mode, nl, cfg, h)
 	}, jobs.Options{
 		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
 		Tenant:  req.Tenant,
@@ -338,14 +354,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // requestKey derives the cache key from the request's semantic inputs:
-// netlist bytes, target device, flow, and every placement parameter —
-// including the feature-extraction mode, whose backends approximate each
-// other and must not share results. Tenant is deliberately excluded.
-func (s *Server) requestKey(req PlaceRequest, flow string, level core.ValidateLevel, fmode features.Mode) cache.Key {
+// netlist bytes, the resolved target device, flow, and every placement
+// parameter — including the feature-extraction mode, whose backends
+// approximate each other and must not share results. The device name is a
+// separate length-prefixed part, so the same netlist placed on two fabrics
+// can never share a cached result (locally or through a peer cache).
+// Tenant is deliberately excluded.
+func (s *Server) requestKey(req PlaceRequest, dev *fpga.Device, flow string, level core.ValidateLevel, fmode features.Mode) cache.Key {
 	params := fmt.Sprintf("%s|%g|%g|%g|%d|%d|%d|%d|%s",
 		flow, req.FreqMHz, req.Lambda, req.Eta,
 		req.MCFIters, req.Rounds, req.Seed, level, fmode)
-	return cache.KeyOf(req.Netlist, []byte(s.dev.Name), []byte(params))
+	return cache.KeyOf(req.Netlist, []byte(dev.Name), []byte(params))
 }
 
 // cacheGet decodes a stored outcome; decode failure reads as a miss.
@@ -360,7 +379,7 @@ func (s *Server) cacheGet(key cache.Key) (*outcome, bool) {
 // place is the job body: cache lookup, single-flight coalescing, full
 // placement run under a per-job stage recorder (streamed to the job's hub),
 // histogram observation, cache fill.
-func (s *Server) place(ctx context.Context, key cache.Key, flow string, mode placer.Mode, nl *netlist.Netlist, cfg core.Config, h *hub) (*outcome, error) {
+func (s *Server) place(ctx context.Context, key cache.Key, dev *fpga.Device, flow string, mode placer.Mode, nl *netlist.Netlist, cfg core.Config, h *hub) (*outcome, error) {
 	for {
 		if o, ok := s.cacheGet(key); ok {
 			return &outcome{res: o.res, stages: o.stages, cached: true}, nil
@@ -386,7 +405,7 @@ func (s *Server) place(ctx context.Context, key cache.Key, flow string, mode pla
 		s.flights[key] = f
 		s.flightMu.Unlock()
 
-		o, err := s.runPlacement(ctx, flow, mode, nl, cfg, h)
+		o, err := s.runPlacement(ctx, dev, flow, mode, nl, cfg, h)
 		if err == nil {
 			if b, ok := encodeOutcome(o); ok {
 				s.cache.Put(key, b) // fill before releasing followers
@@ -403,7 +422,7 @@ func (s *Server) place(ctx context.Context, key cache.Key, flow string, mode pla
 
 // runPlacement executes one real placement (a cache miss) and streams its
 // stage boundaries to the job's hub.
-func (s *Server) runPlacement(ctx context.Context, flow string, mode placer.Mode, nl *netlist.Netlist, cfg core.Config, h *hub) (*outcome, error) {
+func (s *Server) runPlacement(ctx context.Context, dev *fpga.Device, flow string, mode placer.Mode, nl *netlist.Netlist, cfg core.Config, h *hub) (*outcome, error) {
 	s.runs.Add(1)
 	rec := stage.NewRecorder()
 	if h != nil {
@@ -422,9 +441,9 @@ func (s *Server) runPlacement(ctx context.Context, flow string, mode placer.Mode
 	var res *core.Result
 	var err error
 	if flow == "dsplacer" {
-		res, err = core.Run(ctx, s.dev, nl, cfg)
+		res, err = core.Run(ctx, dev, nl, cfg)
 	} else {
-		res, err = core.RunBaseline(ctx, s.dev, nl, mode, cfg)
+		res, err = core.RunBaseline(ctx, dev, nl, mode, cfg)
 	}
 	if err != nil {
 		return nil, err

@@ -336,7 +336,7 @@ func TestPlaceIsolationCounts(t *testing.T) {
 				return
 			}
 			key := cache.KeyOf(nlData, []byte(fmt.Sprintf("rounds=%d", r)))
-			o, err := s.place(context.Background(), key, "dsplacer", placer.ModeVivado, nl, core.Config{Rounds: r}, nil)
+			o, err := s.place(context.Background(), key, s.dev, "dsplacer", placer.ModeVivado, nl, core.Config{Rounds: r}, nil)
 			if err != nil {
 				t.Errorf("rounds=%d: %v", r, err)
 				return

@@ -1,0 +1,202 @@
+package dsplacer
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dsplacer/internal/core"
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/gen"
+	"dsplacer/internal/metrics"
+)
+
+// The golden-QoR harness freezes the placer's quality of results per
+// (device, family) cell of the cross-device matrix: HPWL, WNS, cascade
+// alignment and the datapath DSP count of one frozen-seed DSPlacer run.
+// Any change that moves a metric outside its recorded envelope fails
+// tier-1, so a quality regression on any fabric or topology family is
+// caught at the PR that introduces it, not three releases later.
+//
+// After an *intentional* QoR change, regenerate the envelopes with:
+//
+//	go test -run TestGoldenQoR -update .
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden QoR files from the current run")
+
+// goldenQoR is one recorded (device, family) envelope. Tolerances are
+// stored in the file so the envelope's width is reviewed with the values.
+type goldenQoR struct {
+	Device       string  `json:"device"`
+	Family       string  `json:"family"`
+	Seed         int64   `json:"seed"`
+	HPWL         float64 `json:"hpwl"`
+	HPWLRelTol   float64 `json:"hpwl_rel_tol"`
+	WNS          float64 `json:"wns_ns"`
+	WNSAbsTol    float64 `json:"wns_abs_tol_ns"`
+	CascadeAlign float64 `json:"cascade_align"`
+	AlignAbsTol  float64 `json:"cascade_align_abs_tol"`
+	DatapathDSPs int     `json:"datapath_dsps"`
+}
+
+// qorMeasured is what one flow run produced.
+type qorMeasured struct {
+	HPWL, WNS, CascadeAlign float64
+	DatapathDSPs            int
+}
+
+// Default envelope widths. The flow is bit-deterministic, so these bound
+// intentional-but-small algorithm drift, not run-to-run noise: a change
+// that moves HPWL > 2% or WNS > 0.1 ns on any cell must be deliberate.
+const (
+	goldenHPWLRelTol  = 0.02
+	goldenWNSAbsTol   = 0.1
+	goldenAlignAbsTol = 0.02
+	goldenSeed        = int64(1)
+)
+
+func goldenPath(device string, family gen.Family) string {
+	return filepath.Join("testdata", "golden", "qor", fmt.Sprintf("%s_%s.json", device, family))
+}
+
+// runGoldenCell executes the frozen-seed DSPlacer flow for one cell. The
+// config matches the matrix smoke settings: small MCF budget, one round,
+// so the whole 16-cell sweep stays inside a tier-1 time budget.
+func runGoldenCell(t testing.TB, device string, spec gen.Spec) qorMeasured {
+	t.Helper()
+	dev := fpga.MustDevice(device)
+	nl, err := gen.Generate(spec, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		ClockMHz: spec.FreqMHz, Lambda: 100,
+		MCFIterations: 6, Rounds: 1, Seed: goldenSeed,
+	}
+	res, err := core.Run(context.Background(), dev, nl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qorMeasured{
+		HPWL:         res.HPWL,
+		WNS:          res.WNS,
+		CascadeAlign: metrics.CascadeAlignment(dev, nl, res.SiteOfDSP),
+		DatapathDSPs: len(res.DatapathDSPs),
+	}
+}
+
+// check compares a measurement against the envelope; nil means in-band.
+func (g goldenQoR) check(m qorMeasured) error {
+	var drifts []string
+	if rel := math.Abs(m.HPWL-g.HPWL) / math.Max(math.Abs(g.HPWL), 1); rel > g.HPWLRelTol {
+		drifts = append(drifts, fmt.Sprintf("HPWL %.1f vs golden %.1f (rel drift %.3f > %.3f)", m.HPWL, g.HPWL, rel, g.HPWLRelTol))
+	}
+	if d := math.Abs(m.WNS - g.WNS); d > g.WNSAbsTol {
+		drifts = append(drifts, fmt.Sprintf("WNS %.3f ns vs golden %.3f ns (drift %.3f > %.3f)", m.WNS, g.WNS, d, g.WNSAbsTol))
+	}
+	if d := math.Abs(m.CascadeAlign - g.CascadeAlign); d > g.AlignAbsTol {
+		drifts = append(drifts, fmt.Sprintf("cascade alignment %.3f vs golden %.3f (drift %.3f > %.3f)", m.CascadeAlign, g.CascadeAlign, d, g.AlignAbsTol))
+	}
+	if m.DatapathDSPs != g.DatapathDSPs {
+		drifts = append(drifts, fmt.Sprintf("datapath DSP count %d vs golden %d", m.DatapathDSPs, g.DatapathDSPs))
+	}
+	if len(drifts) == 0 {
+		return nil
+	}
+	return fmt.Errorf("QoR drift on (%s, %s):\n  %s", g.Device, g.Family, strings.Join(drifts, "\n  "))
+}
+
+func loadGolden(t *testing.T, device string, family gen.Family) goldenQoR {
+	t.Helper()
+	b, err := os.ReadFile(goldenPath(device, family))
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test -run TestGoldenQoR -update .): %v", err)
+	}
+	var g goldenQoR
+	if err := json.Unmarshal(b, &g); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestGoldenQoR is the regression gate: every (device, family) cell of the
+// matrix must land inside its recorded envelope. Subtests are named
+// <device>/<family>, so `-run TestGoldenQoR/pynq-z2` is the CI smoke slice.
+func TestGoldenQoR(t *testing.T) {
+	for _, device := range fpga.Names() {
+		for _, spec := range gen.FamilySpecs() {
+			device, spec := device, spec
+			t.Run(device+"/"+spec.Family.String(), func(t *testing.T) {
+				t.Parallel()
+				m := runGoldenCell(t, device, spec)
+				if *updateGolden {
+					g := goldenQoR{
+						Device: device, Family: spec.Family.String(), Seed: goldenSeed,
+						HPWL: m.HPWL, HPWLRelTol: goldenHPWLRelTol,
+						WNS: m.WNS, WNSAbsTol: goldenWNSAbsTol,
+						CascadeAlign: m.CascadeAlign, AlignAbsTol: goldenAlignAbsTol,
+						DatapathDSPs: m.DatapathDSPs,
+					}
+					b, err := json.MarshalIndent(g, "", "  ")
+					if err != nil {
+						t.Fatal(err)
+					}
+					path := goldenPath(device, spec.Family)
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					t.Logf("golden updated: %s", path)
+					return
+				}
+				g := loadGolden(t, device, spec.Family)
+				if g.Device != device || g.Family != spec.Family.String() || g.Seed != goldenSeed {
+					t.Fatalf("golden file identity %+v does not match cell (%s, %s, seed %d)", g, device, spec.Family, goldenSeed)
+				}
+				if err := g.check(m); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenQoRDetectsDrift injects QoR drift against a real golden file
+// and demands the envelope check fails — proof the harness can actually
+// catch a regression, not just that today's numbers happen to agree.
+func TestGoldenQoRDetectsDrift(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden files being rewritten")
+	}
+	g := loadGolden(t, "pynq-z2", gen.FamilyCNN)
+	exact := qorMeasured{HPWL: g.HPWL, WNS: g.WNS, CascadeAlign: g.CascadeAlign, DatapathDSPs: g.DatapathDSPs}
+	if err := g.check(exact); err != nil {
+		t.Fatalf("exact measurement rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		perturb func(*qorMeasured)
+	}{
+		{"hpwl", func(m *qorMeasured) { m.HPWL *= 1 + 2*g.HPWLRelTol }},
+		{"wns", func(m *qorMeasured) { m.WNS += 2 * g.WNSAbsTol }},
+		{"cascade-align", func(m *qorMeasured) { m.CascadeAlign -= 2 * g.AlignAbsTol }},
+		{"datapath-count", func(m *qorMeasured) { m.DatapathDSPs++ }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := exact
+			tc.perturb(&m)
+			if err := g.check(m); err == nil {
+				t.Fatalf("injected %s drift passed the golden check", tc.name)
+			}
+		})
+	}
+}
