@@ -1,7 +1,7 @@
 # Convenience targets mirroring the commands CI (and the tier-1 verify in
 # ROADMAP.md) runs. Everything is stdlib-only Go; no other tooling needed.
 
-.PHONY: build test ci fmt-check serve-smoke bench bench-smoke fuzz-smoke qor-smoke profile
+.PHONY: build test ci fmt-check serve-smoke bench bench-smoke fuzz-smoke qor-smoke train-smoke profile
 
 # Tier-1 verify (ROADMAP.md).
 test:
@@ -13,9 +13,10 @@ test:
 # benchmark so bench-only code (bench harnesses, solver warm-start paths)
 # cannot bit-rot unnoticed, a short run of every native fuzz target over
 # its seed corpus, a golden-QoR smoke on the smallest registered device,
-# and an end-to-end smoke of the placement service.
+# an end-to-end smoke of the placement service, and the cost-model training
+# determinism gate.
 ci:
-	$(MAKE) fmt-check && go vet ./... && go test -race ./... && $(MAKE) bench-smoke && $(MAKE) fuzz-smoke && $(MAKE) qor-smoke && $(MAKE) serve-smoke
+	$(MAKE) fmt-check && go vet ./... && go test -race ./... && $(MAKE) bench-smoke && $(MAKE) fuzz-smoke && $(MAKE) qor-smoke && $(MAKE) serve-smoke && $(MAKE) train-smoke
 
 # Fail if any file is not gofmt-clean (gofmt -l prints offenders).
 fmt-check:
@@ -45,6 +46,7 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzSiteName$$' -fuzztime $(FUZZTIME) ./internal/xdc/
 	go test -run '^$$' -fuzz '^FuzzGenerate$$' -fuzztime $(FUZZTIME) ./internal/gen/
 	go test -run '^$$' -fuzz '^FuzzNewDevice$$' -fuzztime $(FUZZTIME) ./internal/fpga/
+	go test -run '^$$' -fuzz '^FuzzCostModelJSON$$' -fuzztime $(FUZZTIME) ./internal/costmodel/
 
 # Golden-QoR smoke: run the frozen-seed regression harness on the smallest
 # registered device (every family, plus the drift-injection self-check).
@@ -53,6 +55,12 @@ fuzz-smoke:
 # envelopes after an intentional change: go test -run TestGoldenQoR -update .
 qor-smoke:
 	go test -run 'TestGoldenQoR/pynq-z2|TestGoldenQoRDetectsDrift' -v .
+
+# Cost-model training gate: regenerate a small frozen-seed corpus, train
+# twice, require byte-identical artifacts, and run one placement with the
+# model armed (both inference hooks live). Full training: go run ./cmd/train -cost
+train-smoke:
+	go run ./cmd/train -cost-smoke
 
 build:
 	go build ./...

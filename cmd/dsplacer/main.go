@@ -22,6 +22,7 @@ import (
 
 	"dsplacer/internal/cli"
 	"dsplacer/internal/core"
+	"dsplacer/internal/costmodel"
 	"dsplacer/internal/dspgraph"
 	"dsplacer/internal/features"
 	"dsplacer/internal/fpga"
@@ -43,6 +44,7 @@ func main() {
 	mcfIters := flag.Int("mcf-iters", 50, "MCF linearization iterations")
 	rounds := flag.Int("rounds", 2, "incremental placement rounds (Fig. 6)")
 	modelPath := flag.String("model", "", "trained GCN model (cmd/train) for datapath identification; default: generator ground truth")
+	costModelPath := flag.String("cost-model", "", "trained placement-cost model (cmd/train -cost) arming MCF early stop and candidate pruning; default: off")
 	distilledPath := flag.String("distilled", "", "distilled spectral student (cmd/train -distill) for O(edges) datapath identification")
 	featMode := flag.String("features", "auto", "centrality backend for identification features: auto, exact, sampled or gsp")
 	svgPath := flag.String("svg", "", "write an SVG layout to this path")
@@ -98,6 +100,13 @@ func main() {
 		}
 		cfg.Identifier = &core.DistilledIdentifier{Model: student, FeatureCfg: fcfg}
 	}
+	if *costModelPath != "" {
+		cm, err := costmodel.LoadFile(*costModelPath)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		cfg.CostModel = cm
+	}
 
 	var res *core.Result
 	switch *flow {
@@ -129,6 +138,15 @@ func main() {
 			},
 			"datapath_dsps": len(res.DatapathDSPs),
 		}
+		if res.AssignStopReason != "" {
+			report["assign_iterations"] = res.AssignIterations
+			report["assign_stop_reason"] = res.AssignStopReason
+			report["assign_pruned_arcs"] = res.AssignPrunedArcs
+			if cfg.CostModel != nil {
+				report["cost_model"] = cfg.CostModel.Fingerprint()
+				report["assign_pred_hpwl"] = res.AssignPredHPWL
+			}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
@@ -147,6 +165,13 @@ func main() {
 	fmt.Printf("runtime  %.2fs (proto %.2fs, extract %.2fs, dsp %.2fs, other %.2fs, route %.2fs)\n",
 		p.Total.Seconds(), p.Prototype.Seconds(), p.Extraction.Seconds(),
 		p.DSPPlace.Seconds(), p.OtherPlace.Seconds(), p.Routing.Seconds())
+	if res.AssignStopReason != "" {
+		fmt.Printf("assign   %d iterations, stop: %s", res.AssignIterations, res.AssignStopReason)
+		if cfg.CostModel != nil {
+			fmt.Printf(" (cost model %s, %d arcs pruned)", cfg.CostModel.Fingerprint(), res.AssignPrunedArcs)
+		}
+		fmt.Println()
+	}
 
 	if *xdcPath != "" {
 		if err := xdc.SaveFile(*xdcPath, dev, nl, res.SiteOfDSP); err != nil {

@@ -10,6 +10,7 @@
 //	experiments -ablations         # λ / MCF-iteration / filtering sweeps
 //	experiments -agreement -mini   # exact-vs-GSP feature backend agreement
 //	experiments -matrix            # device × family QoR matrix
+//	experiments -cost-compare cost.json   # Table II model-off vs model-on
 //	experiments -matrix -devices pynq-z2,zcu104   # subset of the device axis
 //	experiments -all               # everything above
 //	experiments -mini              # use ~1/16-scale benchmarks (fast)
@@ -28,6 +29,7 @@ import (
 	"strings"
 
 	"dsplacer/internal/cli"
+	"dsplacer/internal/costmodel"
 	"dsplacer/internal/experiments"
 	"dsplacer/internal/features"
 	"dsplacer/internal/gen"
@@ -45,6 +47,7 @@ func main() {
 	agreement := flag.Bool("agreement", false, "run the exact-vs-GSP feature-backend agreement study")
 	extension := flag.Bool("extension", false, "run the R-SAD systolic-vs-diverse extension study")
 	matrix := flag.Bool("matrix", false, "run the device × family QoR matrix")
+	costCompare := flag.String("cost-compare", "", "run the Table II suite model-off vs model-on with this placement-cost model (cmd/train -cost)")
 	devices := flag.String("devices", "", "comma-separated device names for -matrix (default: every registered device)")
 	all := flag.Bool("all", false, "run everything")
 	mini := flag.Bool("mini", false, "use ~1/16-scale mini benchmarks")
@@ -62,7 +65,7 @@ func main() {
 	if *all {
 		*table1, *table2, *fig7a, *fig7b, *fig8, *fig9, *ablations, *extension, *agreement, *matrix = true, true, true, true, true, true, true, true, true, true
 	}
-	if !(*table1 || *table2 || *fig7a || *fig7b || *fig8 || *fig9 || *ablations || *extension || *agreement || *matrix) {
+	if !(*table1 || *table2 || *fig7a || *fig7b || *fig8 || *fig9 || *ablations || *extension || *agreement || *matrix || *costCompare != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -137,6 +140,13 @@ func main() {
 			devNames = strings.Split(*devices, ",")
 		}
 		_, err := experiments.QoRMatrix(w, devNames, gen.FamilySpecs(), cfg)
+		check(err)
+	}
+	if *costCompare != "" {
+		section(w, "Cost model off vs on")
+		m, err := costmodel.LoadFile(*costCompare)
+		check(err)
+		_, err = suite.CostModelCompare(w, m, cfg)
 		check(err)
 	}
 	if *ablations {

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dsplacer/internal/core"
+	"dsplacer/internal/costmodel"
+	"dsplacer/internal/experiments"
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/gen"
+)
+
+// runCostTrain generates the assignment-trace corpus over the device ×
+// family registry and fits the placement-cost model. An empty devices
+// string selects every registered part.
+func runCostTrain(out, devices string, iters, rounds int, ridge float64, seed int64) error {
+	var devNames []string
+	if devices != "" {
+		devNames = strings.Split(devices, ",")
+	}
+	tcfg := experiments.TableIIConfig{MCFIterations: iters, Rounds: rounds, Seed: seed}
+	corpus, err := experiments.CostCorpus(context.Background(), devNames, nil, tcfg)
+	if err != nil {
+		return err
+	}
+	m, err := costmodel.Train(corpus, costmodel.TrainConfig{Ridge: ridge, Seed: seed})
+	if err != nil {
+		return err
+	}
+	maeWNS, maeTNS, relHPWL, n := costmodel.Evaluate(m, corpus)
+	fmt.Printf("cost model %s: %d examples, train MAE wns %.3fns tns %.3fns hpwl %.1f%%, prune_keep %.2f\n",
+		m.Fingerprint(), n, maeWNS, maeTNS, relHPWL*100, m.PruneKeep)
+	if err := m.SaveFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("cost model saved to %s\n", out)
+	return nil
+}
+
+// runCostSmoke is the `make train-smoke` gate: train the cost model twice
+// on a tiny fixed corpus, require byte-identical artifacts, then run one
+// placement with the model armed. It exercises the corpus generator, the
+// deterministic trainer, the artifact round-trip and both inference hooks
+// in well under a minute.
+func runCostSmoke(seed int64) error {
+	tcfg := experiments.TableIIConfig{MCFIterations: 6, Rounds: 1, Seed: seed}
+	devices := []string{"pynq-z2"}
+	train := func() (*costmodel.Model, []byte, error) {
+		corpus, err := experiments.CostCorpus(context.Background(), devices, nil, tcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := costmodel.Train(corpus, costmodel.TrainConfig{Seed: seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := m.Save()
+		return m, b, err
+	}
+	m1, b1, err := train()
+	if err != nil {
+		return err
+	}
+	_, b2, err := train()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(b1, b2) {
+		return fmt.Errorf("cost smoke: training twice produced different artifacts (%d vs %d bytes)", len(b1), len(b2))
+	}
+
+	// Round-trip through disk like a deployment would, then place with the
+	// loaded model armed.
+	dir, err := os.MkdirTemp("", "cost-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "cost.json")
+	if err := m1.SaveFile(path); err != nil {
+		return err
+	}
+	m, err := costmodel.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	dev, err := fpga.Lookup("pynq-z2")
+	if err != nil {
+		return err
+	}
+	spec := gen.CNNMini()
+	nl, err := gen.Generate(spec, dev)
+	if err != nil {
+		return err
+	}
+	res, err := core.Run(context.Background(), dev, nl, core.Config{
+		ClockMHz: spec.FreqMHz, MCFIterations: 6, Rounds: 1, Seed: seed,
+		CostModel: m,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cost smoke ok: artifact %s (%d bytes), placement %d iters, stop %s, %d arcs pruned\n",
+		m.Fingerprint(), len(b1), res.AssignIterations, res.AssignStopReason, res.AssignPrunedArcs)
+	return nil
+}

@@ -1,0 +1,225 @@
+package dsplacer
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"dsplacer/internal/core"
+	"dsplacer/internal/costmodel"
+	"dsplacer/internal/experiments"
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/gen"
+	"dsplacer/internal/metrics"
+)
+
+// The cost-model QoR harness proves the learned early-stop/pruning hooks
+// keep every golden-QoR envelope while cutting assignment iterations: the
+// model is trained in-process on the pynq-z2 slice of the corpus (frozen
+// seed, so the artifact is reproducible), then armed on all 16 (device,
+// family) cells of the golden matrix.
+
+var trainedCost struct {
+	once sync.Once
+	m    *costmodel.Model
+	err  error
+}
+
+// costCorpusConfig freezes the corpus-generation settings: they match the
+// golden-QoR run config so the model trains on the distribution it is
+// tested against.
+func costCorpusConfig() experiments.TableIIConfig {
+	return experiments.TableIIConfig{MCFIterations: 6, Rounds: 1, Seed: goldenSeed}
+}
+
+// trainedCostModel trains the shared test model once per process.
+func trainedCostModel(t testing.TB) *costmodel.Model {
+	t.Helper()
+	trainedCost.once.Do(func() {
+		corpus, err := experiments.CostCorpus(context.Background(), []string{"pynq-z2"}, nil, costCorpusConfig())
+		if err != nil {
+			trainedCost.err = err
+			return
+		}
+		trainedCost.m, trainedCost.err = costmodel.Train(corpus, costmodel.TrainConfig{Seed: goldenSeed})
+	})
+	if trainedCost.err != nil {
+		t.Fatal(trainedCost.err)
+	}
+	return trainedCost.m
+}
+
+// runCostCell is runGoldenCell with a cost model armed (nil = off).
+func runCostCell(t testing.TB, device string, spec gen.Spec, m *costmodel.Model) (*core.Result, qorMeasured) {
+	t.Helper()
+	dev := fpga.MustDevice(device)
+	nl, err := gen.Generate(spec, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		ClockMHz: spec.FreqMHz, Lambda: 100,
+		MCFIterations: 6, Rounds: 1, Seed: goldenSeed,
+		CostModel: m,
+	}
+	res, err := core.Run(context.Background(), dev, nl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, qorMeasured{
+		HPWL:         res.HPWL,
+		WNS:          res.WNS,
+		CascadeAlign: metrics.CascadeAlignment(dev, nl, res.SiteOfDSP),
+		DatapathDSPs: len(res.DatapathDSPs),
+	}
+}
+
+// TestCostModelGoldenParity arms the trained model on every cell of the
+// golden matrix and demands (a) each model-on result stays inside the
+// recorded model-off envelope — the model trades no QoR — and (b) no cell
+// spends more iterations model-on than model-off. The golden cells run a
+// deliberately tiny 6-iteration budget where every iteration is still
+// productive, so this sweep is the safety gate, not the speedup story: the
+// ≥20% iteration reduction is measured on the Table II suite at the paper
+// budget (EXPERIMENTS.md §"Learned cost model"), where the loop genuinely
+// flattens before its budget.
+func TestCostModelGoldenParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cost-model golden sweep is not a -short test")
+	}
+	if *updateGolden {
+		t.Skip("golden files being rewritten")
+	}
+	m := trainedCostModel(t)
+
+	var mu sync.Mutex
+	offIters, onIters := 0, 0
+	earlyStops := 0
+	t.Run("cells", func(t *testing.T) {
+		for _, device := range fpga.Names() {
+			for _, spec := range gen.FamilySpecs() {
+				device, spec := device, spec
+				t.Run(device+"/"+spec.Family.String(), func(t *testing.T) {
+					t.Parallel()
+					off, _ := runCostCell(t, device, spec, nil)
+					on, measured := runCostCell(t, device, spec, m)
+					g := loadGolden(t, device, spec.Family)
+					if err := g.check(measured); err != nil {
+						t.Fatalf("model-on run left the golden envelope: %v", err)
+					}
+					if on.AssignIterations > off.AssignIterations {
+						t.Errorf("model-on used more iterations (%d) than model-off (%d)",
+							on.AssignIterations, off.AssignIterations)
+					}
+					mu.Lock()
+					offIters += off.AssignIterations
+					onIters += on.AssignIterations
+					if on.AssignStopReason == "predicted-flat" {
+						earlyStops++
+					}
+					mu.Unlock()
+				})
+			}
+		}
+	})
+	if t.Failed() {
+		return
+	}
+	if offIters == 0 {
+		t.Fatal("model-off sweep reported zero iterations")
+	}
+	reduction := 1 - float64(onIters)/float64(offIters)
+	t.Logf("assign iterations: %d off vs %d on (%.1f%% reduction, %d predicted-flat stops)",
+		offIters, onIters, 100*reduction, earlyStops)
+	if onIters > offIters {
+		t.Errorf("model-on sweep used more iterations (%d) than model-off (%d)", onIters, offIters)
+	}
+}
+
+// TestCostModelDeterminism re-runs two model-on cells at GOMAXPROCS=1 and 8
+// and demands bit-identical output. The prediction hooks run on worker-count
+// independent inputs, so the worker pool must not leak into early-stop or
+// pruning decisions.
+func TestCostModelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model-on determinism sweep is not a -short test")
+	}
+	m := trainedCostModel(t)
+	specOf := make(map[gen.Family]gen.Spec)
+	for _, spec := range gen.FamilySpecs() {
+		specOf[spec.Family] = spec
+	}
+	cells := []struct {
+		device string
+		family gen.Family
+	}{
+		{"zcu104", gen.FamilyCNN},
+		{"pynq-z2", gen.FamilyMultiAccel},
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.device+"/"+cell.family.String(), func(t *testing.T) {
+			runAt := func(procs int) *core.Result {
+				old := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(old)
+				res, _ := runCostCell(t, cell.device, specOf[cell.family], m)
+				res.Profile = core.Profile{} // wall-clock timings legitimately differ
+				return res
+			}
+			serial := runAt(1)
+			parallel := runAt(8)
+			if !reflect.DeepEqual(serial.Pos, parallel.Pos) {
+				t.Error("cell positions differ between GOMAXPROCS=1 and 8 with model on")
+			}
+			if !reflect.DeepEqual(serial.SiteOfDSP, parallel.SiteOfDSP) {
+				t.Error("DSP site assignment differs between GOMAXPROCS=1 and 8 with model on")
+			}
+			if serial.AssignIterations != parallel.AssignIterations ||
+				serial.AssignStopReason != parallel.AssignStopReason ||
+				serial.AssignPrunedArcs != parallel.AssignPrunedArcs {
+				t.Errorf("model decisions differ: %d/%s/%d vs %d/%s/%d",
+					serial.AssignIterations, serial.AssignStopReason, serial.AssignPrunedArcs,
+					parallel.AssignIterations, parallel.AssignStopReason, parallel.AssignPrunedArcs)
+			}
+			if serial.WNS != parallel.WNS || serial.HPWL != parallel.HPWL {
+				t.Errorf("QoR differs: WNS %v vs %v, HPWL %v vs %v",
+					serial.WNS, parallel.WNS, serial.HPWL, parallel.HPWL)
+			}
+		})
+	}
+}
+
+// TestCostModelTrainReproducible regenerates the real corpus and retrains
+// under the frozen seed: the artifact bytes (and therefore the fingerprint
+// that keys caches) must come out identical.
+func TestCostModelTrainReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus regeneration is not a -short test")
+	}
+	m1 := trainedCostModel(t)
+	b1, err := m1.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := experiments.CostCorpus(context.Background(), []string{"pynq-z2"}, nil, costCorpusConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := costmodel.Train(corpus, costmodel.TrainConfig{Seed: goldenSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := m2.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("retraining under the frozen seed changed the artifact (%d vs %d bytes)", len(b1), len(b2))
+	}
+	if m1.Fingerprint() != m2.Fingerprint() {
+		t.Fatalf("fingerprints differ: %s vs %s", m1.Fingerprint(), m2.Fingerprint())
+	}
+}

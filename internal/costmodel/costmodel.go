@@ -1,0 +1,526 @@
+// Package costmodel is the learned placement-cost model of ROADMAP open
+// item 1 (the SambaNova "Learned Cost Model for Placement on Reconfigurable
+// Dataflow Hardware" direction): a deterministic ridge regression mapping
+// cheap per-iteration signals of the linearized MCF assignment loop
+// (internal/assign) to the flow's final quality — WNS, TNS and HPWL —
+// without paying for the remaining iterations, legalization, re-placement,
+// routing and STA.
+//
+// The model drives two inference hooks inside assign.Solve, both off by
+// default (a nil *Model disables everything and keeps the solver
+// bit-identical to the unhooked loop):
+//
+//   - Early stop: once the predicted final HPWL stops improving on its
+//     recent history — within Options.StopTol of the minimum over the last
+//     Options.StopWindow predictions for Options.Patience consecutive
+//     iterations, with the iterate itself mostly settled (MaxMovedFrac
+//     churn veto, MinIters floor) — the remaining linearize-and-solve
+//     budget is predicted to buy nothing and the loop stops with reason
+//     "predicted-flat".
+//
+//   - Candidate pruning: the trainer records, per iteration, how deep into
+//     the cost-sorted candidate row the flow's winning site sat; the
+//     learned quantile (Model.PruneKeep) truncates each candidate row
+//     before its arcs are built, so the min-cost-flow network never carries
+//     arcs the optimum is predicted not to use.
+//
+// Feature extraction, the artifact schema and the decision rules are
+// documented in DESIGN.md §16. The artifact is versioned JSON; Load
+// validates every field and never panics on malformed input (fuzzed).
+package costmodel
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// SchemaVersion identifies the feature-vector layout. Any change to
+// NumFeatures, FeatureNames or the Features() computation must bump it;
+// Load rejects artifacts trained against a different schema.
+const SchemaVersion = 1
+
+// ArtifactVersion identifies the JSON artifact format itself.
+const ArtifactVersion = 1
+
+// NumFeatures is the fixed feature-vector width of SchemaVersion 1.
+const NumFeatures = 12
+
+// NumTargets is the number of regression heads: final WNS (ns), final TNS
+// (ns) and log(final flow HPWL / current anchored iterate HPWL).
+const NumTargets = 3
+
+// FeatureNames documents each feature-vector slot of SchemaVersion 1, in
+// order. The extractor (IterStats.Features) and this table must agree.
+var FeatureNames = [NumFeatures]string{
+	"progress",        // iter / budget, in (0, 1]
+	"log_dsps",        // log(1 + #datapath DSPs)
+	"occupancy",       // #DSPs / #sites
+	"cand_frac",       // candidate set size / #sites
+	"moved_frac",      // fraction of DSPs whose site changed this iterate
+	"moved_delta",     // moved_frac(t-1) − moved_frac(t)
+	"obj_rel",         // objective / objective at iterate 1
+	"obj_rel_delta",   // (objective(t-1) − objective(t)) / objective(1)
+	"hpwl_per_dsp",    // anchored iterate HPWL / #DSPs (log1p)
+	"hpwl_rel_delta",  // (hpwl(t-1) − hpwl(t)) / max(hpwl(1), 1)
+	"cos_per_dsp",     // datapath λ·cos cost term / #DSPs
+	"cascade_per_dsp", // mean Manhattan distance to cascade ladder targets
+}
+
+// TargetNames documents the regression heads, in order.
+var TargetNames = [NumTargets]string{"final_wns_ns", "final_tns_ns", "log_hpwl_ratio"}
+
+// IterStats is one iteration's cheap signals, tapped from values
+// assign.Solve already computes: the linearized flow objective, the moved
+// fraction of the convergence check, the anchored wirelength of the
+// iterate, the λ·cos datapath term and the cascade-target distances of the
+// cost rows. It doubles as the per-iteration convergence-trace record on
+// assign.Result and as the corpus row of the trainer.
+type IterStats struct {
+	// Iter is 1-based; Budget is the configured iteration cap.
+	Iter   int `json:"iter"`
+	Budget int `json:"budget"`
+	// DSPs and Sites size the bipartite problem.
+	DSPs  int `json:"dsps"`
+	Sites int `json:"sites"`
+	// CandTotal is the summed candidate-row length of this iterate (post
+	// pruning, i.e. the number of live DSP→site arcs).
+	CandTotal int `json:"cand_total"`
+	// Objective is the linearized min-cost-flow objective; FirstObjective
+	// is iterate 1's, kept on every row so a single row is featurizable.
+	Objective      float64 `json:"objective"`
+	FirstObjective float64 `json:"first_objective"`
+	PrevObjective  float64 `json:"prev_objective"`
+	// MovedFrac is the fraction of DSPs whose site changed this iterate.
+	MovedFrac     float64 `json:"moved_frac"`
+	PrevMovedFrac float64 `json:"prev_moved_frac"`
+	// HPWL is the anchored datapath wirelength of the iterate: Σ over
+	// datapath DSPs of Σ over their net neighbors of weight·L1 distance
+	// (datapath–datapath edges counted from both ends). FirstHPWL and
+	// PrevHPWL track iterate 1 and t−1.
+	HPWL      float64 `json:"hpwl"`
+	FirstHPWL float64 `json:"first_hpwl"`
+	PrevHPWL  float64 `json:"prev_hpwl"`
+	// CosCost is the Eq. 6 datapath angle term Σ λcoeff(i)·cos(site(i)).
+	CosCost float64 `json:"cos_cost"`
+	// CascadeDist is the mean Manhattan distance from cascade-constrained
+	// DSPs to their ladder targets (0 when no macro is constrained).
+	CascadeDist float64 `json:"cascade_dist"`
+	// WinnerRankFrac is the worst (largest) cost-rank of any DSP's chosen
+	// site within its cost-sorted candidate row, as a fraction of the row
+	// length. Only populated when rank tracing is enabled (training runs);
+	// it feeds the PruneKeep quantile, not the feature vector.
+	WinnerRankFrac float64 `json:"winner_rank_frac,omitempty"`
+}
+
+// guard maps a non-finite value to 0 so one degenerate signal cannot poison
+// a prediction (matching the svm.Standardize contract).
+func guard(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// Features maps the raw signals to the fixed-width SchemaVersion 1 vector.
+// Every slot is scale-normalized (ratios, per-DSP means, logs) so one model
+// transfers across design sizes and devices, and every slot is guarded
+// against NaN/Inf.
+func (s IterStats) Features() []float64 {
+	dsps := math.Max(float64(s.DSPs), 1)
+	sites := math.Max(float64(s.Sites), 1)
+	budget := math.Max(float64(s.Budget), 1)
+	obj1 := math.Max(math.Abs(s.FirstObjective), 1e-9)
+	hpwl1 := math.Max(s.FirstHPWL, 1)
+	f := []float64{
+		float64(s.Iter) / budget,
+		math.Log1p(dsps),
+		dsps / sites,
+		float64(s.CandTotal) / (dsps * sites),
+		s.MovedFrac,
+		s.PrevMovedFrac - s.MovedFrac,
+		s.Objective / obj1,
+		(s.PrevObjective - s.Objective) / obj1,
+		math.Log1p(math.Max(s.HPWL, 0) / dsps),
+		(s.PrevHPWL - s.HPWL) / hpwl1,
+		s.CosCost / dsps,
+		s.CascadeDist,
+	}
+	for i := range f {
+		f[i] = guard(f[i])
+	}
+	return f
+}
+
+// Prediction is one model evaluation at an iterate.
+type Prediction struct {
+	// WNS and TNS are the predicted final post-route timing numbers (ns).
+	WNS, TNS float64
+	// HPWL is the predicted final flow HPWL in fabric units, recovered from
+	// the log-ratio head via the iterate's anchored wirelength.
+	HPWL float64
+}
+
+// Model is the trained artifact: per-feature standardization statistics,
+// one ridge weight row per target, and the learned candidate-keep quantile.
+// All fields are exported for the JSON artifact; mutate nothing after Load.
+type Model struct {
+	Version  int      `json:"version"`
+	Schema   int      `json:"feature_schema"`
+	Features []string `json:"features"`
+	Targets  []string `json:"targets"`
+	// Seed and Ridge record the training configuration for provenance.
+	Seed  int64   `json:"seed"`
+	Ridge float64 `json:"ridge"`
+	// Examples is the corpus size the model was fitted on.
+	Examples int `json:"examples"`
+	// Means/Stds are the z-score statistics applied before the dot product;
+	// zero-variance columns have Stds 0 and standardize to 0.
+	Means []float64 `json:"means"`
+	Stds  []float64 `json:"stds"`
+	// W is targets × features; B the per-target intercepts.
+	W [][]float64 `json:"weights"`
+	B []float64   `json:"bias"`
+	// PruneKeep is the learned fraction of each cost-sorted candidate row
+	// worth keeping: the maximum observed winner rank fraction across the
+	// corpus plus a safety margin, clamped to (0, 1].
+	PruneKeep float64 `json:"prune_keep"`
+
+	fingerprint string // lazily computed over the canonical Save bytes
+}
+
+// Validate checks structural and numeric integrity; Load calls it, and
+// hand-constructed models should too before use.
+func (m *Model) Validate() error {
+	if m == nil {
+		return fmt.Errorf("costmodel: nil model")
+	}
+	if m.Version != ArtifactVersion {
+		return fmt.Errorf("costmodel: artifact version %d, want %d", m.Version, ArtifactVersion)
+	}
+	if m.Schema != SchemaVersion {
+		return fmt.Errorf("costmodel: feature schema %d, want %d", m.Schema, SchemaVersion)
+	}
+	if len(m.Features) != NumFeatures {
+		return fmt.Errorf("costmodel: %d feature names, want %d", len(m.Features), NumFeatures)
+	}
+	for i, name := range m.Features {
+		if name != FeatureNames[i] {
+			return fmt.Errorf("costmodel: feature %d is %q, want %q", i, name, FeatureNames[i])
+		}
+	}
+	if len(m.Targets) != NumTargets {
+		return fmt.Errorf("costmodel: %d target names, want %d", len(m.Targets), NumTargets)
+	}
+	for i, name := range m.Targets {
+		if name != TargetNames[i] {
+			return fmt.Errorf("costmodel: target %d is %q, want %q", i, name, TargetNames[i])
+		}
+	}
+	if len(m.Means) != NumFeatures || len(m.Stds) != NumFeatures {
+		return fmt.Errorf("costmodel: standardization stats have %d/%d entries, want %d",
+			len(m.Means), len(m.Stds), NumFeatures)
+	}
+	if len(m.W) != NumTargets || len(m.B) != NumTargets {
+		return fmt.Errorf("costmodel: weights have %d rows and %d intercepts, want %d",
+			len(m.W), len(m.B), NumTargets)
+	}
+	checkFinite := func(name string, vs []float64) error {
+		for i, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("costmodel: %s[%d] = %v is not finite", name, i, v)
+			}
+		}
+		return nil
+	}
+	if err := checkFinite("means", m.Means); err != nil {
+		return err
+	}
+	if err := checkFinite("stds", m.Stds); err != nil {
+		return err
+	}
+	for i, s := range m.Stds {
+		if s < 0 {
+			return fmt.Errorf("costmodel: stds[%d] = %v is negative", i, s)
+		}
+	}
+	if err := checkFinite("bias", m.B); err != nil {
+		return err
+	}
+	for t, row := range m.W {
+		if len(row) != NumFeatures {
+			return fmt.Errorf("costmodel: weight row %d has %d entries, want %d", t, len(row), NumFeatures)
+		}
+		if err := checkFinite(fmt.Sprintf("weights[%d]", t), row); err != nil {
+			return err
+		}
+	}
+	if !(m.PruneKeep > 0 && m.PruneKeep <= 1) || math.IsNaN(m.PruneKeep) {
+		return fmt.Errorf("costmodel: prune_keep %v outside (0, 1]", m.PruneKeep)
+	}
+	if m.Examples < 0 {
+		return fmt.Errorf("costmodel: negative example count %d", m.Examples)
+	}
+	return nil
+}
+
+// Predict evaluates the model at one iterate. The log-ratio HPWL head is
+// de-normalized through the iterate's own anchored wirelength, so the
+// returned HPWL is an absolute final-flow estimate in fabric units.
+func (m *Model) Predict(s IterStats) Prediction {
+	x := s.Features()
+	for j := range x {
+		if m.Stds[j] > 1e-12 {
+			x[j] = (x[j] - m.Means[j]) / m.Stds[j]
+		} else {
+			x[j] = 0
+		}
+	}
+	out := make([]float64, NumTargets)
+	for t := range m.W {
+		v := m.B[t]
+		for j, w := range m.W[t] {
+			v += w * x[j]
+		}
+		out[t] = guard(v)
+	}
+	base := math.Max(s.HPWL, 1)
+	// Clamp the log-ratio head to ±4 (e^4 ≈ 55×) so a pathological artifact
+	// cannot overflow the de-normalization.
+	ratio := math.Exp(math.Max(-4, math.Min(4, out[2])))
+	return Prediction{WNS: out[0], TNS: out[1], HPWL: base * ratio}
+}
+
+// Save serializes the model as canonical JSON: fixed field order (struct
+// order), no indentation variance, trailing newline. Identical models
+// produce byte-identical artifacts, which is what `make train-smoke`'s
+// deterministic-hash gate asserts.
+func (m *Model) Save() ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SaveFile writes the canonical artifact to path.
+func (m *Model) SaveFile(path string) error {
+	b, err := m.Save()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Load parses and validates an artifact. Malformed, mis-versioned or
+// non-finite input yields an error — never a panic and never a partially
+// valid model.
+func Load(data []byte) (*Model, error) {
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("costmodel: decode artifact: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// LoadFile reads an artifact saved with SaveFile.
+func LoadFile(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := Load(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Fingerprint returns a short hex digest of the canonical artifact bytes.
+// It identifies the model in cache keys and result documents: two daemons
+// loaded from byte-identical artifacts agree on it, and any retrain changes
+// it, so cached placements can never cross model versions.
+func (m *Model) Fingerprint() string {
+	if m.fingerprint == "" {
+		b, err := m.Save()
+		if err != nil {
+			// A model that fails Validate has no canonical form; an
+			// unmistakable sentinel keeps such a model out of cache-key
+			// collisions without forcing every caller to handle an error.
+			return "invalid"
+		}
+		sum := sha256.Sum256(b)
+		m.fingerprint = hex.EncodeToString(sum[:8])
+	}
+	return m.fingerprint
+}
+
+// Options tunes the inference hooks. The zero value means "model defaults":
+// both hooks enabled whenever a model is present, with the documented
+// conservative thresholds. Everything here is consulted only when a model
+// is configured; with a nil model the hot path never reaches these.
+type Options struct {
+	// DisableEarlyStop / DisablePrune switch off one hook while keeping the
+	// other (ablations, A/B service rollouts).
+	DisableEarlyStop bool
+	DisablePrune     bool
+	// StopTol is the relative predicted-remaining-gain threshold: the loop
+	// may stop once the final-HPWL prediction sits within StopTol of the
+	// minimum over the last StopWindow predictions (it has stopped
+	// improving on its recent history). Default 0.05.
+	StopTol float64
+	// StopAnchorTol is the same windowed-flatness test applied to the
+	// observed anchored wirelength of the iterate, and it is the safety
+	// gate of the pair: the HPWL head jitters a few percent between
+	// iterations, so its flatness alone cannot distinguish a genuinely
+	// exhausted tail from a run that still improves ~1%/iteration under
+	// prediction noise (the failure mode that moved final QoR on
+	// early-converging Table II rows). Both signals must be flat to stop.
+	// Default 0.003 — an order of magnitude below the per-iteration
+	// improvement of a productive phase.
+	StopAnchorTol float64
+	// StopWindow is how many previous predictions the flatness test
+	// compares against. The windowed minimum absorbs the few-percent
+	// iteration-to-iteration jitter of the HPWL head that a consecutive-
+	// gap test trips over, and no stop can fire before StopWindow+1
+	// predictions exist. Default 3.
+	StopWindow int
+	// Patience is how many consecutive below-threshold iterations are
+	// required before stopping. Default 1 (the window already demands
+	// multi-iteration agreement).
+	Patience int
+	// MinIters floors the early stop: never stop before this iterate.
+	// Default 3.
+	MinIters int
+	// MaxMovedFrac vetoes the early stop while the iterate is still
+	// churning: predictions are only trusted once the moved fraction is at
+	// or below this. Default 0.25.
+	MaxMovedFrac float64
+	// KeepFrac overrides the model's learned PruneKeep when positive.
+	KeepFrac float64
+	// MinKeep floors the per-row candidate count after pruning. Default 4.
+	MinKeep int
+}
+
+// WithDefaults resolves zero fields to the documented defaults.
+func (o Options) WithDefaults() Options {
+	if o.StopTol == 0 {
+		o.StopTol = 0.05
+	}
+	if o.StopAnchorTol == 0 {
+		o.StopAnchorTol = 0.003
+	}
+	if o.StopWindow == 0 {
+		o.StopWindow = 3
+	}
+	if o.Patience == 0 {
+		o.Patience = 1
+	}
+	if o.MinIters == 0 {
+		o.MinIters = 3
+	}
+	if o.MaxMovedFrac == 0 {
+		o.MaxMovedFrac = 0.25
+	}
+	if o.MinKeep == 0 {
+		o.MinKeep = 4
+	}
+	return o
+}
+
+// Stopper applies the windowed-min early-stop rule iterate by iterate.
+// The solver feeds it one observation per iteration; true from Observe
+// means the remaining budget is predicted to buy nothing. One Stopper
+// serves one Solve call — it carries the prediction and anchored-HPWL
+// windows and the consecutive-flat count.
+type Stopper struct {
+	opts Options
+	pw   []float64
+	aw   []float64
+	flat int
+}
+
+// NewStopper builds a tracker for one solve; opts are resolved through
+// WithDefaults.
+func NewStopper(opts Options) *Stopper {
+	return &Stopper{opts: opts.WithDefaults()}
+}
+
+// windowGap returns the relative gap between v and the minimum of win,
+// or +Inf when the window is not yet full, and appends v (trimming the
+// window to StopWindow entries).
+func (s *Stopper) windowGap(win *[]float64, v float64) float64 {
+	gap := math.Inf(1)
+	if len(*win) >= s.opts.StopWindow {
+		base := (*win)[0]
+		for _, w := range (*win)[1:] {
+			if w < base {
+				base = w
+			}
+		}
+		gap = math.Abs(v-base) / math.Max(v, 1)
+	}
+	*win = append(*win, v)
+	if len(*win) > s.opts.StopWindow {
+		*win = (*win)[1:]
+	}
+	return gap
+}
+
+// Observe feeds one iterate's signals: the 1-based iteration number, the
+// fraction of DSPs that changed site this iterate, the anchored HPWL of
+// the iterate itself, and the model's final-HPWL prediction. It returns
+// true once BOTH signals have sat within tolerance of the minimum over
+// their last StopWindow values (StopTol for the prediction, StopAnchorTol
+// for the anchored wirelength) for Patience consecutive iterations,
+// subject to the MinIters floor and the MaxMovedFrac churn veto. The
+// windowed minimum (rather than the previous value alone) absorbs the
+// few-percent iteration-to-iteration jitter of the HPWL head: a
+// productive phase keeps breaking below its recent history, a flat tail
+// only oscillates around it. The anchored gate keeps runs alive while
+// the iterate itself is still improving, whatever the model claims. No
+// stop can fire before StopWindow+1 observations exist.
+func (s *Stopper) Observe(iter int, movedFrac, anchoredHPWL, predHPWL float64) bool {
+	pgap := s.windowGap(&s.pw, predHPWL)
+	agap := s.windowGap(&s.aw, anchoredHPWL)
+	if iter >= s.opts.MinIters && movedFrac <= s.opts.MaxMovedFrac &&
+		pgap < s.opts.StopTol && agap < s.opts.StopAnchorTol {
+		s.flat++
+	} else {
+		s.flat = 0
+	}
+	return s.flat >= s.opts.Patience
+}
+
+// Keep resolves the candidate-keep count for a cost-sorted row of length n:
+// the learned (or overridden) fraction of the row, floored by MinKeep,
+// capped at n. With pruning disabled it returns n.
+func (o Options) Keep(m *Model, n int) int {
+	if m == nil || o.DisablePrune {
+		return n
+	}
+	frac := m.PruneKeep
+	if o.KeepFrac > 0 {
+		frac = o.KeepFrac
+	}
+	keep := int(math.Ceil(frac * float64(n)))
+	if keep < o.MinKeep {
+		keep = o.MinKeep
+	}
+	if keep > n {
+		keep = n
+	}
+	return keep
+}

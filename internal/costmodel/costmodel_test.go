@@ -1,0 +1,353 @@
+package costmodel
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// marshalUnchecked serializes a (possibly invalid) model without the Validate
+// gate that Save enforces, for building corrupt artifacts in tests.
+func marshalUnchecked(m *Model) ([]byte, error) { return json.Marshal(m) }
+
+// synthExample builds a plausible corpus row: later iterations have lower
+// objective/HPWL and lower moved fractions, and the final quality tracks
+// the iterate's wirelength, so the regression has real signal to fit.
+func synthExample(design, iter int) Example {
+	d := float64(design)
+	t := float64(iter)
+	hpwl := 1000*(1+d) + 400/(t+1)
+	final := 950 * (1 + d)
+	return Example{
+		Stats: IterStats{
+			Iter: iter, Budget: 12,
+			DSPs: 60 + design*10, Sites: 800, CandTotal: (60 + design*10) * 20,
+			Objective: 5000/(t+1) + 100*d, FirstObjective: 5000 + 100*d, PrevObjective: 5000/t + 100*d,
+			MovedFrac: 1 / (t + 1), PrevMovedFrac: 1 / t,
+			HPWL: hpwl, FirstHPWL: 1000*(1+d) + 400, PrevHPWL: 1000*(1+d) + 400/t,
+			CosCost: -20 * d, CascadeDist: 2 / (t + 1),
+			WinnerRankFrac: 0.3 + 0.02*d,
+		},
+		FinalWNS:  1.5 + 0.1*d - 0.02*t,
+		FinalTNS:  -0.1 * d,
+		FinalHPWL: final,
+	}
+}
+
+func synthCorpus() []Example {
+	var out []Example
+	for design := 0; design < 6; design++ {
+		for iter := 1; iter <= 12; iter++ {
+			out = append(out, synthExample(design, iter))
+		}
+	}
+	return out
+}
+
+func TestFeaturesWidthAndFiniteness(t *testing.T) {
+	f := synthExample(1, 3).Stats.Features()
+	if len(f) != NumFeatures {
+		t.Fatalf("feature vector has %d entries, want %d", len(f), NumFeatures)
+	}
+	// Degenerate stats (all zeros) must still featurize to finite values.
+	for i, v := range (IterStats{}).Features() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("zero-stats feature %q = %v", FeatureNames[i], v)
+		}
+	}
+	// Poisoned signals are guarded slot-by-slot.
+	s := synthExample(0, 2).Stats
+	s.Objective = math.NaN()
+	s.HPWL = math.Inf(1)
+	for i, v := range s.Features() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("poisoned-stats feature %q = %v", FeatureNames[i], v)
+		}
+	}
+}
+
+func TestTrainPredictRoundTrip(t *testing.T) {
+	corpus := synthCorpus()
+	m, err := Train(corpus, TrainConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.PruneKeep >= 1 {
+		t.Fatalf("PruneKeep %v not learned from rank traces", m.PruneKeep)
+	}
+	maeWNS, _, relHPWL, n := Evaluate(m, corpus)
+	if n != len(corpus) {
+		t.Fatalf("evaluated %d of %d", n, len(corpus))
+	}
+	if maeWNS > 0.25 {
+		t.Errorf("train-set WNS MAE %v ns too high for a synthetic linear corpus", maeWNS)
+	}
+	if relHPWL > 0.15 {
+		t.Errorf("train-set HPWL relative error %v too high", relHPWL)
+	}
+}
+
+func TestTrainDeterministicArtifact(t *testing.T) {
+	corpus := synthCorpus()
+	m1, err := Train(corpus, TrainConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(corpus, TrainConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := m1.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := m2.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("training twice on the same corpus produced different artifacts")
+	}
+	if m1.Fingerprint() != m2.Fingerprint() {
+		t.Fatal("fingerprints differ for identical artifacts")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, err := Train(synthCorpus(), TrainConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cost.json")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := synthExample(2, 4).Stats
+	if p, q := m.Predict(s), got.Predict(s); p != q {
+		t.Fatalf("round-tripped model predicts %+v, original %+v", q, p)
+	}
+	if got.Fingerprint() != m.Fingerprint() {
+		t.Fatal("fingerprint changed across save/load")
+	}
+}
+
+func TestTrainDropsNonFiniteTargets(t *testing.T) {
+	corpus := synthCorpus()
+	corpus[0].FinalWNS = math.NaN()
+	corpus[1].FinalHPWL = math.Inf(1)
+	m, err := Train(corpus, TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Examples != len(corpus)-2 {
+		t.Fatalf("fitted on %d examples, want %d", m.Examples, len(corpus)-2)
+	}
+	bad := []Example{{Stats: IterStats{HPWL: 10}, FinalWNS: math.NaN(), FinalHPWL: 1}}
+	if _, err := Train(bad, TrainConfig{}); err == nil {
+		t.Fatal("all-dropped corpus accepted")
+	}
+	if _, err := Train(nil, TrainConfig{}); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+}
+
+func TestLoadRejectsBadArtifacts(t *testing.T) {
+	good, err := Train(synthCorpus(), TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := good.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(*Model)) []byte {
+		m, err := Load(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f(m)
+		// Marshal without Validate: json.Marshal on the struct directly.
+		b, err := marshalUnchecked(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := map[string][]byte{
+		"not json":        []byte("{"),
+		"empty":           {},
+		"wrong version":   mutate(func(m *Model) { m.Version = 99 }),
+		"wrong schema":    mutate(func(m *Model) { m.Schema = 0 }),
+		"renamed feature": mutate(func(m *Model) { m.Features[0] = "bogus" }),
+		"short weights":   mutate(func(m *Model) { m.W = m.W[:1] }),
+		"ragged weights":  mutate(func(m *Model) { m.W[1] = m.W[1][:3] }),
+		"negative std":    mutate(func(m *Model) { m.Stds[0] = -1 }),
+		"zero prunekeep":  mutate(func(m *Model) { m.PruneKeep = 0 }),
+		"big prunekeep":   mutate(func(m *Model) { m.PruneKeep = 1.5 }),
+	}
+	for name, data := range cases {
+		if _, err := Load(data); err == nil {
+			t.Errorf("%s artifact accepted", name)
+		}
+	}
+	if _, err := Load(base); err != nil {
+		t.Errorf("pristine artifact rejected: %v", err)
+	}
+	// JSON cannot carry NaN/Inf, so the non-finite guards are exercised on
+	// hand-constructed models through Validate directly.
+	poison := map[string]func(*Model){
+		"nan weight": func(m *Model) { m.W[0][0] = math.NaN() },
+		"inf bias":   func(m *Model) { m.B[0] = math.Inf(-1) },
+		"nan mean":   func(m *Model) { m.Means[0] = math.NaN() },
+	}
+	for name, f := range poison {
+		m, err := Load(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s model validated", name)
+		}
+	}
+}
+
+func TestOptionsKeep(t *testing.T) {
+	m := &Model{PruneKeep: 0.5}
+	o := Options{}.WithDefaults()
+	if got := o.Keep(nil, 24); got != 24 {
+		t.Fatalf("nil model keep = %d, want all", got)
+	}
+	if got := (Options{DisablePrune: true}.WithDefaults()).Keep(m, 24); got != 24 {
+		t.Fatalf("disabled prune keep = %d, want all", got)
+	}
+	if got := o.Keep(m, 24); got != 12 {
+		t.Fatalf("keep(0.5 of 24) = %d, want 12", got)
+	}
+	if got := o.Keep(m, 5); got != 4 {
+		t.Fatalf("keep floors at MinKeep: got %d, want 4", got)
+	}
+	if got := o.Keep(m, 3); got != 3 {
+		t.Fatalf("keep capped at row length: got %d, want 3", got)
+	}
+	ov := Options{KeepFrac: 0.25}.WithDefaults()
+	if got := ov.Keep(m, 40); got != 10 {
+		t.Fatalf("override keep = %d, want 10", got)
+	}
+}
+
+// The window guard: even with perfectly flat predictions the stopper must
+// not fire before StopWindow+1 observations — short budgets are protected
+// structurally, not by tuning.
+func TestStopperWindowGuard(t *testing.T) {
+	s := NewStopper(Options{MinIters: 1, MaxMovedFrac: 1, StopWindow: 3, Patience: 1})
+	for iter := 1; iter <= 3; iter++ {
+		if s.Observe(iter, 0, 500, 1000) {
+			t.Fatalf("stopper fired at iter %d with only %d predictions", iter, iter)
+		}
+	}
+	if !s.Observe(4, 0, 500, 1000) {
+		t.Fatal("stopper did not fire on a flat prediction once the window filled")
+	}
+}
+
+// A productive phase keeps pushing the prediction below its recent minimum;
+// the stopper must hold. Once the prediction plateaus — even while
+// oscillating within the tolerance — it must fire.
+func TestStopperJitterRobustFlatness(t *testing.T) {
+	s := NewStopper(Options{MinIters: 1, MaxMovedFrac: 1, StopTol: 0.03, StopWindow: 3, Patience: 1})
+	pred := 1000.0
+	for iter := 1; iter <= 10; iter++ {
+		if s.Observe(iter, 0, 500, pred) {
+			t.Fatalf("stopper fired at iter %d while predictions still dropped 5%%/iter", iter)
+		}
+		pred *= 0.95
+	}
+	// Flat tail with ±2% jitter: within the 3% tolerance of the window min.
+	jitter := []float64{1.01, 0.99, 1.02, 0.98}
+	fired := false
+	for i, j := range jitter {
+		if s.Observe(11+i, 0, 500, pred*j) {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("stopper never fired on a jittering flat tail")
+	}
+}
+
+// The churn veto: flat predictions at a churning iterate are extrapolating
+// too far and must not stop the loop; once the iterate settles, they may.
+func TestStopperChurnVeto(t *testing.T) {
+	s := NewStopper(Options{MinIters: 1, MaxMovedFrac: 0.25, StopTol: 0.03, StopWindow: 3, Patience: 1})
+	for iter := 1; iter <= 8; iter++ {
+		if s.Observe(iter, 0.5, 500, 1000) {
+			t.Fatalf("stopper fired at iter %d despite moved fraction 0.5", iter)
+		}
+	}
+	if !s.Observe(9, 0.1, 500, 1000) {
+		t.Fatal("stopper did not fire after the churn settled")
+	}
+}
+
+// Patience demands consecutive flat observations: a productive iterate in
+// between resets the count.
+func TestStopperPatienceResets(t *testing.T) {
+	s := NewStopper(Options{MinIters: 1, MaxMovedFrac: 1, StopTol: 0.03, StopWindow: 2, Patience: 2})
+	preds := []float64{1000, 1000, 1000, 900, 900, 900}
+	// iter 3 is flat (count 1), iter 4 drops 10% (reset), 5 flat (1), 6 flat (2).
+	wantFire := []bool{false, false, false, false, false, true}
+	for i, p := range preds {
+		if got := s.Observe(i+1, 0, 500, p); got != wantFire[i] {
+			t.Fatalf("iter %d: fired=%v, want %v", i+1, got, wantFire[i])
+		}
+	}
+}
+
+// MinIters floors the stop independently of the window.
+func TestStopperMinIters(t *testing.T) {
+	s := NewStopper(Options{MinIters: 6, MaxMovedFrac: 1, StopTol: 0.03, StopWindow: 2, Patience: 1})
+	for iter := 1; iter <= 5; iter++ {
+		if s.Observe(iter, 0, 500, 1000) {
+			t.Fatalf("stopper fired at iter %d below the MinIters floor 6", iter)
+		}
+	}
+	if !s.Observe(6, 0, 500, 1000) {
+		t.Fatal("stopper did not fire at the MinIters floor")
+	}
+}
+
+// The anchored gate: while the iterate's own wirelength is still
+// improving ~1%/iteration the stopper must hold regardless of how flat
+// the model's predictions look; once the anchored HPWL plateaus it may
+// fire. This is the veto that keeps early-converging runs productive.
+func TestStopperAnchoredProgressVeto(t *testing.T) {
+	s := NewStopper(Options{MinIters: 1, MaxMovedFrac: 1, StopTol: 0.03, StopAnchorTol: 0.003, StopWindow: 3, Patience: 1})
+	anchored := 10000.0
+	for iter := 1; iter <= 12; iter++ {
+		if s.Observe(iter, 0, anchored, 1000) {
+			t.Fatalf("stopper fired at iter %d while anchored HPWL still dropped 1%%/iter", iter)
+		}
+		anchored *= 0.99
+	}
+	fired := false
+	for iter := 13; iter <= 17; iter++ {
+		if s.Observe(iter, 0, anchored, 1000) {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("stopper never fired after the anchored HPWL plateaued")
+	}
+}

@@ -1,0 +1,53 @@
+package costmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCostModelJSON asserts the artifact loader's only contract under
+// arbitrary bytes: return a model that passes Validate, or an error — never a
+// panic, never a half-valid model. Seeds cover the interesting frontier: a
+// pristine artifact, near-miss mutations of it, and structural junk.
+func FuzzCostModelJSON(f *testing.F) {
+	m, err := Train(synthCorpus(), TrainConfig{Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := m.Save()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(strings.Replace(string(valid), `"version": 1`, `"version": 2`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"feature_schema": 1`, `"feature_schema": 9`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"progress"`, `"bogus"`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"prune_keep"`, `"prune_keep_x"`, 1)))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"feature_schema":1}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"weights":[[1e999]]}`))
+	f.Add([]byte(`{"version":1,"weights":"nope"}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(data)
+		if err != nil {
+			if got != nil {
+				t.Fatal("Load returned both a model and an error")
+			}
+			return
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("Load accepted an artifact that fails Validate: %v", verr)
+		}
+		// An accepted artifact must be usable end to end.
+		p := got.Predict(synthExample(0, 2).Stats)
+		_ = p
+		if got.Fingerprint() == "invalid" {
+			t.Fatal("accepted artifact has no canonical form")
+		}
+	})
+}

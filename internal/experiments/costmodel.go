@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"dsplacer/internal/core"
+	"dsplacer/internal/costmodel"
+	"dsplacer/internal/fpga"
+	"dsplacer/internal/gen"
+	"dsplacer/internal/par"
+	"dsplacer/internal/stage"
+)
+
+// CostCorpus runs the full DSPlacer flow over the device × family cross
+// product with assignment-trace recording armed, and labels every
+// per-iteration trace row with the final post-route quality of the run that
+// produced it — the supervised corpus of the learned placement-cost model.
+// devices selects registry entries (nil = all registered parts); specs
+// supplies one benchmark per family (nil = gen.FamilySpecs()). Cells run
+// across the worker pool; the corpus is assembled in (device, family)
+// order, so the same inputs always yield the same example order and
+// therefore a byte-identical trained artifact.
+func CostCorpus(ctx context.Context, devices []string, specs []gen.Spec, cfg TableIIConfig) ([]costmodel.Example, error) {
+	defer stage.Start("experiments.costcorpus")()
+	if devices == nil {
+		devices = fpga.Names()
+	}
+	if specs == nil {
+		specs = gen.FamilySpecs()
+	}
+	type job struct {
+		dev  string
+		spec gen.Spec
+	}
+	var jobs []job
+	for _, d := range devices {
+		if _, err := fpga.Lookup(d); err != nil {
+			return nil, err
+		}
+		for _, s := range specs {
+			jobs = append(jobs, job{dev: d, spec: s})
+		}
+	}
+	type cellOrErr struct {
+		examples []costmodel.Example
+		err      error
+	}
+	results := par.Map(len(jobs), func(i int) cellOrErr {
+		dev, err := fpga.Lookup(jobs[i].dev)
+		if err != nil {
+			return cellOrErr{err: err}
+		}
+		nl, err := gen.Generate(jobs[i].spec, dev)
+		if err != nil {
+			return cellOrErr{err: fmt.Errorf("%s on %s: %w", jobs[i].spec.Name, jobs[i].dev, err)}
+		}
+		ccfg := cfg.coreConfig(jobs[i].spec)
+		ccfg.TraceAssign = true
+		res, err := core.Run(ctx, dev, nl, ccfg)
+		if err != nil {
+			return cellOrErr{err: fmt.Errorf("%s on %s: %w", jobs[i].spec.Name, jobs[i].dev, err)}
+		}
+		examples := make([]costmodel.Example, 0, len(res.AssignTrace))
+		for _, st := range res.AssignTrace {
+			examples = append(examples, costmodel.Example{
+				Stats:     st,
+				FinalWNS:  res.WNS,
+				FinalTNS:  res.TNS,
+				FinalHPWL: res.HPWL,
+			})
+		}
+		return cellOrErr{examples: examples}
+	})
+	var corpus []costmodel.Example
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		corpus = append(corpus, r.examples...)
+	}
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("experiments: cost corpus is empty")
+	}
+	return corpus, nil
+}
+
+// CostCompareRow is one benchmark's model-off vs model-on comparison.
+type CostCompareRow struct {
+	Benchmark  string
+	Off, On    FlowMetrics
+	OffIters   int
+	OnIters    int
+	StopReason string
+	PrunedArcs int
+	PredHPWL   float64
+}
+
+// CostModelCompare runs every suite benchmark twice — cost model off, then
+// on — and prints the per-row iteration counts, wall times and QoR side by
+// side plus the mean iteration and runtime reductions. It is the
+// EXPERIMENTS.md evidence that the model trades no QoR for its speedups:
+// the HPWL/WNS columns must agree within the golden envelopes while the
+// iteration column shrinks.
+func (s *Suite) CostModelCompare(w io.Writer, m *costmodel.Model, cfg TableIIConfig) ([]*CostCompareRow, error) {
+	if m == nil {
+		return nil, fmt.Errorf("experiments: CostModelCompare needs a model")
+	}
+	type rowOrErr struct {
+		row *CostCompareRow
+		err error
+	}
+	results := par.Map(len(s.Specs), func(i int) rowOrErr {
+		spec := s.Specs[i]
+		nl, err := s.Netlist(spec)
+		if err != nil {
+			return rowOrErr{err: err}
+		}
+		run := func(model *costmodel.Model) (FlowMetrics, *core.Result, error) {
+			ccfg := cfg.coreConfig(spec)
+			ccfg.CostModel = model
+			t0 := time.Now()
+			res, err := core.Run(context.Background(), s.Dev, nl, ccfg)
+			if err != nil {
+				return FlowMetrics{}, nil, err
+			}
+			return FlowMetrics{WNS: res.WNS, TNS: res.TNS, HPWL: res.HPWL,
+				Runtime: time.Since(t0).Seconds()}, res, nil
+		}
+		row := &CostCompareRow{Benchmark: spec.Name}
+		var off, on *core.Result
+		if row.Off, off, err = run(nil); err != nil {
+			return rowOrErr{err: fmt.Errorf("%s model-off: %w", spec.Name, err)}
+		}
+		if row.On, on, err = run(m); err != nil {
+			return rowOrErr{err: fmt.Errorf("%s model-on: %w", spec.Name, err)}
+		}
+		row.OffIters = off.AssignIterations
+		row.OnIters = on.AssignIterations
+		row.StopReason = on.AssignStopReason
+		row.PrunedArcs = on.AssignPrunedArcs
+		row.PredHPWL = on.AssignPredHPWL
+		return rowOrErr{row: row}
+	})
+
+	fmt.Fprintf(w, "Cost model off vs on (model %s, prune_keep %.2f).\n", m.Fingerprint(), m.PruneKeep)
+	fmt.Fprintf(w, "%-10s | %5s %9s %10s %8s | %5s %9s %10s %8s %7s %-14s\n",
+		"Benchmark",
+		"iters", "WNS(ns)", "HPWL", "Rt(s)",
+		"iters", "WNS(ns)", "HPWL", "Rt(s)", "pruned", "stop")
+	var rows []*CostCompareRow
+	offIters, onIters, offRt, onRt := 0.0, 0.0, 0.0, 0.0
+	for _, r := range results {
+		if r.err != nil {
+			return rows, r.err
+		}
+		rows = append(rows, r.row)
+		offIters += float64(r.row.OffIters)
+		onIters += float64(r.row.OnIters)
+		offRt += r.row.Off.Runtime
+		onRt += r.row.On.Runtime
+		fmt.Fprintf(w, "%-10s | %5d %9.3f %10.0f %8.1f | %5d %9.3f %10.0f %8.1f %7d %-14s\n",
+			r.row.Benchmark,
+			r.row.OffIters, r.row.Off.WNS, r.row.Off.HPWL, r.row.Off.Runtime,
+			r.row.OnIters, r.row.On.WNS, r.row.On.HPWL, r.row.On.Runtime,
+			r.row.PrunedArcs, r.row.StopReason)
+	}
+	if offIters > 0 && offRt > 0 {
+		fmt.Fprintf(w, "mean assign-iteration reduction: %.1f%%   wall-time reduction: %.1f%%\n",
+			100*(1-onIters/offIters), 100*(1-onRt/offRt))
+	}
+	return rows, nil
+}

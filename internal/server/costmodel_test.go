@@ -1,0 +1,130 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dsplacer/internal/costmodel"
+)
+
+// neutralCostModel builds a valid hand-rolled artifact: zero weights and
+// identity standardization, so predictions are constant and harmless, and
+// PruneKeep 1 keeps every candidate. It exercises the request/cache/metrics
+// plumbing without perturbing placement QoR.
+func neutralCostModel(t *testing.T) *costmodel.Model {
+	t.Helper()
+	m := &costmodel.Model{
+		Version:   costmodel.ArtifactVersion,
+		Schema:    costmodel.SchemaVersion,
+		Features:  costmodel.FeatureNames[:],
+		Targets:   costmodel.TargetNames[:],
+		Seed:      1,
+		Examples:  1,
+		Means:     make([]float64, costmodel.NumFeatures),
+		Stds:      make([]float64, costmodel.NumFeatures),
+		W:         make([][]float64, costmodel.NumTargets),
+		B:         make([]float64, costmodel.NumTargets),
+		PruneKeep: 1,
+	}
+	for j := range m.Stds {
+		m.Stds[j] = 1
+	}
+	for tgt := range m.W {
+		m.W[tgt] = make([]float64, costmodel.NumFeatures)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("neutral model invalid: %v", err)
+	}
+	return m
+}
+
+// Without a daemon model, cost_model "on" is an explicit requirement the
+// server cannot meet (400), "off" and "" degrade to model-off, and unknown
+// values are rejected.
+func TestCostModelRequestValidation(t *testing.T) {
+	env := startServer(t, Config{})
+	nl := json.RawMessage(`{"cells":[],"nets":[]}`)
+	for req, want := range map[string]int{
+		"on":     http.StatusBadRequest,
+		"banana": http.StatusBadRequest,
+	} {
+		_, status := env.submit(t, map[string]any{"netlist": nl, "cost_model": req})
+		if status != want {
+			t.Errorf("cost_model %q: status %d, want %d", req, status, want)
+		}
+	}
+}
+
+// A daemon armed with a model runs jobs model-on by default: the result doc
+// carries the model fingerprint, the stop reason and the convergence trace,
+// and a per-request "off" opts out without sharing the model-on cache entry.
+func TestCostModelDefaultOnAndPerJobOff(t *testing.T) {
+	m := neutralCostModel(t)
+	env := startServer(t, Config{CostModel: m})
+	nl := json.RawMessage(smallNetlistJSON(t, 91))
+
+	id, status := env.submit(t, map[string]any{"netlist": nl, "seed": 1})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit model-on: status %d", status)
+	}
+	on := env.pollUntil(t, id, terminal)
+	if on.State != "done" {
+		t.Fatalf("model-on job %s: %s", on.State, on.Error)
+	}
+	if on.Result.CostModel != m.Fingerprint() {
+		t.Fatalf("result cost_model %q, want %q", on.Result.CostModel, m.Fingerprint())
+	}
+	if on.Result.AssignIterations == 0 || on.Result.AssignStopReason == "" {
+		t.Fatalf("missing assign telemetry: %+v", on.Result)
+	}
+	if len(on.Result.AssignTrace) != on.Result.AssignIterations {
+		t.Fatalf("trace rows %d, iterations %d", len(on.Result.AssignTrace), on.Result.AssignIterations)
+	}
+
+	id, status = env.submit(t, map[string]any{"netlist": nl, "seed": 1, "cost_model": "off"})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit model-off: status %d", status)
+	}
+	off := env.pollUntil(t, id, terminal)
+	if off.State != "done" {
+		t.Fatalf("model-off job %s: %s", off.State, off.Error)
+	}
+	if off.Result.Cached {
+		t.Fatal("model-off request served the model-on cache entry")
+	}
+	if off.Result.CostModel != "" {
+		t.Fatalf("model-off result reports cost_model %q", off.Result.CostModel)
+	}
+
+	// "on" now resolves to the same model — and the same cache entry as "".
+	id, status = env.submit(t, map[string]any{"netlist": nl, "seed": 1, "cost_model": "on"})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit model-forced-on: status %d", status)
+	}
+	forced := env.pollUntil(t, id, terminal)
+	if forced.State != "done" || !forced.Result.Cached {
+		t.Fatalf("forced-on should hit the model-on cache entry: %+v", forced.Result)
+	}
+	if forced.Result.CostModel != m.Fingerprint() {
+		t.Fatalf("cached result lost the fingerprint: %q", forced.Result.CostModel)
+	}
+	if len(forced.Result.AssignTrace) != forced.Result.AssignIterations {
+		t.Fatal("cached result lost the convergence trace")
+	}
+
+	resp, err := http.Get(env.http.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `dsplacer_stage_invocations_total{stage="assign.iterations"}`) {
+		t.Fatalf("/metrics missing assign.iterations counter:\n%s", body)
+	}
+}

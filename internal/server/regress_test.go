@@ -89,18 +89,18 @@ func TestRequestKeyIncludesFeatureMode(t *testing.T) {
 	s := New(Config{})
 	defer s.Shutdown(context.Background())
 	req := PlaceRequest{Netlist: []byte(`{"cells":[],"nets":[]}`), Seed: 1}
-	kExact := s.requestKey(req, s.dev, "dsplacer", core.ValidateOff, features.ModeExact)
-	kGSP := s.requestKey(req, s.dev, "dsplacer", core.ValidateOff, features.ModeGSP)
+	kExact := s.requestKey(req, s.dev, "dsplacer", core.ValidateOff, features.ModeExact, "off")
+	kGSP := s.requestKey(req, s.dev, "dsplacer", core.ValidateOff, features.ModeGSP, "off")
 	if kExact == kGSP {
 		t.Fatal("exact and gsp feature modes share a cache key")
 	}
-	if again := s.requestKey(req, s.dev, "dsplacer", core.ValidateOff, features.ModeExact); again != kExact {
+	if again := s.requestKey(req, s.dev, "dsplacer", core.ValidateOff, features.ModeExact, "off"); again != kExact {
 		t.Fatal("same mode produced a different key")
 	}
 	// Tenant must NOT split the cache: identical work is shared.
 	req2 := req
 	req2.Tenant = "acme"
-	if s.requestKey(req2, s.dev, "dsplacer", core.ValidateOff, features.ModeExact) != kExact {
+	if s.requestKey(req2, s.dev, "dsplacer", core.ValidateOff, features.ModeExact, "off") != kExact {
 		t.Fatal("tenant leaked into the cache key")
 	}
 }
@@ -161,7 +161,7 @@ func TestSingleFlightFollowerSurvivesLeaderCancel(t *testing.T) {
 	s := New(Config{})
 	defer s.Shutdown(context.Background())
 	nlData := smallNetlistJSON(t, 73)
-	key := s.requestKey(PlaceRequest{Netlist: nlData}, s.dev, "dsplacer", core.ValidateOff, features.ModeAuto)
+	key := s.requestKey(PlaceRequest{Netlist: nlData}, s.dev, "dsplacer", core.ValidateOff, features.ModeAuto, "off")
 
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
 	started := make(chan struct{})

@@ -36,6 +36,7 @@ import (
 
 	"dsplacer/internal/cache"
 	"dsplacer/internal/core"
+	"dsplacer/internal/costmodel"
 	"dsplacer/internal/features"
 	"dsplacer/internal/fpga"
 	"dsplacer/internal/jobs"
@@ -60,6 +61,13 @@ type Config struct {
 	// a Sharded store, or a Peered composition reaching other daemons
 	// through cache/remote clients. CacheSize is ignored when set.
 	Cache cache.Store
+
+	// CostModel, when non-nil, is the daemon's learned placement-cost
+	// model (dsplacerd -cost-model): jobs use it by default, a request's
+	// cost_model field can force it "off" per job, and the model's
+	// fingerprint joins the cache key so cached placements never cross
+	// model versions (or model-on/model-off configurations).
+	CostModel *costmodel.Model
 }
 
 // scheduler is the slice of *jobs.Scheduler the server uses; tests inject
@@ -74,12 +82,13 @@ type scheduler interface {
 
 // Server is the dsplacerd request handler plus its scheduler and cache.
 type Server struct {
-	dev     *fpga.Device
-	sched   scheduler
-	cache   cache.Store
-	peered  *cache.Peered // non-nil when the store is peered, for /metrics
-	mux     *http.ServeMux
-	maxBody int64
+	dev       *fpga.Device
+	sched     scheduler
+	cache     cache.Store
+	peered    *cache.Peered // non-nil when the store is peered, for /metrics
+	mux       *http.ServeMux
+	maxBody   int64
+	costModel *costmodel.Model
 
 	draining atomic.Bool
 	runs     atomic.Int64 // placements actually computed (cache misses)
@@ -93,6 +102,7 @@ type Server struct {
 
 	histMu sync.Mutex
 	hist   map[string]*metrics.Histogram // per-stage wall time, seconds
+	counts map[string]int64              // per-stage invocation/event counts
 }
 
 // New builds a Server and starts its scheduler. Call Shutdown to drain it.
@@ -114,15 +124,17 @@ func New(cfg Config) *Server {
 		eventTTL = 10 * time.Minute // mirror the scheduler's ResultTTL default
 	}
 	s := &Server{
-		dev:      dev,
-		sched:    jobs.New(cfg.Jobs),
-		cache:    store,
-		mux:      http.NewServeMux(),
-		maxBody:  maxBody,
-		flights:  make(map[cache.Key]*flight),
-		hubs:     make(map[string]*hub),
-		eventTTL: eventTTL,
-		hist:     make(map[string]*metrics.Histogram),
+		dev:       dev,
+		sched:     jobs.New(cfg.Jobs),
+		cache:     store,
+		mux:       http.NewServeMux(),
+		maxBody:   maxBody,
+		costModel: cfg.CostModel,
+		flights:   make(map[cache.Key]*flight),
+		hubs:      make(map[string]*hub),
+		eventTTL:  eventTTL,
+		hist:      make(map[string]*metrics.Histogram),
+		counts:    make(map[string]int64),
 	}
 	if p, ok := store.(*cache.Peered); ok {
 		s.peered = p
@@ -172,6 +184,12 @@ type PlaceRequest struct {
 	Device string `json:"device,omitempty"`
 	// Validate is the stage-boundary DRC gating level: off, final or stages.
 	Validate string `json:"validate,omitempty"`
+	// CostModel selects the learned placement-cost model for this job:
+	// "" (server default — the daemon's -cost-model artifact when loaded,
+	// otherwise off), "on" (require the daemon's model; 400 when none is
+	// loaded) or "off" (force the hooks off). The resolved model's
+	// fingerprint is part of the cache key.
+	CostModel string `json:"cost_model,omitempty"`
 	// Tenant selects the fair-share queue this job is charged to; empty
 	// means the default tenant. It does NOT affect the cache key — identical
 	// requests from different tenants share one cached placement.
@@ -204,26 +222,55 @@ type ResultDoc struct {
 	DatapathDSPs int                `json:"datapath_dsps"`
 	Cached       bool               `json:"cached"`
 	StagesS      map[string]float64 `json:"stages_s,omitempty"`
+	// AssignIterations/AssignStopReason report the MCF loop's length and
+	// why it ended ("converged", "predicted-flat", "budget"); baseline
+	// flows, which run no assignment, omit them.
+	AssignIterations int    `json:"assign_iterations,omitempty"`
+	AssignStopReason string `json:"assign_stop_reason,omitempty"`
+	// CostModel is the fingerprint of the model that ran (empty when off);
+	// PrunedArcs and PredHPWL report its pruning and last prediction.
+	CostModel  string  `json:"cost_model,omitempty"`
+	PrunedArcs int     `json:"assign_pruned_arcs,omitempty"`
+	PredHPWL   float64 `json:"assign_pred_hpwl,omitempty"`
+	// AssignTrace is the per-iteration convergence trace of the MCF loop:
+	// objective, moved fraction and anchored-HPWL delta per iterate.
+	AssignTrace []TraceRowDoc `json:"assign_trace,omitempty"`
+}
+
+// TraceRowDoc is one compact convergence-trace row of a ResultDoc.
+type TraceRowDoc struct {
+	Iter      int     `json:"iter"`
+	Objective float64 `json:"objective"`
+	MovedFrac float64 `json:"moved_frac"`
+	HPWLDelta float64 `json:"hpwl_delta"`
 }
 
 // outcome is what a job fn returns: the core result plus the per-job stage
-// timing snapshot it was computed under.
+// timing snapshot it was computed under, and the fingerprint of the cost
+// model that ran (empty when the hooks were off).
 type outcome struct {
 	res    *core.Result
 	stages map[string]stage.Stat
+	costFP string
 	cached bool
 }
 
 // storedOutcome is the cache wire form of an outcome. The cache stores
 // opaque bytes (so remote peers can serve them without sharing memory), and
-// core.Result is plain exported data, so JSON round-trips it exactly.
+// core.Result is plain exported data, so JSON round-trips it exactly. The
+// assignment trace is excluded from Result's own JSON form (it is the one
+// bulky diagnostic field) and carried as a separate part here, so cached
+// and freshly computed results serve identical documents.
 type storedOutcome struct {
 	Res    *core.Result          `json:"res"`
 	Stages map[string]stage.Stat `json:"stages,omitempty"`
+	Trace  []costmodel.IterStats `json:"trace,omitempty"`
+	CostFP string                `json:"cost_fp,omitempty"`
 }
 
 func encodeOutcome(o *outcome) ([]byte, bool) {
-	b, err := json.Marshal(storedOutcome{Res: o.res, Stages: o.stages})
+	b, err := json.Marshal(storedOutcome{Res: o.res, Stages: o.stages,
+		Trace: o.res.AssignTrace, CostFP: o.costFP})
 	return b, err == nil
 }
 
@@ -234,7 +281,8 @@ func decodeOutcome(b []byte) (*outcome, bool) {
 	if err := json.Unmarshal(b, &so); err != nil || so.Res == nil {
 		return nil, false
 	}
-	return &outcome{res: so.Res, stages: so.Stages}, true
+	so.Res.AssignTrace = so.Trace
+	return &outcome{res: so.Res, stages: so.Stages, costFP: so.CostFP}, true
 }
 
 // flight is one in-progress placement for a cache key. Followers wait on
@@ -314,12 +362,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	var cm *costmodel.Model
+	switch req.CostModel {
+	case "":
+		cm = s.costModel
+	case "on":
+		if s.costModel == nil {
+			httpError(w, http.StatusBadRequest, `cost_model "on" but no model loaded (start dsplacerd with -cost-model)`)
+			return
+		}
+		cm = s.costModel
+	case "off":
+	default:
+		httpError(w, http.StatusBadRequest, `unknown cost_model %q (want "", "on" or "off")`, req.CostModel)
+		return
+	}
+	costFP := "off"
+	if cm != nil {
+		costFP = cm.Fingerprint()
+	}
 	cfg := core.Config{
 		ClockMHz: req.FreqMHz, Lambda: req.Lambda, Eta: req.Eta,
 		MCFIterations: req.MCFIters, Rounds: req.Rounds, Seed: req.Seed,
-		Validate: level, FeatureMode: fmode,
+		Validate: level, FeatureMode: fmode, CostModel: cm,
 	}
-	key := s.requestKey(req, dev, flow, level, fmode)
+	key := s.requestKey(req, dev, flow, level, fmode, costFP)
 
 	// The hub exists (with its "queued" event) before the scheduler sees the
 	// job, so a worker dispatching immediately can never publish "running"
@@ -359,12 +426,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // approximate each other and must not share results. The device name is a
 // separate length-prefixed part, so the same netlist placed on two fabrics
 // can never share a cached result (locally or through a peer cache).
-// Tenant is deliberately excluded.
-func (s *Server) requestKey(req PlaceRequest, dev *fpga.Device, flow string, level core.ValidateLevel, fmode features.Mode) cache.Key {
+// costFP is the resolved cost-model fingerprint ("off" when the hooks are
+// disabled): model-on and model-off placements of the same design differ,
+// as do placements under different model versions, so neither may share a
+// cached result. Tenant is deliberately excluded.
+func (s *Server) requestKey(req PlaceRequest, dev *fpga.Device, flow string, level core.ValidateLevel, fmode features.Mode, costFP string) cache.Key {
 	params := fmt.Sprintf("%s|%g|%g|%g|%d|%d|%d|%d|%s",
 		flow, req.FreqMHz, req.Lambda, req.Eta,
 		req.MCFIters, req.Rounds, req.Seed, level, fmode)
-	return cache.KeyOf(req.Netlist, []byte(dev.Name), []byte(params))
+	return cache.KeyOf(req.Netlist, []byte(dev.Name), []byte(params), []byte(costFP))
 }
 
 // cacheGet decodes a stored outcome; decode failure reads as a miss.
@@ -382,7 +452,7 @@ func (s *Server) cacheGet(key cache.Key) (*outcome, bool) {
 func (s *Server) place(ctx context.Context, key cache.Key, dev *fpga.Device, flow string, mode placer.Mode, nl *netlist.Netlist, cfg core.Config, h *hub) (*outcome, error) {
 	for {
 		if o, ok := s.cacheGet(key); ok {
-			return &outcome{res: o.res, stages: o.stages, cached: true}, nil
+			return &outcome{res: o.res, stages: o.stages, costFP: o.costFP, cached: true}, nil
 		}
 		s.flightMu.Lock()
 		if f, ok := s.flights[key]; ok {
@@ -395,7 +465,7 @@ func (s *Server) place(ctx context.Context, key cache.Key, dev *fpga.Device, flo
 				return nil, fmt.Errorf("server: canceled waiting for duplicate run: %w", ctx.Err())
 			}
 			if f.err == nil {
-				return &outcome{res: f.o.res, stages: f.o.stages, cached: true}, nil
+				return &outcome{res: f.o.res, stages: f.o.stages, costFP: f.o.costFP, cached: true}, nil
 			}
 			// The leader failed — possibly from its own cancellation, which
 			// must not fail this job. Loop and try to become the leader.
@@ -450,7 +520,11 @@ func (s *Server) runPlacement(ctx context.Context, dev *fpga.Device, flow string
 	}
 	snap := rec.Snapshot()
 	s.observeStages(snap)
-	return &outcome{res: res, stages: snap}, nil
+	o := &outcome{res: res, stages: snap}
+	if cfg.CostModel != nil {
+		o.costFP = cfg.CostModel.Fingerprint()
+	}
+	return o, nil
 }
 
 func (s *Server) observeStages(snap map[string]stage.Stat) {
@@ -463,6 +537,7 @@ func (s *Server) observeStages(snap map[string]stage.Stat) {
 			s.hist[name] = h
 		}
 		h.ObserveDuration(st.Total)
+		s.counts[name] += st.Count
 	}
 }
 
@@ -600,12 +675,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for i, name := range names {
 		hists[i] = s.hist[name]
 	}
+	countNames := make([]string, 0, len(s.counts))
+	for name := range s.counts {
+		if s.counts[name] != 0 {
+			countNames = append(countNames, name)
+		}
+	}
+	sort.Strings(countNames)
+	countVals := make([]int64, len(countNames))
+	for i, name := range countNames {
+		countVals[i] = s.counts[name]
+	}
 	s.histMu.Unlock()
 	if len(names) > 0 {
 		fmt.Fprintf(w, "# TYPE dsplacer_stage_seconds histogram\n")
 	}
 	for i, name := range names {
 		hists[i].WritePrometheus(w, "dsplacer_stage_seconds", "stage", name)
+	}
+	// Per-stage invocation/event counters: assign iterations, pruned arcs,
+	// early stops and every other stage.Recorder count aggregated over jobs.
+	if len(countNames) > 0 {
+		fmt.Fprintf(w, "# TYPE dsplacer_stage_invocations_total counter\n")
+	}
+	for i, name := range countNames {
+		fmt.Fprintf(w, "dsplacer_stage_invocations_total{stage=%q} %d\n", name, countVals[i])
 	}
 }
 
@@ -647,6 +741,21 @@ func resultDoc(o *outcome) *ResultDoc {
 	}
 	for name, st := range o.stages {
 		doc.StagesS[name] = st.Total.Seconds()
+	}
+	if res.AssignStopReason != "" {
+		doc.AssignIterations = res.AssignIterations
+		doc.AssignStopReason = res.AssignStopReason
+		doc.CostModel = o.costFP
+		doc.PrunedArcs = res.AssignPrunedArcs
+		doc.PredHPWL = res.AssignPredHPWL
+	}
+	for _, st := range res.AssignTrace {
+		doc.AssignTrace = append(doc.AssignTrace, TraceRowDoc{
+			Iter:      st.Iter,
+			Objective: st.Objective,
+			MovedFrac: st.MovedFrac,
+			HPWLDelta: st.PrevHPWL - st.HPWL,
+		})
 	}
 	return doc
 }

@@ -116,6 +116,29 @@ func (r *Recorder) Add(name string, d time.Duration) {
 	}
 }
 
+// AddN folds n events with no duration into the named accumulator, turning
+// it into a pure counter (assign iterations executed, flow arcs pruned,
+// early stops taken). Counters share the stage namespace and Snapshot, so
+// the daemon's /metrics surfaces them without a second registry; observers
+// are not notified — counters are aggregates, not invocation boundaries.
+func (r *Recorder) AddN(name string, n int64) {
+	if n == 0 {
+		return
+	}
+	r = r.or()
+	r.mu.Lock()
+	if r.stages == nil {
+		r.stages = make(map[string]*Stat)
+	}
+	s := r.stages[name]
+	if s == nil {
+		s = &Stat{}
+		r.stages[name] = s
+	}
+	s.Count += n
+	r.mu.Unlock()
+}
+
 // Snapshot returns a copy of every stage accumulator. The Stat values are
 // copied under the recorder's lock, so a snapshot taken while other
 // goroutines Add is internally consistent: each entry is some complete
@@ -164,6 +187,9 @@ func Start(name string) func() { return Default.Start(name) }
 
 // Add records into the Default recorder; see Recorder.Add.
 func Add(name string, d time.Duration) { Default.Add(name, d) }
+
+// AddN counts into the Default recorder; see Recorder.AddN.
+func AddN(name string, n int64) { Default.AddN(name, n) }
 
 // Snapshot snapshots the Default recorder; see Recorder.Snapshot.
 func Snapshot() map[string]Stat { return Default.Snapshot() }

@@ -38,18 +38,40 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Train fits a linear SVM on rows X with labels y ∈ {0,1}.
-func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
+// checkMatrix validates a design matrix: consistent row width and every
+// entry finite. Non-finite inputs would silently poison the weight vector
+// (one NaN times any learning rate is NaN forever), so they are rejected up
+// front instead of surfacing as an unusable model.
+func checkMatrix(X [][]float64) (int, error) {
 	if len(X) == 0 {
-		return nil, fmt.Errorf("svm: empty training set")
-	}
-	if len(X) != len(y) {
-		return nil, fmt.Errorf("svm: %d rows vs %d labels", len(X), len(y))
+		return 0, fmt.Errorf("svm: empty training set")
 	}
 	d := len(X[0])
 	for i, r := range X {
 		if len(r) != d {
-			return nil, fmt.Errorf("svm: row %d has %d features, want %d", i, len(r), d)
+			return 0, fmt.Errorf("svm: row %d has %d features, want %d", i, len(r), d)
+		}
+		for j, v := range r {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("svm: row %d feature %d is not finite (%v)", i, j, v)
+			}
+		}
+	}
+	return d, nil
+}
+
+// Train fits a linear SVM on rows X with labels y ∈ {0,1}.
+func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
+	d, err := checkMatrix(X)
+	if err != nil {
+		return nil, err
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("svm: %d rows vs %d labels", len(X), len(y))
+	}
+	for i, c := range y {
+		if c != 0 && c != 1 {
+			return nil, fmt.Errorf("svm: label %d is %d, want 0 or 1", i, c)
 		}
 	}
 	cfg = cfg.withDefaults()
@@ -129,6 +151,13 @@ func dot(a, b []float64) float64 {
 
 // Standardize z-scores the rows' columns in place using the provided
 // training statistics, returning means and stds computed when stats is nil.
+//
+// The transform is guarded at both ends of the numeric range: non-finite
+// entries are excluded from the computed statistics and standardize to 0
+// (the column mean), and zero-variance columns — a constant feature, or a
+// single-sample fit where every column is constant — standardize to 0
+// instead of dividing by (near-)zero. A degenerate input therefore yields
+// all-zero columns, never NaN weights downstream.
 func Standardize(X [][]float64, means, stds []float64) ([]float64, []float64) {
 	if len(X) == 0 {
 		return means, stds
@@ -138,25 +167,159 @@ func Standardize(X [][]float64, means, stds []float64) ([]float64, []float64) {
 		means = make([]float64, d)
 		stds = make([]float64, d)
 		for j := 0; j < d; j++ {
+			n := 0
 			for _, r := range X {
-				means[j] += r[j]
+				if v := r[j]; !math.IsNaN(v) && !math.IsInf(v, 0) {
+					means[j] += v
+					n++
+				}
 			}
-			means[j] /= float64(len(X))
+			if n == 0 {
+				continue // all-garbage column: mean 0, std 0 → zeros out
+			}
+			means[j] /= float64(n)
 			for _, r := range X {
-				diff := r[j] - means[j]
-				stds[j] += diff * diff
+				if v := r[j]; !math.IsNaN(v) && !math.IsInf(v, 0) {
+					diff := v - means[j]
+					stds[j] += diff * diff
+				}
 			}
-			stds[j] = math.Sqrt(stds[j] / float64(len(X)))
+			stds[j] = math.Sqrt(stds[j] / float64(n))
 		}
 	}
 	for _, r := range X {
 		for j := 0; j < d; j++ {
-			if stds[j] > 1e-12 {
-				r[j] = (r[j] - means[j]) / stds[j]
-			} else {
+			v := r[j]
+			if math.IsNaN(v) || math.IsInf(v, 0) || stds[j] <= 1e-12 {
 				r[j] = 0
+				continue
 			}
+			r[j] = (v - means[j]) / stds[j]
 		}
 	}
 	return means, stds
+}
+
+// RidgeRegress fits one linear least-squares model per target column with
+// an L2 penalty: W, B = argmin Σ‖W·x + B − y‖² + ridge·‖W‖². X is rows ×
+// features (ideally standardized), Y is rows × targets; the returned W is
+// targets × features with per-target intercepts B. The solve is the
+// closed-form normal equation (XᵀX + ridge·I)·w = Xᵀy via Gaussian
+// elimination with partial pivoting — fully deterministic, no iteration,
+// no randomness — so identical inputs produce bit-identical weights. The
+// intercept column is not penalized. Inputs must be finite (checkMatrix
+// rules apply to X and Y both).
+func RidgeRegress(X, Y [][]float64, ridge float64) (W [][]float64, B []float64, err error) {
+	d, err := checkMatrix(X)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(Y) != len(X) {
+		return nil, nil, fmt.Errorf("svm: %d rows vs %d target rows", len(X), len(Y))
+	}
+	t, err := checkMatrix(Y)
+	if err != nil {
+		return nil, nil, fmt.Errorf("svm: targets: %w", err)
+	}
+	if ridge < 0 || math.IsNaN(ridge) || math.IsInf(ridge, 0) {
+		return nil, nil, fmt.Errorf("svm: ridge %v must be a finite non-negative value", ridge)
+	}
+	if ridge == 0 {
+		ridge = 1e-8 // keep the system positive definite for rank-deficient X
+	}
+	// Augmented design [x, 1]: the last row/column of the Gram matrix is the
+	// intercept, penalized with the same tiny floor only (not the ridge).
+	n := d + 1
+	A := make([][]float64, n)
+	for i := range A {
+		A[i] = make([]float64, n)
+	}
+	rhs := make([][]float64, n) // n × t
+	for i := range rhs {
+		rhs[i] = make([]float64, t)
+	}
+	for _, r := range X {
+		for i := 0; i < d; i++ {
+			for j := i; j < d; j++ {
+				A[i][j] += r[i] * r[j]
+			}
+			A[i][d] += r[i]
+		}
+		A[d][d]++
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			A[i][j] = A[j][i]
+		}
+	}
+	for i := 0; i < d; i++ {
+		A[i][i] += ridge
+	}
+	A[d][d] += 1e-8
+	for k, r := range X {
+		for i := 0; i < d; i++ {
+			for j := 0; j < t; j++ {
+				rhs[i][j] += r[i] * Y[k][j]
+			}
+		}
+		for j := 0; j < t; j++ {
+			rhs[d][j] += Y[k][j]
+		}
+	}
+	if err := solveLinear(A, rhs); err != nil {
+		return nil, nil, err
+	}
+	W = make([][]float64, t)
+	B = make([]float64, t)
+	for j := 0; j < t; j++ {
+		W[j] = make([]float64, d)
+		for i := 0; i < d; i++ {
+			W[j][i] = rhs[i][j]
+		}
+		B[j] = rhs[d][j]
+	}
+	return W, B, nil
+}
+
+// solveLinear solves A·x = b in place for every column of b by Gaussian
+// elimination with partial pivoting. A is destroyed; b holds the solution.
+func solveLinear(A [][]float64, b [][]float64) error {
+	n := len(A)
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(A[piv][col]) < 1e-18 {
+			return fmt.Errorf("svm: singular normal equations at column %d", col)
+		}
+		A[col], A[piv] = A[piv], A[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / A[col][col]
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			for c := range b[r] {
+				b[r][c] -= f * b[col][c]
+			}
+		}
+	}
+	for col := n - 1; col >= 0; col-- {
+		inv := 1 / A[col][col]
+		for c := range b[col] {
+			s := b[col][c]
+			for r := col + 1; r < n; r++ {
+				s -= A[col][r] * b[r][c]
+			}
+			b[col][c] = s * inv
+		}
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package svm
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -96,6 +97,144 @@ func TestDecisionPredictConsistency(t *testing.T) {
 	}
 	if m.Predict([]float64{-2, 0}) != 0 {
 		t.Fatal("negative decision must predict 0")
+	}
+}
+
+func TestTrainRejectsNonFinite(t *testing.T) {
+	cases := map[string][][]float64{
+		"nan":  {{1, math.NaN()}, {0, 1}},
+		"+inf": {{1, 2}, {math.Inf(1), 1}},
+		"-inf": {{math.Inf(-1), 2}, {0, 1}},
+	}
+	for name, X := range cases {
+		if _, err := Train(X, []int{0, 1}, Config{}); err == nil {
+			t.Errorf("%s input accepted", name)
+		}
+	}
+	if _, err := Train([][]float64{{1}, {2}}, []int{0, 2}, Config{}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func allFinite(t *testing.T, name string, vs ...[]float64) {
+	t.Helper()
+	for _, v := range vs {
+		for i, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("%s[%d] = %v is not finite", name, i, x)
+			}
+		}
+	}
+}
+
+// A single training sample makes every column zero-variance; the fit must
+// still produce finite weights (all-zero standardized features, intercept
+// carrying the target), never NaN.
+func TestRidgeDegenerateSingleSample(t *testing.T) {
+	X := [][]float64{{3, -1, 7}}
+	Standardize(X, nil, nil)
+	W, B, err := RidgeRegress(X, [][]float64{{2.5, -4}}, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allFinite(t, "B", B)
+	for _, w := range W {
+		allFinite(t, "W", w)
+	}
+	if math.Abs(B[0]-2.5) > 1e-6 || math.Abs(B[1]+4) > 1e-6 {
+		t.Fatalf("intercepts %v do not reproduce the single target", B)
+	}
+}
+
+// A constant feature column carries no signal; after standardization it is
+// all zeros and the ridge floor must keep the normal equations solvable
+// with a finite (zero) weight for that column.
+func TestRidgeConstantColumn(t *testing.T) {
+	X := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	Y := [][]float64{{2}, {4}, {6}, {8}}
+	Standardize(X, nil, nil)
+	W, B, err := RidgeRegress(X, Y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allFinite(t, "B", B)
+	allFinite(t, "W", W[0])
+	if W[0][1] != 0 {
+		t.Fatalf("constant column weight %v, want exactly 0", W[0][1])
+	}
+	// The informative column must still be fit: y = 2x has mean 5, and the
+	// standardized slope times std recovers ~2 per unit x.
+	pred := W[0][0]*X[3][0] + B[0]
+	if math.Abs(pred-8) > 0.1 {
+		t.Fatalf("prediction %v for last row, want ≈8", pred)
+	}
+}
+
+func TestRidgeRecoversLinearMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var X, Y [][]float64
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		X = append(X, x)
+		Y = append(Y, []float64{
+			3*x[0] - 2*x[1] + 0.5 + rng.NormFloat64()*0.01,
+			-x[2] + 1 + rng.NormFloat64()*0.01,
+		})
+	}
+	W, B, err := RidgeRegress(X, Y, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{3, -2, 0}, {0, 0, -1}}
+	wantB := []float64{0.5, 1}
+	for ti := range want {
+		for j := range want[ti] {
+			if math.Abs(W[ti][j]-want[ti][j]) > 0.05 {
+				t.Fatalf("W[%d][%d] = %v, want ≈%v", ti, j, W[ti][j], want[ti][j])
+			}
+		}
+		if math.Abs(B[ti]-wantB[ti]) > 0.05 {
+			t.Fatalf("B[%d] = %v, want ≈%v", ti, B[ti], wantB[ti])
+		}
+	}
+}
+
+func TestRidgeRejectsBadInput(t *testing.T) {
+	if _, _, err := RidgeRegress([][]float64{{math.NaN()}}, [][]float64{{1}}, 1e-2); err == nil {
+		t.Error("NaN feature accepted")
+	}
+	if _, _, err := RidgeRegress([][]float64{{1}}, [][]float64{{math.Inf(1)}}, 1e-2); err == nil {
+		t.Error("Inf target accepted")
+	}
+	if _, _, err := RidgeRegress([][]float64{{1}}, [][]float64{{1}, {2}}, 1e-2); err == nil {
+		t.Error("row-count mismatch accepted")
+	}
+	if _, _, err := RidgeRegress([][]float64{{1}}, [][]float64{{1}}, math.NaN()); err == nil {
+		t.Error("NaN ridge accepted")
+	}
+}
+
+// Standardize must not let one poisoned entry corrupt a whole column's
+// statistics: non-finite entries are excluded from mean/std and map to 0.
+func TestStandardizeNonFiniteGuards(t *testing.T) {
+	X := [][]float64{{10, math.NaN()}, {20, 1}, {30, math.Inf(1)}, {40, 3}}
+	means, stds := Standardize(X, nil, nil)
+	allFinite(t, "means", means)
+	allFinite(t, "stds", stds)
+	if means[1] != 2 {
+		t.Fatalf("poisoned column mean %v, want 2 (finite entries only)", means[1])
+	}
+	for i, r := range X {
+		allFinite(t, "row", r)
+		if (i == 0 || i == 2) && r[1] != 0 {
+			t.Fatalf("non-finite entry standardized to %v, want 0", r[1])
+		}
+	}
+	// All-garbage column: zero stats, zero output.
+	Z := [][]float64{{math.NaN()}, {math.Inf(-1)}}
+	m2, s2 := Standardize(Z, nil, nil)
+	if m2[0] != 0 || s2[0] != 0 || Z[0][0] != 0 || Z[1][0] != 0 {
+		t.Fatalf("all-garbage column: means=%v stds=%v rows=%v", m2, s2, Z)
 	}
 }
 
